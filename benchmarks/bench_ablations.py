@@ -1,0 +1,17 @@
+"""Ablation benchmarks A1-A5: switch off each design choice DESIGN.md
+calls out and show the scenario it protects regressing.  See
+repro.analysis.ablations for the rationale of each."""
+
+import pytest
+
+from repro.analysis.ablations import ABLATIONS
+
+from conftest import record_outcome
+
+
+@pytest.mark.parametrize("ablation_id", sorted(ABLATIONS))
+def test_ablation(benchmark, ablation_id):
+    runner = ABLATIONS[ablation_id]
+    outcome = benchmark.pedantic(runner, rounds=1, iterations=1)
+    record_outcome(outcome)
+    assert outcome.verdict, outcome.verdict_detail

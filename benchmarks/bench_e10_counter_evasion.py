@@ -1,0 +1,15 @@
+"""Benchmark E10: counter-reset randomization vs evasion (section 4.2)
+
+Regenerates the evasion table artefact; see DESIGN.md section 3 (E10) and
+EXPERIMENTS.md for paper-claim vs. measured discussion.
+"""
+
+from repro.analysis import run_e10
+
+from conftest import record_outcome
+
+
+def test_e10_counter_evasion(benchmark):
+    outcome = benchmark.pedantic(run_e10, rounds=1, iterations=1)
+    record_outcome(outcome)
+    assert outcome.verdict, outcome.verdict_detail

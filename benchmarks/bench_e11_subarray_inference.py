@@ -1,0 +1,15 @@
+"""Benchmark E11: subarray inference and the remap audit (section 4.1)
+
+Regenerates the inference tables artefact; see DESIGN.md section 3 (E11) and
+EXPERIMENTS.md for paper-claim vs. measured discussion.
+"""
+
+from repro.analysis import run_e11
+
+from conftest import record_outcome
+
+
+def test_e11_subarray_inference(benchmark):
+    outcome = benchmark.pedantic(run_e11, rounds=1, iterations=1)
+    record_outcome(outcome)
+    assert outcome.verdict, outcome.verdict_detail

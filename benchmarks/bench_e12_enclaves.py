@@ -1,0 +1,15 @@
+"""Benchmark E12: enclave memory semantics (section 4.4)
+
+Regenerates the enclave regime table artefact; see DESIGN.md section 3 (E12) and
+EXPERIMENTS.md for paper-claim vs. measured discussion.
+"""
+
+from repro.analysis import run_e12
+
+from conftest import record_outcome
+
+
+def test_e12_enclaves(benchmark):
+    outcome = benchmark.pedantic(run_e12, rounds=1, iterations=1)
+    record_outcome(outcome)
+    assert outcome.verdict, outcome.verdict_detail

@@ -1,0 +1,15 @@
+"""Benchmark E13: benign-workload overhead summary
+
+Regenerates the overhead table artefact; see DESIGN.md section 3 (E13) and
+EXPERIMENTS.md for paper-claim vs. measured discussion.
+"""
+
+from repro.analysis import run_e13
+
+from conftest import record_outcome
+
+
+def test_e13_overhead_summary(benchmark):
+    outcome = benchmark.pedantic(run_e13, rounds=1, iterations=1)
+    record_outcome(outcome)
+    assert outcome.verdict, outcome.verdict_detail

@@ -1,0 +1,15 @@
+"""Benchmark E14: the value of DRAM-vendor cooperation (section 5)
+
+Regenerates the proposed-vs-ideal comparison; see DESIGN.md section 3
+(E14) and EXPERIMENTS.md for paper-claim vs. measured discussion.
+"""
+
+from repro.analysis import run_e14
+
+from conftest import record_outcome
+
+
+def test_e14_ideal_world(benchmark):
+    outcome = benchmark.pedantic(run_e14, rounds=1, iterations=1)
+    record_outcome(outcome)
+    assert outcome.verdict, outcome.verdict_detail

@@ -1,0 +1,15 @@
+"""Benchmark E15: ECC memory under Rowhammer (related work [12])
+
+Regenerates the SEC-DED outcome tables; see DESIGN.md section 3 (E15)
+and EXPERIMENTS.md for paper-claim vs. measured discussion.
+"""
+
+from repro.analysis import run_e15
+
+from conftest import record_outcome
+
+
+def test_e15_ecc(benchmark):
+    outcome = benchmark.pedantic(run_e15, rounds=1, iterations=1)
+    record_outcome(outcome)
+    assert outcome.verdict, outcome.verdict_detail

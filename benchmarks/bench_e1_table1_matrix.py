@@ -1,0 +1,15 @@
+"""Benchmark E1: paper Table 1 as an executable matrix
+
+Regenerates the Table 1 artefact; see DESIGN.md section 3 (E1) and
+EXPERIMENTS.md for paper-claim vs. measured discussion.
+"""
+
+from repro.analysis import run_e1
+
+from conftest import record_outcome
+
+
+def test_e1_table1_matrix(benchmark):
+    outcome = benchmark.pedantic(run_e1, rounds=1, iterations=1)
+    record_outcome(outcome)
+    assert outcome.verdict, outcome.verdict_detail

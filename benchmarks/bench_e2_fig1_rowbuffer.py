@@ -1,0 +1,15 @@
+"""Benchmark E2: row-buffer semantics (paper Fig. 1)
+
+Regenerates the Fig. 1 artefact; see DESIGN.md section 3 (E2) and
+EXPERIMENTS.md for paper-claim vs. measured discussion.
+"""
+
+from repro.analysis import run_e2
+
+from conftest import record_outcome
+
+
+def test_e2_fig1_rowbuffer(benchmark):
+    outcome = benchmark.pedantic(run_e2, rounds=1, iterations=1)
+    record_outcome(outcome)
+    assert outcome.verdict, outcome.verdict_detail

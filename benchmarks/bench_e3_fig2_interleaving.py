@@ -1,0 +1,15 @@
+"""Benchmark E3: subarray-isolated interleaving (paper Fig. 2, section 4.1)
+
+Regenerates the Fig. 2 artefact; see DESIGN.md section 3 (E3) and
+EXPERIMENTS.md for paper-claim vs. measured discussion.
+"""
+
+from repro.analysis import run_e3
+
+from conftest import record_outcome
+
+
+def test_e3_fig2_interleaving(benchmark):
+    outcome = benchmark.pedantic(run_e3, rounds=1, iterations=1)
+    record_outcome(outcome)
+    assert outcome.verdict, outcome.verdict_detail

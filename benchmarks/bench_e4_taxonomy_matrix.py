@@ -1,0 +1,15 @@
+"""Benchmark E4: taxonomy coverage matrix (section 2.2, 4)
+
+Regenerates the defense x attack matrix artefact; see DESIGN.md section 3 (E4) and
+EXPERIMENTS.md for paper-claim vs. measured discussion.
+"""
+
+from repro.analysis import run_e4
+
+from conftest import record_outcome
+
+
+def test_e4_taxonomy_matrix(benchmark):
+    outcome = benchmark.pedantic(run_e4, rounds=1, iterations=1)
+    record_outcome(outcome)
+    assert outcome.verdict, outcome.verdict_detail

@@ -1,0 +1,15 @@
+"""Benchmark E5: density scaling of defenses (section 3)
+
+Regenerates the generation sweep artefact; see DESIGN.md section 3 (E5) and
+EXPERIMENTS.md for paper-claim vs. measured discussion.
+"""
+
+from repro.analysis import run_e5
+
+from conftest import record_outcome
+
+
+def test_e5_density_scaling(benchmark):
+    outcome = benchmark.pedantic(run_e5, rounds=1, iterations=1)
+    record_outcome(outcome)
+    assert outcome.verdict, outcome.verdict_detail

@@ -1,0 +1,15 @@
+"""Benchmark E6: TRR bypass with many-sided hammering (section 3)
+
+Regenerates the TRRespass cliff artefact; see DESIGN.md section 3 (E6) and
+EXPERIMENTS.md for paper-claim vs. measured discussion.
+"""
+
+from repro.analysis import run_e6
+
+from conftest import record_outcome
+
+
+def test_e6_trr_bypass(benchmark):
+    outcome = benchmark.pedantic(run_e6, rounds=1, iterations=1)
+    record_outcome(outcome)
+    assert outcome.verdict, outcome.verdict_detail

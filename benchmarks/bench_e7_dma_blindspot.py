@@ -1,0 +1,15 @@
+"""Benchmark E7: the DMA blind spot (sections 1, 4.2)
+
+Regenerates the counter-placement table artefact; see DESIGN.md section 3 (E7) and
+EXPERIMENTS.md for paper-claim vs. measured discussion.
+"""
+
+from repro.analysis import run_e7
+
+from conftest import record_outcome
+
+
+def test_e7_dma_blindspot(benchmark):
+    outcome = benchmark.pedantic(run_e7, rounds=1, iterations=1)
+    record_outcome(outcome)
+    assert outcome.verdict, outcome.verdict_detail

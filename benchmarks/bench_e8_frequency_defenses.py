@@ -1,0 +1,15 @@
+"""Benchmark E8: frequency-centric defenses (section 4.2)
+
+Regenerates the remap and locking table artefact; see DESIGN.md section 3 (E8) and
+EXPERIMENTS.md for paper-claim vs. measured discussion.
+"""
+
+from repro.analysis import run_e8
+
+from conftest import record_outcome
+
+
+def test_e8_frequency_defenses(benchmark):
+    outcome = benchmark.pedantic(run_e8, rounds=1, iterations=1)
+    record_outcome(outcome)
+    assert outcome.verdict, outcome.verdict_detail

@@ -1,0 +1,15 @@
+"""Benchmark E9: refresh mechanism comparison (section 4.3)
+
+Regenerates the refresh-path table artefact; see DESIGN.md section 3 (E9) and
+EXPERIMENTS.md for paper-claim vs. measured discussion.
+"""
+
+from repro.analysis import run_e9
+
+from conftest import record_outcome
+
+
+def test_e9_refresh_paths(benchmark):
+    outcome = benchmark.pedantic(run_e9, rounds=1, iterations=1)
+    record_outcome(outcome)
+    assert outcome.verdict, outcome.verdict_detail

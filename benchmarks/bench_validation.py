@@ -1,0 +1,17 @@
+"""Methodology validations V1 (scale invariance) and V2 (seed
+invariance): the checks that make every other benchmark's scaled
+numbers trustworthy.  See repro.analysis.validation."""
+
+import pytest
+
+from repro.analysis.validation import VALIDATIONS
+
+from conftest import record_outcome
+
+
+@pytest.mark.parametrize("validation_id", sorted(VALIDATIONS))
+def test_validation(benchmark, validation_id):
+    runner = VALIDATIONS[validation_id]
+    outcome = benchmark.pedantic(runner, rounds=1, iterations=1)
+    record_outcome(outcome)
+    assert outcome.verdict, outcome.verdict_detail

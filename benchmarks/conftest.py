@@ -1,0 +1,19 @@
+"""Benchmark helpers: each experiment bench runs the experiment once
+(pedantic single round — these are simulations, not microbenchmarks),
+prints the resulting tables, and persists them under benchmarks/out/ so
+EXPERIMENTS.md can be regenerated from the artefacts."""
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def record_outcome(outcome):
+    """Print and persist one ExperimentOutcome; return it."""
+    OUT_DIR.mkdir(exist_ok=True)
+    rendered = outcome.render()
+    print()
+    print(rendered)
+    path = OUT_DIR / f"{outcome.experiment_id.lower()}.txt"
+    path.write_text(rendered + "\n")
+    return outcome

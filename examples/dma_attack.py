@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""The DMA blind spot (§1): a tenant hammers through its bus-mastering
+device.  Core performance counters never see the traffic, so an
+ANVIL-style defense sleeps through the attack; the MC's precise ACT
+interrupt (§4.2) sees every activation regardless of origin.
+
+Run:  python examples/dma_attack.py
+"""
+
+from repro.analysis.scenarios import build_scenario, run_attack
+from repro.analysis.tables import Table
+from repro.core.primitives import PrimitiveSet
+from repro.defenses import AnvilDefense, TargetedRefreshDefense
+from repro.sim import legacy_platform
+
+
+def run_case(label, config, defenses, use_dma):
+    scenario = build_scenario(
+        config, defenses=defenses, interleaved_allocation=True
+    )
+    result = run_attack(scenario, "double-sided", use_dma=use_dma)
+    suspicions = 0
+    for defense in scenario.defenses:
+        suspicions += defense.counters.get("suspicions", 0)
+        suspicions += defense.counters.get("interrupts", 0)
+    return (
+        label,
+        "DMA" if use_dma else "core",
+        result.cross_domain_flips,
+        suspicions,
+        scenario.system.controller.stats.dma_requests,
+    )
+
+
+def main():
+    legacy = legacy_platform(scale=64)
+    with_primitives = legacy.with_primitives(PrimitiveSet.proposed())
+
+    table = Table(
+        "DMA-based Rowhammer vs counter placement",
+        ("defense", "attack_via", "cross_domain_flips",
+         "defense_activity", "dma_requests"),
+    )
+    table.add(*run_case("none", legacy, [], use_dma=True))
+    table.add(*run_case("anvil (core PMU)", legacy, [AnvilDefense()],
+                        use_dma=False))
+    table.add(*run_case("anvil (core PMU)", legacy, [AnvilDefense()],
+                        use_dma=True))
+    table.add(*run_case("targeted-refresh (MC interrupt)", with_primitives,
+                        [TargetedRefreshDefense()], use_dma=True))
+    table.add_note("ANVIL's counters never fire on DMA traffic (§1); "
+                   "the MC counter is after the point where core and "
+                   "device traffic merge (§4.2)")
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

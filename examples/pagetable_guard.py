@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Protecting what matters most: page tables (the Seaborn/Dullien
+privilege-escalation target [47], the SoftTRR [62] use case).
+
+A hypervisor cannot afford full-memory refresh defenses on every box,
+but a flipped page-table permission bit hands an attacker the host.
+With the precise ACT interrupt, guarding just the page-table frames is
+a few lines of policy — and costs nothing when nobody hammers them.
+
+Run:  python examples/pagetable_guard.py
+"""
+
+from repro.analysis.scenarios import build_scenario, run_attack
+from repro.analysis.tables import Table
+from repro.core.primitives import PrimitiveSet
+from repro.defenses import CriticalRowGuardDefense
+from repro.sim import legacy_platform
+
+
+def run_case(guard_pagetables):
+    config = legacy_platform(scale=64).with_primitives(PrimitiveSet.proposed())
+    defense = CriticalRowGuardDefense()
+    # the "victim" tenant plays the role of the hypervisor's page-table
+    # pages; the attacker is a co-located hostile VM
+    scenario = build_scenario(
+        config, defenses=[defense], interleaved_allocation=True,
+    )
+    if guard_pagetables:
+        defense.protect_domain(scenario.victim)
+    result = run_attack(scenario, "double-sided")
+    return (
+        "guarded" if guard_pagetables else "unguarded",
+        result.cross_domain_flips,
+        defense.counters.get("protected_refreshes", 0),
+        defense.counters.get("interrupts_ignored", 0),
+    )
+
+
+def main():
+    table = Table(
+        "page-table frames under double-sided hammering",
+        ("page_tables", "flips_in_page_tables", "guard_refreshes",
+         "interrupts_ignored_as_not_ours"),
+    )
+    table.add(*run_case(guard_pagetables=False))
+    table.add(*run_case(guard_pagetables=True))
+    table.add_note("scoped guarding: full protection for the asset that "
+                   "yields privilege escalation, zero refresh budget "
+                   "spent anywhere else")
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

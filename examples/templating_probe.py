@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Hammer templating with real read-back (§2.1/§4.1): the prober writes a
+pattern into its own memory, hammers sub-critical double-sided pairs,
+reads every byte back, and infers the module's hidden internal layout —
+no simulator oracle involved.
+
+Run:  python examples/templating_probe.py   (takes ~30 s)
+"""
+
+from repro.analysis.tables import Table
+from repro.attacks import AdjacencyProber
+from repro.sim import build_system, legacy_platform
+
+
+def main():
+    # A module with two hidden manufacturing remaps
+    system = build_system(legacy_platform(scale=64, mapping="linear"))
+    prober_domain = system.create_domain("prober", pages=160)
+    system.device.remapper.swap(0, 10, 40)   # hidden from software
+    system.device.remapper.swap(0, 22, 55)
+
+    prober = AdjacencyProber(system, prober_domain, use_data_plane=True)
+    report = prober.probe_bank((0, 0, 0))
+
+    table = Table(
+        "what pure read-back templating recovered (bank 0)",
+        ("quantity", "value"),
+    )
+    table.add("rows probed", len(report.observations))
+    table.add("hammer accesses spent", report.hammer_accesses)
+    table.add("suspected remapped rows", sorted(report.suspected_remapped))
+    table.add("suspected subarray boundaries (after row)",
+              sorted(report.suspected_boundaries))
+    table.add("ground truth remaps", [10, 22, 40, 55])
+    table.add("ground truth boundary", [63])
+    print(table.render())
+    print()
+    print("Method: write 0xAA everywhere; hammer each (r, r+2) pair at "
+          "0.75x MAC per side (only doubly-pressured middles can flip); "
+          "read back; classify runs of missing flips.  See "
+          "repro.attacks.adjacency for the classifier.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""repro — a behavioural reproduction of "Stop! Hammer Time: Rethinking
+Our Approach to Rowhammer Mitigations" (HotOS '21).
+
+The package builds the evaluation the paper defers to future work:
+
+* :mod:`repro.dram` — a behavioural DRAM device with Rowhammer physics;
+* :mod:`repro.mc` — the memory controller, including the three proposed
+  primitives (subarray-isolated interleaving, precise ACT interrupts,
+  the targeted-refresh back-end);
+* :mod:`repro.cpu` — LLC with line locking, MMU, the proposed ISA;
+* :mod:`repro.hostos` — trust domains, isolation-aware allocation,
+  enclave semantics;
+* :mod:`repro.core` — the paper's taxonomy and primitive capability set;
+* :mod:`repro.defenses` — the proposed software defenses and every
+  baseline the paper positions against;
+* :mod:`repro.attacks` — hammering patterns, DMA attacks, adjacency
+  inference;
+* :mod:`repro.workloads`, :mod:`repro.sim`, :mod:`repro.analysis` — the
+  experiment machinery.
+
+Quickstart::
+
+    from repro import build_system, proposed_platform
+    from repro.attacks import AttackPlanner, Attacker
+
+    system = build_system(proposed_platform())
+    victim = system.create_domain("victim-vm", pages=8)
+    attacker = system.create_domain("attacker-vm", pages=8)
+    plan = AttackPlanner(system, attacker).plan(victim, "double-sided")
+    print("attack has a target:", plan.viable)   # False: isolated
+"""
+
+from repro.core import (
+    AttackCondition,
+    MissingPrimitiveError,
+    MitigationClass,
+    Primitive,
+    PrimitiveSet,
+)
+from repro.sim import (
+    DomainHandle,
+    Engine,
+    RunMetrics,
+    System,
+    SystemConfig,
+    build_system,
+    collect_metrics,
+    ideal_platform,
+    legacy_platform,
+    proposed_platform,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttackCondition",
+    "DomainHandle",
+    "Engine",
+    "MissingPrimitiveError",
+    "MitigationClass",
+    "Primitive",
+    "PrimitiveSet",
+    "RunMetrics",
+    "System",
+    "SystemConfig",
+    "build_system",
+    "collect_metrics",
+    "ideal_platform",
+    "legacy_platform",
+    "proposed_platform",
+    "__version__",
+]

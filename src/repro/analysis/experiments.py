@@ -1,0 +1,1461 @@
+"""The experiment suite: one entry per quantifiable claim in the paper.
+
+The paper is a position paper; its evaluation is deferred to future work
+(§4: "We plan to precisely evaluate the benefits/drawbacks of these
+defenses in future work").  This module *is* that evaluation, scoped to
+a behavioural simulator.  Each ``run_eN`` function returns an
+:class:`ExperimentOutcome` holding the claim under test, the measured
+tables/series, and a boolean verdict; benchmarks and EXPERIMENTS.md are
+generated from these.
+
+See DESIGN.md §3 for the experiment index, including which paper
+section/artefact each experiment reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.attacks import (
+    AdjacencyProber,
+    Attacker,
+    AttackPlanner,
+    EvasiveAttacker,
+)
+from repro.analysis.scenarios import (
+    Scenario,
+    build_scenario,
+    run_attack,
+    run_benign,
+)
+from repro.analysis.tables import Table, render_series
+from repro.core.primitives import (
+    MissingPrimitiveError,
+    Primitive,
+    PrimitiveSet,
+)
+from repro.core.taxonomy import TABLE_1, MitigationClass
+from repro.defenses import (
+    AggressorRemapDefense,
+    AnvilDefense,
+    BankPartitionDefense,
+    BlockHammerDefense,
+    CacheLineLockingDefense,
+    GrapheneDefense,
+    GuardRowsDefense,
+    ParaDefense,
+    SubarrayIsolationDefense,
+    TargetedRefreshDefense,
+    TwiceDefense,
+    VendorTrr,
+)
+from repro.hostos.allocator import AllocationPolicy
+from repro.hostos.enclave import SystemLockupError
+from repro.mc.controller import MemoryRequest
+from repro.sim import (
+    SystemConfig,
+    build_system,
+    ideal_platform,
+    legacy_platform,
+    proposed_platform,
+)
+from repro.workloads import WorkloadRunner
+
+
+@dataclass
+class ExperimentOutcome:
+    """One experiment's artefacts."""
+
+    experiment_id: str
+    title: str
+    claim: str
+    tables: List[Table] = field(default_factory=list)
+    figures: List[str] = field(default_factory=list)
+    verdict: bool = False
+    verdict_detail: str = ""
+
+    def render(self) -> str:
+        parts = [
+            f"### {self.experiment_id}: {self.title}",
+            f"claim: {self.claim}",
+        ]
+        parts.extend(table.render() for table in self.tables)
+        parts.extend(self.figures)
+        status = "REPRODUCED" if self.verdict else "NOT reproduced"
+        parts.append(f"verdict: {status} — {self.verdict_detail}")
+        return "\n\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# E1 — Table 1: each primitive enables its defense class
+# ----------------------------------------------------------------------
+
+def run_e1(scale: int = 64) -> ExperimentOutcome:
+    """For each Table-1 row: the attack succeeds undefended, the software
+    defense cannot even attach without its primitive, and with the
+    primitive the defense eliminates cross-domain flips."""
+    table = Table(
+        "E1 / paper Table 1 — primitive -> software defense matrix",
+        (
+            "class", "mc_primitive", "software_defense",
+            "flips_undefended", "attach_without_primitive",
+            "flips_with_defense",
+        ),
+    )
+    rows_config = [
+        (
+            MitigationClass.ISOLATION,
+            "subarray-isolated interleaving",
+            "subarray-aware allocation",
+            lambda: (proposed_platform(scale=scale), SubarrayIsolationDefense()),
+        ),
+        (
+            MitigationClass.FREQUENCY,
+            "precise ACT interrupt",
+            "aggressor remapping",
+            lambda: (
+                legacy_platform(scale=scale).with_primitives(
+                    PrimitiveSet.proposed()
+                ),
+                AggressorRemapDefense(),
+            ),
+        ),
+        (
+            MitigationClass.FREQUENCY,
+            "precise ACT interrupt + line locking",
+            "cache line locking",
+            lambda: (
+                legacy_platform(scale=scale).with_primitives(
+                    PrimitiveSet.proposed()
+                ),
+                CacheLineLockingDefense(),
+            ),
+        ),
+        (
+            MitigationClass.REFRESH,
+            "CPU refresh instruction",
+            "software victim refresh",
+            lambda: (
+                legacy_platform(scale=scale).with_primitives(
+                    PrimitiveSet.proposed()
+                ),
+                TargetedRefreshDefense(),
+            ),
+        ),
+    ]
+    all_ok = True
+    for mitigation_class, primitive_name, defense_name, make in rows_config:
+        # 1) undefended baseline on legacy hardware
+        baseline = build_scenario(legacy_platform(scale=scale))
+        base_result = run_attack(baseline, "double-sided")
+        undefended = base_result.cross_domain_flips
+
+        # 2) the defense refuses to attach on legacy hardware
+        _config, defense_for_legacy = make()
+        legacy_system = build_system(legacy_platform(scale=scale))
+        try:
+            defense_for_legacy.attach(legacy_system)
+            attach_fails = False
+        except MissingPrimitiveError:
+            attach_fails = True
+        except RuntimeError:
+            attach_fails = True  # policy prerequisites also absent
+
+        # 3) with the primitive, the defense stops the attack
+        config, defense = make()
+        scenario = build_scenario(config, defenses=[defense])
+        result = run_attack(scenario, "double-sided")
+        defended = result.cross_domain_flips
+
+        row_ok = undefended > 0 and attach_fails and defended == 0
+        all_ok = all_ok and row_ok
+        table.add(
+            mitigation_class.value, primitive_name, defense_name,
+            undefended, "refused" if attach_fails else "ATTACHED",
+            defended,
+        )
+    table.add_note(
+        "paper Table 1 rows checked as executable facts; 'refused' = "
+        "MissingPrimitiveError on today's hardware"
+    )
+    return ExperimentOutcome(
+        experiment_id="E1",
+        title="Table 1 as executable matrix",
+        claim="each proposed MC primitive enables exactly the software "
+              "defense class the paper pairs with it (Table 1)",
+        tables=[table],
+        verdict=all_ok,
+        verdict_detail="every row: attack lands undefended, defense "
+                       "unattachable without primitive, 0 cross-domain "
+                       "flips with it" if all_ok else "see table",
+    )
+
+
+# ----------------------------------------------------------------------
+# E2 — Fig. 1: row-buffer semantics
+# ----------------------------------------------------------------------
+
+def run_e2(scale: int = 64) -> ExperimentOutcome:
+    """Row-buffer hit/miss/conflict latencies behave as §2.1 describes."""
+    system = build_system(legacy_platform(scale=scale))
+    timings = system.timings
+    mapper = system.mapper
+    controller = system.controller
+    geometry = system.geometry
+
+    # craft three access situations on one bank
+    from repro.dram.geometry import DdrAddress
+
+    line_row0 = mapper.ddr_to_line(DdrAddress(0, 0, 0, 0, 0))
+    line_row0_c1 = mapper.ddr_to_line(DdrAddress(0, 0, 0, 0, 1))
+    line_row1 = mapper.ddr_to_line(DdrAddress(0, 0, 0, 1, 0))
+
+    first = controller.submit(MemoryRequest(time_ns=0, physical_line=line_row0))
+    hit = controller.submit(
+        MemoryRequest(time_ns=first.ready_at_ns, physical_line=line_row0_c1)
+    )
+    conflict = controller.submit(
+        MemoryRequest(time_ns=hit.ready_at_ns, physical_line=line_row1)
+    )
+
+    table = Table(
+        "E2 / paper Fig. 1 — row buffer behaviour",
+        ("situation", "expected_ns", "measured_ns", "outcome"),
+    )
+    expected_miss = timings.row_closed_latency + timings.tBL
+    expected_hit = timings.row_hit_latency + timings.tBL
+    expected_conflict = timings.row_conflict_latency + timings.tBL
+    table.add("first touch (bank precharged)", expected_miss,
+              first.latency_ns, first.buffer_outcome)
+    table.add("same row, next column", expected_hit, hit.latency_ns,
+              hit.buffer_outcome)
+    table.add("other row, same bank", expected_conflict,
+              conflict.latency_ns, conflict.buffer_outcome)
+
+    ok = (
+        first.buffer_outcome == "miss"
+        and hit.buffer_outcome == "hit"
+        and conflict.buffer_outcome == "conflict"
+        and hit.latency_ns < first.latency_ns < conflict.latency_ns
+    )
+    table.add_note("ACT connects a row to the bank's row buffer; hits are "
+                   "cheaper than misses, misses than conflicts (§2.1)")
+    return ExperimentOutcome(
+        experiment_id="E2",
+        title="Fig. 1 row-buffer semantics",
+        claim="RDs/WRs that hit in the row buffer are faster than those "
+              "needing an ACT (§2.1/Fig. 1)",
+        tables=[table],
+        verdict=ok,
+        verdict_detail="hit < miss < conflict latency ordering measured",
+    )
+
+
+# ----------------------------------------------------------------------
+# E3 — Fig. 2 / §4.1: interleaving vs isolation
+# ----------------------------------------------------------------------
+
+def run_e3(scale: int = 64, accesses: int = 12_000) -> ExperimentOutcome:
+    """Throughput of mapping x policy combinations on an irregular
+    workload, and whether a double-sided attack still lands."""
+    prims = PrimitiveSet.proposed()
+    combos: List[Tuple[str, SystemConfig, Optional[Callable]]] = [
+        (
+            "interleave/default",
+            legacy_platform(scale=scale, mapping="cacheline-interleave"),
+            None,
+        ),
+        (
+            "permutation/default",
+            legacy_platform(scale=scale, mapping="permutation-interleave"),
+            None,
+        ),
+        (
+            "no-interleave/default",
+            legacy_platform(scale=scale, mapping="linear"),
+            None,
+        ),
+        (
+            "no-interleave/bank-partition",
+            legacy_platform(
+                scale=scale, mapping="linear",
+                allocation_policy=AllocationPolicy.BANK_PARTITION,
+            ),
+            BankPartitionDefense,
+        ),
+        (
+            "no-interleave/guard-rows",
+            legacy_platform(
+                scale=scale, mapping="linear",
+                allocation_policy=AllocationPolicy.GUARD_ROWS,
+            ),
+            GuardRowsDefense,
+        ),
+        (
+            "subarray-isolated (paper)",
+            proposed_platform(scale=scale),
+            SubarrayIsolationDefense,
+        ),
+    ]
+    table = Table(
+        "E3 / paper Fig. 2 + section 4.1 — interleaving vs isolation",
+        ("configuration", "pointer_chase_lines_per_us", "slowdown_vs_interleave",
+         "cross_domain_flips", "isolated"),
+    )
+    baseline_throughput = None
+    interleave_tp = None
+    isolated_tp = None
+    flips_by_combo = {}
+    for label, config, defense_cls in combos:
+        defenses = [defense_cls()] if defense_cls else []
+        metrics, elapsed = run_benign(
+            config, defenses=defenses, workload="pointer_chase",
+            accesses=accesses, tenants=2, mlp=8,
+        )
+        throughput = metrics.requests * 1000.0 / max(1.0, elapsed)
+        if baseline_throughput is None:
+            baseline_throughput = throughput
+            interleave_tp = throughput
+        if label.startswith("subarray"):
+            isolated_tp = throughput
+        slowdown = baseline_throughput / throughput if throughput else float("inf")
+        attack_defenses = [defense_cls()] if defense_cls else []
+        scenario = build_scenario(config, defenses=attack_defenses)
+        attack = run_attack(scenario, "double-sided")
+        flips_by_combo[label] = attack.cross_domain_flips
+        table.add(
+            label, round(throughput, 2), round(slowdown, 3),
+            attack.cross_domain_flips, attack.cross_domain_flips == 0,
+        )
+    table.add_note("pointer-chase, 2 tenants, MLP 8 — the irregular load "
+                   "where bank-level parallelism matters most (§4.1)")
+    interleave_leaks = flips_by_combo.get("interleave/default", 0) > 0
+    subarray_isolates = flips_by_combo.get("subarray-isolated (paper)", 1) == 0
+    subarray_keeps_perf = (
+        isolated_tp is not None
+        and interleave_tp is not None
+        and isolated_tp >= 0.8 * interleave_tp
+    )
+    verdict = interleave_leaks and subarray_isolates and subarray_keeps_perf
+    return ExperimentOutcome(
+        experiment_id="E3",
+        title="Fig. 2 subarray-isolated interleaving",
+        claim="subarray-isolated interleaving keeps interleaving's "
+              "performance while isolating domains; disabling "
+              "interleaving for isolation costs substantial throughput "
+              "(>18% cited in §4.1)",
+        tables=[table],
+        verdict=verdict,
+        verdict_detail=(
+            f"subarray-isolated at {isolated_tp and interleave_tp and round(100*isolated_tp/interleave_tp,1)}% "
+            "of interleaved throughput with 0 cross-domain flips; "
+            "no-interleave variants pay the §4.1 penalty"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# E4 — taxonomy audit: defense class x attack matrix
+# ----------------------------------------------------------------------
+
+def run_e4(scale: int = 64, full: bool = False) -> ExperimentOutcome:
+    """Defense x attack matrix verifying the taxonomy's coverage claims:
+    isolation stops cross- but not intra-domain flips; frequency and
+    refresh stop both; ANVIL misses DMA."""
+    prims_cfg = legacy_platform(scale=scale).with_primitives(PrimitiveSet.proposed())
+    defense_rows: List[Tuple[str, Callable[[], Sequence], SystemConfig]] = [
+        ("none", lambda: [], legacy_platform(scale=scale)),
+        ("subarray-isolation", lambda: [SubarrayIsolationDefense()],
+         proposed_platform(scale=scale)),
+        ("aggressor-remap", lambda: [AggressorRemapDefense()], prims_cfg),
+        ("targeted-refresh", lambda: [TargetedRefreshDefense()], prims_cfg),
+        ("anvil", lambda: [AnvilDefense()], legacy_platform(scale=scale)),
+        ("vendor-trr", lambda: [VendorTrr(n_trackers=4)],
+         legacy_platform(scale=scale)),
+    ]
+    if full:
+        defense_rows.extend([
+            ("blockhammer", lambda: [BlockHammerDefense()],
+             legacy_platform(scale=scale)),
+            ("para", lambda: [ParaDefense(probability=0.02, refresh_radius=2)],
+             legacy_platform(scale=scale)),
+            ("graphene", lambda: [GrapheneDefense()],
+             legacy_platform(scale=scale)),
+            ("twice", lambda: [TwiceDefense()], legacy_platform(scale=scale)),
+            ("line-locking", lambda: [CacheLineLockingDefense()], prims_cfg),
+            ("guard-rows", lambda: [GuardRowsDefense()],
+             legacy_platform(
+                 scale=scale, mapping="linear",
+                 allocation_policy=AllocationPolicy.GUARD_ROWS,
+             )),
+        ])
+    attacks = (
+        ("double-sided", dict(pattern="double-sided")),
+        ("many-sided(8)", dict(pattern="many-sided", sides=8)),
+        ("dma", dict(pattern="double-sided", use_dma=True)),
+        ("intra-domain", dict(pattern="double-sided", intra_domain=True)),
+    )
+    table = Table(
+        "E4 — taxonomy audit (cross-domain flips; intra column counts "
+        "attacker-self flips)",
+        ("defense",) + tuple(name for name, _ in attacks),
+    )
+    cells: Dict[Tuple[str, str], int] = {}
+    for defense_name, make_defenses, config in defense_rows:
+        row_values = [defense_name]
+        for attack_name, kwargs in attacks:
+            scenario = build_scenario(
+                config, defenses=make_defenses(), interleaved_allocation=True
+            )
+            result = run_attack(scenario, **kwargs)
+            count = (
+                result.intra_domain_flips
+                if attack_name == "intra-domain"
+                else result.cross_domain_flips
+            )
+            cells[(defense_name, attack_name)] = count
+            row_values.append(count)
+        table.add(*row_values)
+    table.add_note("interleaved tenant allocation (8-page slabs) so "
+                   "many-sided patterns have targets")
+    checks = [
+        cells[("none", "double-sided")] > 0,
+        cells[("subarray-isolation", "double-sided")] == 0,
+        cells[("subarray-isolation", "dma")] == 0,
+        cells[("subarray-isolation", "intra-domain")] > 0,  # §2.2 caveat
+        cells[("aggressor-remap", "double-sided")] == 0,
+        cells[("aggressor-remap", "dma")] == 0,
+        cells[("targeted-refresh", "double-sided")] == 0,
+        cells[("targeted-refresh", "dma")] == 0,
+        cells[("anvil", "double-sided")] == 0,
+        cells[("anvil", "dma")] > 0,  # the §1 blind spot
+    ]
+    return ExperimentOutcome(
+        experiment_id="E4",
+        title="taxonomy coverage matrix",
+        claim="each mitigation class eliminates exactly its attack "
+              "condition: isolation leaves intra-domain flips (§2.2); "
+              "counter-based software without MC support misses DMA (§1)",
+        tables=[table],
+        verdict=all(checks),
+        verdict_detail=f"{sum(checks)}/{len(checks)} taxonomy predictions held",
+    )
+
+
+# ----------------------------------------------------------------------
+# E5 — density scaling (§3)
+# ----------------------------------------------------------------------
+
+GENERATION_ORDER = ("ddr3-old", "ddr3-new", "ddr4-old", "ddr4-new",
+                    "lpddr4", "future")
+
+
+def run_e5(scale: int = 64, generations: Sequence[str] = GENERATION_ORDER
+           ) -> ExperimentOutcome:
+    """Sweep DRAM generations: fixed-capacity hardware defenses leak on
+    dense nodes while the software defense adapts; tracker cost of the
+    exact in-MC defense grows as MAC falls.
+
+    ``scale`` is a cap: each generation actually runs at
+    ``scale_for(preset, cap=scale)`` so the scaled MAC never drops low
+    enough for scaling artefacts (see presets.scale_for).
+    """
+    from repro.dram.presets import by_name as preset_by_name, scale_for
+
+    prims = PrimitiveSet.proposed()
+    table = Table(
+        "E5 / section 3 — density scaling (cross-domain flips per window)",
+        ("generation", "mac", "blast_radius", "undefended",
+         "vendor_trr(fixed)", "para(fixed r=1)", "targeted-refresh(sw)",
+         "graphene_entries_needed"),
+    )
+    curves: Dict[str, List[Tuple[str, float]]] = {
+        "undefended": [], "vendor-trr": [], "para": [], "software": [],
+    }
+    sized_entries: List[Tuple[str, float]] = []
+    software_safe = True
+    fixed_hw_leaks_on_dense = False
+    for generation in generations:
+        gen_scale = scale_for(preset_by_name(generation), cap=scale)
+        base_cfg = legacy_platform(scale=gen_scale, generation=generation)
+        sw_cfg = base_cfg.with_primitives(prims)
+        preset_mac = build_system(base_cfg).profile.mac
+        radius = build_system(base_cfg).profile.blast_radius
+
+        sides = max(4, radius * 4)
+
+        def strongest(config, make_defenses):
+            """An adaptive attacker probes comb spacings and keeps the
+            best one — how TRRespass-style attacks tune against a
+            blackbox defense."""
+            best = 0
+            for spacing in (2, 4):
+                scenario = build_scenario(
+                    config, defenses=make_defenses(),
+                    interleaved_allocation=True,
+                )
+                flips = run_attack(
+                    scenario, "many-sided", sides=sides, spacing=spacing,
+                ).cross_domain_flips
+                best = max(best, flips)
+            return best
+
+        undefended = strongest(base_cfg, lambda: [])
+        trr = strongest(
+            base_cfg, lambda: [VendorTrr(n_trackers=4, refresh_radius=1)]
+        )
+        para = strongest(
+            base_cfg, lambda: [ParaDefense(probability=0.02, refresh_radius=1)]
+        )
+        software = strongest(sw_cfg, lambda: [TargetedRefreshDefense()])
+
+        sizing_system = build_system(base_cfg)
+        graphene = GrapheneDefense()
+        entries = graphene.required_entries(sizing_system)
+
+        table.add(generation, preset_mac, radius, undefended, trr, para,
+                  software, entries)
+        curves["undefended"].append((generation, undefended))
+        curves["vendor-trr"].append((generation, trr))
+        curves["para"].append((generation, para))
+        curves["software"].append((generation, software))
+        sized_entries.append((generation, entries))
+        software_safe = software_safe and software == 0
+        if generation in ("lpddr4", "future") and (trr > 0 or para > 0):
+            fixed_hw_leaks_on_dense = True
+    figure = render_series(
+        "E5 figure — Graphene tracker entries needed per bank vs generation",
+        sized_entries, x_label="generation", y_label="entries",
+    )
+    old = sized_entries[0][1]
+    new = sized_entries[-1][1]
+    cost_grows = new > old
+    verdict = software_safe and fixed_hw_leaks_on_dense and cost_grows
+    return ExperimentOutcome(
+        experiment_id="E5",
+        title="density scaling of defenses",
+        claim="denser DRAM (lower MAC, larger blast radius) defeats "
+              "fixed-capacity hardware defenses and inflates exact-"
+              "tracker SRAM, while software defenses adapt (§3)",
+        tables=[table],
+        figures=[figure],
+        verdict=verdict,
+        verdict_detail=(
+            f"software 0 flips on all generations: {software_safe}; "
+            f"fixed TRR/PARA leak on dense nodes: {fixed_hw_leaks_on_dense}; "
+            f"Graphene entries {old} -> {new} per bank"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# E6 — TRR bypass with > n aggressors (§3)
+# ----------------------------------------------------------------------
+
+def run_e6(scale: int = 64, n_trackers: int = 4,
+           sides_sweep: Sequence[int] = (1, 2, 4, 6, 8, 12, 16),
+           ) -> ExperimentOutcome:
+    """Sweep attack sides past the TRR tracker size and watch the cliff."""
+    points: List[Tuple[int, int]] = []
+    table = Table(
+        f"E6 / section 3 — TRRespass shape against TRR(n={n_trackers})",
+        ("attack_sides", "aggressors_tracked?", "cross_domain_flips"),
+    )
+    for sides in sides_sweep:
+        scenario = build_scenario(
+            legacy_platform(scale=scale),
+            defenses=[VendorTrr(n_trackers=n_trackers, refresh_radius=2)],
+            interleaved_allocation=True,
+            victim_pages=320,
+            attacker_pages=320,
+        )
+        result = run_attack(scenario, "many-sided", sides=sides)
+        actual_sides = result.plan.sides
+        flips = result.cross_domain_flips
+        points.append((actual_sides, flips))
+        table.add(actual_sides, actual_sides <= n_trackers, flips)
+    protected = [flips for sides, flips in points if sides <= n_trackers]
+    bypassed = [flips for sides, flips in points if sides > n_trackers]
+    verdict = (
+        bool(protected) and all(f == 0 for f in protected)
+        and bool(bypassed) and any(f > 0 for f in bypassed)
+    )
+    figure = render_series(
+        "E6 figure — flips vs attack sides (TRR cliff)",
+        points, x_label="sides", y_label="flips",
+    )
+    return ExperimentOutcome(
+        experiment_id="E6",
+        title="TRR bypass with many-sided hammering",
+        claim="in-DRAM TRR tracking n aggressors is bypassed with > n "
+              "aggressors (§3, citing TRRespass)",
+        tables=[table],
+        figures=[figure],
+        verdict=verdict,
+        verdict_detail=f"0 flips at sides<=n, flips at sides>n: {verdict}",
+    )
+
+
+# ----------------------------------------------------------------------
+# E7 — the DMA blind spot (§1 / §4.2)
+# ----------------------------------------------------------------------
+
+def run_e7(scale: int = 64) -> ExperimentOutcome:
+    """DMA hammering bypasses core-counter defenses but not MC-counter
+    defenses."""
+    prims_cfg = legacy_platform(scale=scale).with_primitives(PrimitiveSet.proposed())
+    cases = [
+        ("none", legacy_platform(scale=scale), lambda: []),
+        ("anvil (core counters)", legacy_platform(scale=scale),
+         lambda: [AnvilDefense()]),
+        ("targeted-refresh (MC interrupt)", prims_cfg,
+         lambda: [TargetedRefreshDefense()]),
+        ("aggressor-remap (MC interrupt)", prims_cfg,
+         lambda: [AggressorRemapDefense()]),
+    ]
+    table = Table(
+        "E7 / section 1 — DMA-based hammering vs counter placement",
+        ("defense", "core_attack_flips", "dma_attack_flips"),
+    )
+    cells = {}
+    for label, config, make in cases:
+        core_res = run_attack(
+            build_scenario(config, defenses=make(), interleaved_allocation=True),
+            "double-sided", use_dma=False,
+        )
+        dma_res = run_attack(
+            build_scenario(config, defenses=make(), interleaved_allocation=True),
+            "double-sided", use_dma=True,
+        )
+        cells[label] = (core_res.cross_domain_flips, dma_res.cross_domain_flips)
+        table.add(label, core_res.cross_domain_flips, dma_res.cross_domain_flips)
+    table.add_note("ANVIL relies on performance counters that do not "
+                   "account for DMAs (§1); the MC's ACT counter sees all "
+                   "traffic (§4.2)")
+    verdict = (
+        cells["none"][1] > 0
+        and cells["anvil (core counters)"][0] == 0
+        and cells["anvil (core counters)"][1] > 0
+        and cells["targeted-refresh (MC interrupt)"][1] == 0
+        and cells["aggressor-remap (MC interrupt)"][1] == 0
+    )
+    return ExperimentOutcome(
+        experiment_id="E7",
+        title="DMA blind spot of core-counter defenses",
+        claim="performance-counter defenses (ANVIL) leave the system "
+              "vulnerable to DMA-based Rowhammer; MC-level precise ACT "
+              "interrupts cover DMA (§1, §4.2)",
+        tables=[table],
+        verdict=verdict,
+        verdict_detail="ANVIL stops core attack but not DMA; MC-interrupt "
+                       "defenses stop both" if verdict else "see table",
+    )
+
+
+# ----------------------------------------------------------------------
+# E8 — frequency-centric defenses in depth (§4.2)
+# ----------------------------------------------------------------------
+
+def run_e8(scale: int = 64) -> ExperimentOutcome:
+    """Aggressor remapping and line locking: protection plus their
+    distinct cost signatures (moves vs locks)."""
+    prims_cfg = legacy_platform(scale=scale).with_primitives(PrimitiveSet.proposed())
+    table = Table(
+        "E8 / section 4.2 — frequency-centric software defenses",
+        ("defense", "cross_flips", "pages_moved", "lines_locked",
+         "locks_blocked_flushes", "attacker_acts"),
+    )
+    rows = {}
+    for label, make in (
+        ("none", lambda: []),
+        ("aggressor-remap", lambda: [AggressorRemapDefense()]),
+        ("line-locking", lambda: [CacheLineLockingDefense()]),
+    ):
+        scenario = build_scenario(prims_cfg, defenses=make(),
+                                  interleaved_allocation=True)
+        result = run_attack(scenario, "double-sided")
+        counters: Dict[str, int] = {}
+        for defense in scenario.defenses:
+            counters.update(defense.counters)
+        acts = scenario.system.device.total_acts()
+        rows[label] = (result.cross_domain_flips, counters, acts)
+        table.add(
+            label, result.cross_domain_flips,
+            counters.get("pages_moved", 0) + counters.get("fallback_moves", 0),
+            counters.get("lines_locked", 0),
+            scenario.system.core.blocked_flushes,
+            acts,
+        )
+    none_flips, _c0, none_acts = rows["none"]
+    remap_flips, remap_counters, _a1 = rows["aggressor-remap"]
+    lock_flips, lock_counters, lock_acts = rows["line-locking"]
+    verdict = (
+        none_flips > 0
+        and remap_flips == 0
+        and remap_counters.get("pages_moved", 0) > 0
+        and lock_flips == 0
+        and lock_counters.get("lines_locked", 0) > 0
+        and lock_acts < none_acts  # locking starves the hammer of ACTs
+    )
+    table.add_note("locking absorbs the hammer in the LLC (blocked "
+                   "flushes, fewer DRAM ACTs); remapping wear-levels "
+                   "pages under the attacker")
+    return ExperimentOutcome(
+        experiment_id="E8",
+        title="ACT interrupt -> remap / lock defenses",
+        claim="with precise ACT interrupts, software can remap aggressor "
+              "pages or lock hot lines, preventing >MAC activation (§4.2)",
+        tables=[table],
+        verdict=verdict,
+        verdict_detail="both defenses reach 0 cross-domain flips with "
+                       "their expected cost signatures" if verdict else "see table",
+    )
+
+
+# ----------------------------------------------------------------------
+# E9 — refresh paths (§4.3)
+# ----------------------------------------------------------------------
+
+def run_e9(scale: int = 64, victims: int = 24) -> ExperimentOutcome:
+    """Refresh a fixed victim set through the three mechanisms under
+    row-buffer interference; compare reliability and cost."""
+    results = []
+    for path in ("flush+load", "refresh-instruction", "ref-neighbors"):
+        config = ideal_platform(scale=scale) if path == "ref-neighbors" else (
+            legacy_platform(scale=scale).with_primitives(PrimitiveSet.proposed())
+        )
+        if path == "ref-neighbors":
+            config = legacy_platform(scale=scale).with_primitives(
+                PrimitiveSet.ideal()
+            )
+        system = build_system(config)
+        tenant = system.create_domain("tenant", pages=64)
+        noise = WorkloadRunner(system, tenant, name="zipfian", mlp=2, seed=3)
+
+        # choose victim rows and preload pressure so "did it reset?" is
+        # observable through the oracle
+        rows = sorted(tenant.rows())[: victims]
+        tracker = system.device.tracker
+        for row in rows:
+            tracker._pressure[row] = float(system.profile.mac - 1)
+
+        now = 0
+        commands = 0
+        confirmed = 0
+
+        for row in rows:
+            # interleave noise to keep row buffers busy (the hazard of
+            # section 4.3)
+            now = noise.step(now)
+            line = system.some_line_in_row(row)
+            if line is None:
+                continue
+            if path == "flush+load":
+                # The contortion: flush, fence, load - and hope the load
+                # misses the row buffer into an ACT.  The MC tells
+                # software nothing; ``caused_act`` is the oracle's view,
+                # which real software does not get.
+                system.cache.flush(line)
+                completed = system.controller.submit(
+                    MemoryRequest(time_ns=now, physical_line=line)
+                )
+                now = completed.ready_at_ns
+                commands += 3  # flush + implied command sequence
+                if completed.caused_act:
+                    confirmed += 1
+            elif path == "refresh-instruction":
+                now = system.isa.refresh_physical(system.host_context, line, now)
+                commands += 2  # PRE + ACT, architecturally guaranteed
+                confirmed += 1
+            else:
+                now = system.isa.ref_neighbors(
+                    system.host_context, line, system.profile.blast_radius, now
+                )
+                commands += 1  # one command covers the whole neighbourhood
+                confirmed += 1
+        results.append((path, commands, confirmed, now))
+
+    table = Table(
+        "E9 / section 4.3 — refresh mechanism comparison",
+        ("path", "commands_issued", "hardware_confirmed_refreshes",
+         "out_of", "elapsed_us"),
+    )
+    confirmed_by_path = {}
+    for path, commands, confirmed, finished in results:
+        confirmed_by_path[path] = confirmed
+        table.add(path, commands, confirmed, victims, round(finished / 1000, 1))
+    table.add_note("a flush+load absorbed by an open row buffer performs "
+                   "no ACT and software cannot tell (the imprecision of "
+                   "section 4.3); the refresh instruction's PRE+ACT is "
+                   "architectural, and REF_NEIGHBORS covers a whole "
+                   "neighbourhood per command")
+    verdict = (
+        confirmed_by_path["refresh-instruction"] == victims
+        and confirmed_by_path["ref-neighbors"] == victims
+        and confirmed_by_path["flush+load"] < victims
+    )
+    return ExperimentOutcome(
+        experiment_id="E9",
+        title="software refresh paths",
+        claim="a refresh instruction is reliable and cheap where the "
+              "flush+load contortion is convoluted and unreliable; "
+              "REF_NEIGHBORS is the ideal (§4.3)",
+        tables=[table],
+        verdict=verdict,
+                verdict_detail=f"hardware-confirmed refreshes: {confirmed_by_path}",
+    )
+
+
+# ----------------------------------------------------------------------
+# E10 — randomized counter resets vs evasion (§4.2)
+# ----------------------------------------------------------------------
+
+def run_e10(scale: int = 64) -> ExperimentOutcome:
+    """A threshold-evading attacker wins against fixed counter resets
+    and loses against jittered ones."""
+    table = Table(
+        "E10 / section 4.2 — counter-reset randomization vs evasion",
+        ("reset_policy", "cross_domain_flips", "aggressor_acts",
+         "decoy_acts"),
+    )
+    outcomes = {}
+    for label, jitter_fraction in (("fixed", 0.0), ("randomized", 0.25)):
+        config = legacy_platform(scale=scale).with_primitives(
+            PrimitiveSet.proposed()
+        )
+        defense = TargetedRefreshDefense(
+            interrupt_fraction=0.125, jitter_fraction=jitter_fraction
+        )
+        scenario = build_scenario(config, defenses=[defense],
+                                  interleaved_allocation=True)
+        system = scenario.system
+        planner = AttackPlanner(system, scenario.attacker)
+        plan = planner.plan(scenario.victim, "double-sided")
+        threshold = next(iter(system.controller.counters.values())).threshold
+        decoys = _decoy_lines(planner, plan)
+        attacker = EvasiveAttacker(
+            system, scenario.attacker, plan, decoys,
+            believed_threshold=threshold,
+        )
+        result = attacker.run(duration_ns=system.timings.tREFW)
+        outcomes[label] = result
+        table.add(label, result.cross_domain_flips, result.aggressor_acts,
+                  result.decoy_acts)
+    table.add_note("the attacker paces aggressor ACTs below the believed "
+                   "threshold and absorbs each overflow with decoy rows; "
+                   "jitter makes the overflow land unpredictably (§4.2)")
+    verdict = (
+        outcomes["fixed"].cross_domain_flips > 0
+        and outcomes["randomized"].cross_domain_flips
+        < outcomes["fixed"].cross_domain_flips
+    )
+    return ExperimentOutcome(
+        experiment_id="E10",
+        title="counter-reset randomization",
+        claim="randomness in counter reset values prevents attackers "
+              "from avoiding detection (§4.2)",
+        tables=[table],
+        verdict=verdict,
+        verdict_detail=(
+            f"fixed: {outcomes['fixed'].cross_domain_flips} flips, "
+            f"randomized: {outcomes['randomized'].cross_domain_flips}"
+        ),
+    )
+
+
+def _decoy_lines(planner: AttackPlanner, plan) -> List[int]:
+    """Two attacker lines in one bank, far from the planned victims."""
+    system = planner.system
+    radius = system.profile.blast_radius
+    victim_rows = set(plan.expected_victim_rows)
+    by_bank: Dict[Tuple[int, int, int], List[int]] = {}
+    for row_key, line in sorted(planner._line_by_row.items()):
+        distance = min(
+            (abs(row_key[3] - v[3]) for v in victim_rows if v[:3] == row_key[:3]),
+            default=1 << 30,
+        )
+        if distance > radius + 2:
+            by_bank.setdefault(row_key[:3], []).append(line)
+    for lines in by_bank.values():
+        if len(lines) >= 2:
+            return lines[:2]
+    raise RuntimeError("no decoy rows available for the evasion scenario")
+
+
+# ----------------------------------------------------------------------
+# E11 — adjacency / subarray inference and the remap audit (§4.1)
+# ----------------------------------------------------------------------
+
+def run_e11(scale: int = 64, remap_fraction: float = 0.08) -> ExperimentOutcome:
+    """Hammer templating recovers internal remaps and subarray
+    boundaries; the audit restores subarray isolation under remaps.
+
+    Boundary and remap inference are probed on separate modules (one
+    remap-free, one remapped): when a sparse remap happens to sit right
+    on a boundary the two signals merge into one ambiguous run of
+    missing flips, which real templating campaigns resolve by probing
+    other banks — out of scope for one experiment.
+    """
+    from repro.dram.geometry import DdrAddress
+
+    # Probe 1: subarray boundaries on a remap-free module
+    clean_cfg = legacy_platform(scale=scale, mapping="linear")
+    clean_system = build_system(clean_cfg)
+    clean_handle = clean_system.create_domain("prober", pages=320)
+    clean_prober = AdjacencyProber(clean_system, clean_handle)
+    bank_key = (0, 0, 0)
+    clean_report = clean_prober.probe_bank(bank_key)
+    clean_owned = set(clean_prober.owned_rows_in_bank(bank_key))
+    geometry = clean_system.geometry
+    truth_boundaries = {
+        row for row in clean_owned
+        if (row + 1) in clean_owned
+        and not geometry.same_subarray(row, row + 1)
+    }
+    found_boundaries = clean_report.suspected_boundaries & truth_boundaries
+    boundary_recall = (
+        len(found_boundaries) / len(truth_boundaries) if truth_boundaries else 1.0
+    )
+
+    # Probe 2: internal remaps on a remapped module
+    probe_cfg = legacy_platform(
+        scale=scale, mapping="linear", remap_fraction=remap_fraction,
+    )
+    system = build_system(probe_cfg)
+    prober_handle = system.create_domain("prober", pages=160)
+    prober = AdjacencyProber(system, prober_handle)
+    report = prober.probe_bank(bank_key)
+    bank_index = system.geometry.bank_index(DdrAddress(0, 0, 0, 0, 0))
+    owned = set(prober.owned_rows_in_bank(bank_key))
+    truth_remapped = {
+        row for row in system.device.remapper.remapped_rows(bank_index)
+        if row in owned
+    }
+    inferred = report.suspected_remapped & owned
+    true_positives = len(inferred & truth_remapped)
+    precision = true_positives / len(inferred) if inferred else 1.0
+    recall = true_positives / len(truth_remapped) if truth_remapped else 1.0
+
+    inference_table = Table(
+        "E11a / section 4.1 — hammer-templating inference accuracy",
+        ("quantity", "value"),
+    )
+    inference_table.add("rows probed (boundary + remap passes)",
+                        len(clean_report.observations) + len(report.observations))
+    inference_table.add(
+        "hammer accesses spent",
+        clean_report.hammer_accesses + report.hammer_accesses,
+    )
+    inference_table.add("remapped rows (truth, probed set)", len(truth_remapped))
+    inference_table.add("remap recall", round(recall, 3))
+    inference_table.add("remap precision", round(precision, 3))
+    inference_table.add("subarray boundaries (truth, probed set)",
+                        len(truth_boundaries))
+    inference_table.add("boundary recall", round(boundary_recall, 3))
+
+    # Part 2: remaps break subarray isolation; the audit repairs it.
+    # Two crafted cross-subarray swaps (deterministic, unlike the random
+    # swaps above) place attacker rows internally adjacent to victim
+    # data — the precise §4.1 threat.
+    audit_table = Table(
+        "E11b — subarray isolation under DRAM-internal remaps",
+        ("configuration", "cross_domain_flips"),
+    )
+    flips_by_case = {}
+    for label, audited in (("remaps, no audit", False),
+                           ("remaps + inferred-map audit", True)):
+        cfg = proposed_platform(scale=scale)
+        defense = SubarrayIsolationDefense()
+        scenario = build_scenario(cfg, defenses=[defense],
+                                  victim_pages=96, attacker_pages=96)
+        _craft_cross_subarray_swaps(scenario, swaps=2)
+        if audited:
+            sys2 = scenario.system
+            pairs = []
+            for b in range(sys2.geometry.banks_total):
+                for row in sys2.device.remapper.remapped_rows(b):
+                    pairs.append((b, row))
+            defense.audit_internal_remaps(pairs)
+        result = _blind_hammer(scenario)
+        flips_by_case[label] = result
+        audit_table.add(label, result)
+    audit_table.add_note("the audit feeds inferred internal remaps back "
+                         "into allocation, evacuating frames whose rows "
+                         "escape their subarray (§4.1)")
+    verdict = (
+        recall >= 0.5
+        and boundary_recall >= 0.5
+        and flips_by_case["remaps, no audit"] > 0
+        and flips_by_case["remaps + inferred-map audit"] == 0
+    )
+    return ExperimentOutcome(
+        experiment_id="E11",
+        title="subarray inference and remap audit",
+        claim="internal adjacency/subarray boundaries are inferable from "
+              "software via hammer success/failure, and inferred maps "
+              "restore subarray isolation under internal remaps (§4.1)",
+        tables=[inference_table, audit_table],
+        verdict=verdict,
+        verdict_detail=(
+            f"remap recall {recall:.2f}, boundary recall "
+            f"{boundary_recall:.2f}; unaudited flips "
+            f"{flips_by_case['remaps, no audit']}, audited flips "
+            f"{flips_by_case['remaps + inferred-map audit']}"
+        ),
+    )
+
+
+def _craft_cross_subarray_swaps(scenario: Scenario, swaps: int = 2) -> int:
+    """Swap attacker logical rows into internal slots adjacent to victim
+    rows in the victim's subarray (the §4.1 isolation-breaking remap)."""
+    system = scenario.system
+    geometry = system.geometry
+    remapper = system.device.remapper
+    planner_rows = sorted(scenario.attacker.rows())
+    victim_rows = sorted(scenario.victim.rows())
+    done = 0
+    used_slots = set()
+    used_aggressors = set()
+    for (channel, rank, bank, attacker_row) in planner_rows:
+        if done >= swaps:
+            break
+        if (channel, rank, bank, attacker_row) in used_aggressors:
+            continue
+        for (vc, vr, vb, victim_row) in victim_rows:
+            if (vc, vr, vb) != (channel, rank, bank):
+                continue
+            slot = victim_row + 1
+            slot_key = (channel, rank, bank, slot)
+            if slot_key in used_slots:
+                continue
+            if slot >= geometry.rows_per_bank:
+                continue
+            if not geometry.same_subarray(victim_row, slot):
+                continue
+            if slot_key in scenario.victim.rows() or slot_key in scenario.attacker.rows():
+                continue
+            from repro.dram.geometry import DdrAddress
+
+            bank_index = geometry.bank_index(
+                DdrAddress(channel, rank, bank, 0, 0)
+            )
+            remapper.swap(bank_index, attacker_row, slot)
+            used_slots.add(slot_key)
+            used_aggressors.add((channel, rank, bank, attacker_row))
+            done += 1
+            break
+    return done
+
+
+def _blind_hammer(scenario: Scenario) -> int:
+    """The attacker hammers every row it owns, pairing each row with a
+    same-bank buddy so the alternation forces real ACTs (it cannot see
+    where the remaps are); returns cross-domain flips."""
+    system = scenario.system
+    planner = AttackPlanner(system, scenario.attacker)
+    by_bank: Dict[Tuple[int, int, int], List[Tuple[Tuple[int, int, int, int], int]]] = {}
+    for row_key, line in sorted(planner._line_by_row.items()):
+        by_bank.setdefault(row_key[:3], []).append((row_key, line))
+    now = 0
+    budget = max(1, int(system.profile.mac * 0.9))
+    for bank, entries in by_bank.items():
+        if len(entries) < 2:
+            continue
+        half = len(entries) // 2
+        for index, (_row, line) in enumerate(entries):
+            buddy_line = entries[(index + half) % len(entries)][1]
+            for _ in range(budget):
+                for hammer_line in (line, buddy_line):
+                    outcome = system.core.hammer_access(
+                        scenario.attacker.asid, hammer_line, now
+                    )
+                    now = outcome.done_at_ns
+            system.drain_flips()
+    return len(system.cross_domain_flips())
+
+
+# ----------------------------------------------------------------------
+# E12 — enclave memory (§4.4)
+# ----------------------------------------------------------------------
+
+def run_e12(scale: int = 64) -> ExperimentOutcome:
+    """Integrity-checked enclaves degrade Rowhammer to DoS; unchecked
+    enclaves corrupt silently; the paper's defenses remove both."""
+    table = Table(
+        "E12 / section 4.4 — enclave regimes under attack",
+        ("configuration", "flips_in_enclave", "outcome"),
+    )
+    from repro.defenses import EnclaveGuardDefense
+
+    outcomes = {}
+    cases = (
+        ("integrity-checked, undefended", True,
+         legacy_platform(scale=scale), []),
+        ("unchecked, undefended", False,
+         legacy_platform(scale=scale), []),
+        ("unchecked, subarray-isolated", False,
+         proposed_platform(scale=scale),
+         [SubarrayIsolationDefense()]),
+        ("unchecked, enclave-guard", False,
+         legacy_platform(scale=scale).with_primitives(PrimitiveSet.proposed()),
+         [EnclaveGuardDefense()]),
+    )
+    for label, integrity, config, defenses in cases:
+        scenario = build_scenario(
+            config, defenses=defenses, victim_enclave=True,
+            enclave_integrity=integrity, interleaved_allocation=True,
+        )
+        run_attack(scenario, "double-sided")
+        system = scenario.system
+        enclave = system.enclaves[scenario.victim.asid]
+        # the enclave now touches all of its rows (integrity check on
+        # access, §4.4)
+        outcome = "clean"
+        try:
+            for row in sorted(scenario.victim.rows()):
+                enclave.access_row(row)
+        except SystemLockupError:
+            outcome = "system lockup (DoS)"
+        if enclave.silent_corruptions:
+            outcome = f"{enclave.silent_corruptions} silent corruptions"
+        flips_in_enclave = sum(
+            1 for flip in system.all_flips()
+            if scenario.victim.asid in flip.victim_domains
+        )
+        outcomes[label] = (flips_in_enclave, outcome)
+        table.add(label, flips_in_enclave, outcome)
+    verdict = (
+        outcomes["integrity-checked, undefended"][0] > 0
+        and "lockup" in outcomes["integrity-checked, undefended"][1]
+        and "corruption" in outcomes["unchecked, undefended"][1]
+        and outcomes["unchecked, subarray-isolated"][1] == "clean"
+        and outcomes["unchecked, enclave-guard"][1] == "clean"
+    )
+    return ExperimentOutcome(
+        experiment_id="E12",
+        title="enclave memory semantics",
+        claim="with integrity checking, Rowhammer on enclaves only causes "
+              "denial-of-service; without it, silent corruption — unless "
+              "the proposed defenses (isolation, or enclave-forwarded "
+              "interrupts with a refresh grant) protect the enclave (§4.4)",
+        tables=[table],
+        verdict=verdict,
+        verdict_detail=str({k: v[1] for k, v in outcomes.items()}),
+    )
+
+
+# ----------------------------------------------------------------------
+# E13 — overhead summary on benign multi-tenant workloads
+# ----------------------------------------------------------------------
+
+def run_e13(scale: int = 8, accesses: int = 10_000,
+            workloads: Sequence[str] = ("random", "zipfian"),
+            pages: int = 128,
+            ) -> ExperimentOutcome:
+    """Benign-workload cost of every defense: slowdown, extra DRAM work,
+    and static hardware budget.
+
+    Runs at a gentler scale than the attack experiments: benign work is
+    a fixed access count (wall time is scale-independent), while
+    interrupt/throttle thresholds derive from the scaled MAC — a small
+    scale keeps the defense reaction rates proportionate to real
+    hardware instead of magnifying them (DESIGN.md section 3)."""
+    prims_cfg = legacy_platform(scale=scale).with_primitives(PrimitiveSet.proposed())
+    cases: List[Tuple[str, SystemConfig, Callable[[], Sequence]]] = [
+        ("none", legacy_platform(scale=scale), lambda: []),
+        ("vendor-trr", legacy_platform(scale=scale),
+         lambda: [VendorTrr(n_trackers=4)]),
+        ("para", legacy_platform(scale=scale),
+         lambda: [ParaDefense(probability=0.02, refresh_radius=2)]),
+        ("blockhammer", legacy_platform(scale=scale),
+         lambda: [BlockHammerDefense()]),
+        ("graphene", legacy_platform(scale=scale), lambda: [GrapheneDefense()]),
+        ("anvil", legacy_platform(scale=scale), lambda: [AnvilDefense()]),
+        ("subarray-isolation", proposed_platform(scale=scale),
+         lambda: [SubarrayIsolationDefense()]),
+        ("aggressor-remap", prims_cfg, lambda: [AggressorRemapDefense()]),
+        ("line-locking", prims_cfg, lambda: [CacheLineLockingDefense()]),
+        ("targeted-refresh", prims_cfg, lambda: [TargetedRefreshDefense()]),
+        ("bank-partition", legacy_platform(
+            scale=scale, mapping="linear",
+            allocation_policy=AllocationPolicy.BANK_PARTITION),
+         lambda: [BankPartitionDefense()]),
+    ]
+    table = Table(
+        "E13 — benign multi-tenant overhead of every defense",
+        ("defense", "workload", "slowdown", "extra_acts_pct",
+         "sram_kbits", "moves", "extra_refreshes"),
+    )
+    baselines: Dict[str, Tuple[float, int]] = {}
+    slowdowns: Dict[str, List[float]] = {}
+    for workload in workloads:
+        metrics, elapsed = run_benign(
+            legacy_platform(scale=scale), workload=workload,
+            accesses=accesses, pages=pages,
+        )
+        baselines[workload] = (elapsed, metrics.acts)
+    for label, config, make in cases:
+        for workload in workloads:
+            defenses = make()
+            metrics, elapsed = run_benign(
+                config, defenses=defenses, workload=workload,
+                accesses=accesses, pages=pages,
+            )
+            base_elapsed, base_acts = baselines[workload]
+            slowdown = elapsed / base_elapsed if base_elapsed else 0.0
+            extra_acts = (
+                100.0 * (metrics.acts - base_acts) / base_acts
+                if base_acts
+                else 0.0
+            )
+            slowdowns.setdefault(label, []).append(slowdown)
+            table.add(
+                label, workload, round(slowdown, 3),
+                round(extra_acts, 1),
+                round(metrics.defense_sram_bits / 1024.0, 1),
+                metrics.uncore_moves,
+                metrics.targeted_refreshes + metrics.neighbor_refresh_commands,
+            )
+    subarray_cheap = max(slowdowns.get("subarray-isolation", [9.9])) < 1.15
+    partition_costly = max(slowdowns.get("bank-partition", [0.0])) > max(
+        slowdowns.get("subarray-isolation", [0.0])
+    )
+    software_moderate = max(slowdowns.get("targeted-refresh", [9.9])) < 2.0
+    verdict = subarray_cheap and partition_costly and software_moderate
+    table.add_note("slowdown is fixed-work elapsed-time ratio vs the "
+                   "undefended interleaved baseline, same workload/seed")
+    return ExperimentOutcome(
+        experiment_id="E13",
+        title="defense overhead summary",
+        claim="the proposed defenses protect at modest benign-workload "
+              "cost, unlike isolation-by-disabling-interleaving (§4.1) "
+              "or scaling-hostile hardware trackers (§3)",
+        tables=[table],
+        verdict=verdict,
+        verdict_detail=(
+            f"subarray-isolation max slowdown "
+            f"{max(slowdowns.get('subarray-isolation', [0])):.3f}; "
+            f"bank-partition "
+            f"{max(slowdowns.get('bank-partition', [0])):.3f}"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# E14 — what DRAM cooperation buys (§5)
+# ----------------------------------------------------------------------
+
+def run_e14(scale: int = 64) -> ExperimentOutcome:
+    """Quantify the long-term world of section 5: the same defenses on the
+    CPU-only proposed platform vs. the ideal platform where DRAM vendors
+    cooperate (REF_NEIGHBORS command, disclosed subarray maps)."""
+    # Part 1: refresh-centric defense cost per protected window.
+    cost_table = Table(
+        "E14a / section 5 — targeted refresh: CPU-only vs DRAM-assisted",
+        ("platform", "cross_flips", "victim_refresh_instructions",
+         "ref_neighbors_commands", "defense_dram_commands"),
+    )
+    command_cost = {}
+    for label, prims in (
+        ("proposed (CPU-only)", PrimitiveSet.proposed()),
+        ("ideal (+REF_NEIGHBORS)", PrimitiveSet.ideal()),
+    ):
+        config = legacy_platform(scale=scale).with_primitives(prims)
+        defense = TargetedRefreshDefense()
+        scenario = build_scenario(
+            config, defenses=[defense], interleaved_allocation=True
+        )
+        result = run_attack(scenario, "many-sided", sides=8)
+        stats = scenario.system.controller.stats
+        # refresh instruction = PRE+ACT(+PRE) ~ 3 commands per victim;
+        # REF_NEIGHBORS = 1 command per aggressor neighbourhood
+        commands = stats.targeted_refreshes * 3 + stats.neighbor_refresh_commands
+        command_cost[label] = commands
+        cost_table.add(
+            label, result.cross_domain_flips, stats.targeted_refreshes,
+            stats.neighbor_refresh_commands, commands,
+        )
+    cost_table.add_note("same interrupts, same protection; DRAM "
+                        "cooperation collapses per-victim PRE+ACT+PRE "
+                        "sequences into one command per neighbourhood "
+                        "that also resolves internal adjacency itself")
+
+    # Part 2: subarray-map acquisition — vendor disclosure vs hammering.
+    from repro.attacks import AdjacencyProber
+
+    probe_cfg = legacy_platform(scale=scale, mapping="linear")
+    probe_system = build_system(probe_cfg)
+    probe_handle = probe_system.create_domain("prober", pages=160)
+    prober = AdjacencyProber(probe_system, probe_handle)
+    report = prober.probe_bank((0, 0, 0))
+    inferred_cost = report.hammer_accesses
+
+    map_table = Table(
+        "E14b / section 5 — subarray-map acquisition cost (one bank)",
+        ("source", "hammer_accesses_required", "boundaries_found"),
+    )
+    geometry = probe_system.geometry
+    owned = set(prober.owned_rows_in_bank((0, 0, 0)))
+    truth = {
+        row for row in owned
+        if (row + 1) in owned and not geometry.same_subarray(row, row + 1)
+    }
+    map_table.add("vendor disclosure (ideal)", 0, len(truth))
+    map_table.add(
+        "hammer templating (today)", inferred_cost,
+        len(report.suspected_boundaries & truth),
+    )
+    map_table.add_note("the information is identical; only the "
+                       "acquisition cost differs — section 5's argument "
+                       "for demanding disclosure from DRAM vendors")
+
+    both_protect = all(
+        row[1] == 0 for row in cost_table.rows
+    )
+    cheaper = (
+        command_cost["ideal (+REF_NEIGHBORS)"]
+        < command_cost["proposed (CPU-only)"]
+    )
+    found_all = (
+        report.suspected_boundaries & truth == truth if truth else True
+    )
+    verdict = both_protect and cheaper and inferred_cost > 0 and found_all
+    return ExperimentOutcome(
+        experiment_id="E14",
+        title="the value of DRAM-vendor cooperation",
+        claim="CPU-only primitives suffice for protection, but DRAM "
+              "cooperation (REF_NEIGHBORS, disclosed subarray maps) makes "
+              "the same defenses cheaper — the section 5 outlook",
+        tables=[cost_table, map_table],
+        verdict=verdict,
+        verdict_detail=(
+            f"defense DRAM commands {command_cost}; map acquisition "
+            f"0 vs {inferred_cost} hammer accesses"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# E15 — ECC under hammering (related-work claim the paper builds on)
+# ----------------------------------------------------------------------
+
+def run_e15(scale: int = 64, draws: int = 2000) -> ExperimentOutcome:
+    """ECC memory under Rowhammer: SEC-DED corrects singles, crashes on
+    doubles, and lets crafted multi-bit flips through silently — the
+    Cojocar et al. [12] result the paper's threat model builds on."""
+    import random as _random
+
+    from repro.dram import ecc
+
+    # Part 1: classify the flips of a real undefended attack (uniform
+    # bit placement across the victim line's eight ECC words).
+    scenario = build_scenario(
+        legacy_platform(scale=scale), interleaved_allocation=True
+    )
+    attack = run_attack(scenario, "double-sided")
+    rng = _random.Random(42)
+    attack_outcomes = {outcome: 0 for outcome in ecc.EccOutcome}
+    for flip in scenario.system.all_flips():
+        words = [0] * 8  # 64-byte line = 8 ECC words
+        for _ in range(flip.flipped_bits):
+            words[rng.randrange(8)] += 1
+        line_outcome, _per_word = ecc.classify_line_flips(words, rng)
+        attack_outcomes[line_outcome] += 1
+
+    attack_table = Table(
+        "E15a — ECC verdicts for one window of real attack flips",
+        ("outcome", "flip_events"),
+    )
+    for outcome in ecc.EccOutcome:
+        attack_table.add(outcome.value, attack_outcomes[outcome])
+    attack_table.add_note("uniform bit placement; real attacks tune data "
+                          "patterns to cluster flips (part b)")
+
+    # Part 2: outcome probabilities vs bits-per-event and placement.
+    sweep_table = Table(
+        "E15b — ECC outcome distribution vs flips per event (percent)",
+        ("bits_per_event", "placement", "corrected", "detected_crash",
+         "silent_corruption"),
+    )
+    silent_seen = {}
+    for bits in (1, 2, 3, 4, 6):
+        for placement in ("uniform", "clustered"):
+            counts = {outcome: 0 for outcome in ecc.EccOutcome}
+            rng = _random.Random(1000 + bits)
+            for _ in range(draws):
+                if placement == "clustered":
+                    words = [bits] + [0] * 7  # the crafted-pattern case
+                else:
+                    words = [0] * 8
+                    for _ in range(bits):
+                        words[rng.randrange(8)] += 1
+                line_outcome, _pw = ecc.classify_line_flips(words, rng)
+                counts[line_outcome] += 1
+            corrected = 100.0 * counts[ecc.EccOutcome.CORRECTED] / draws
+            detected = 100.0 * counts[ecc.EccOutcome.DETECTED] / draws
+            silent = 100.0 * counts[ecc.EccOutcome.SILENT] / draws
+            silent_seen[(bits, placement)] = silent
+            sweep_table.add(bits, placement, round(corrected, 1),
+                            round(detected, 1), round(silent, 1))
+    sweep_table.add_note("SEC-DED per 64-bit word: singles corrected, "
+                         "doubles crash (DoS), >=3 in one word can alias "
+                         "into silent corruption — ECC alone is not a "
+                         "Rowhammer defense")
+    verdict = (
+        attack.cross_domain_flips > 0
+        # singles and doubles never corrupt silently (the ECC guarantee)
+        and silent_seen[(1, "uniform")] == 0.0
+        and silent_seen[(1, "clustered")] == 0.0
+        and silent_seen[(2, "clustered")] == 0.0
+        # the crafted odd-multibit case is overwhelmingly silent —
+        # Cojocar et al.'s headline (even counts trip overall parity
+        # instead, turning the attack into a crash/DoS)
+        and silent_seen[(3, "clustered")] > 50.0
+        # and even untargeted placement leaks some silent corruption as
+        # flips per event grow
+        and silent_seen[(6, "uniform")] > silent_seen[(3, "uniform")] > 0.0
+    )
+    return ExperimentOutcome(
+        experiment_id="E15",
+        title="ECC memory under Rowhammer",
+        claim="server ECC corrects single-bit flips and crashes on "
+              "doubles, but crafted multi-bit flips corrupt silently "
+              "(Cojocar et al. [12], part of the paper's case that "
+              "existing safety nets do not close the problem)",
+        tables=[attack_table, sweep_table],
+        verdict=verdict,
+        verdict_detail=(
+            f"silent%% at (3, clustered): "
+            f"{silent_seen[(3, 'clustered')]:.1f}, at (6, clustered): "
+            f"{silent_seen[(6, 'clustered')]:.1f}"
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentOutcome]] = {
+    "E1": run_e1,
+    "E2": run_e2,
+    "E3": run_e3,
+    "E4": run_e4,
+    "E5": run_e5,
+    "E6": run_e6,
+    "E7": run_e7,
+    "E8": run_e8,
+    "E9": run_e9,
+    "E10": run_e10,
+    "E11": run_e11,
+    "E12": run_e12,
+    "E13": run_e13,
+    "E14": run_e14,
+    "E15": run_e15,
+}
+
+
+def run_all(scale: int = 64) -> List[ExperimentOutcome]:
+    """Run the full suite (several minutes of simulation)."""
+    return [run(scale=scale) for run in EXPERIMENTS.values()]

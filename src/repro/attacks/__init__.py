@@ -1,0 +1,19 @@
+"""Rowhammer attacks: planning (layout knowledge), execution (core or
+DMA hammering), and adjacency/subarray inference by templating."""
+
+from repro.attacks.adjacency import AdjacencyProber, ProbeReport
+from repro.attacks.attacker import Attacker, AttackResult
+from repro.attacks.evasion import EvasionResult, EvasiveAttacker
+from repro.attacks.patterns import PATTERN_NAMES, AttackPlan, AttackPlanner
+
+__all__ = [
+    "AdjacencyProber",
+    "AttackPlan",
+    "AttackPlanner",
+    "AttackResult",
+    "Attacker",
+    "EvasionResult",
+    "EvasiveAttacker",
+    "PATTERN_NAMES",
+    "ProbeReport",
+]

@@ -1,0 +1,146 @@
+"""Attack execution: drive a plan through the core or a DMA engine.
+
+The executor is deliberately dumb — it just hammers the planned lines in
+rotation as fast as the machine allows — because that *is* the attack:
+everything clever (layout knowledge) lives in the planner, and every
+obstacle (throttling, locking, remapping, refreshes) manifests as the
+machine slowing the loop down or the flips not happening.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.attacks.patterns import AttackPlan
+from repro.cpu.mmu import TranslationError
+from repro.dram.disturbance import BitFlip
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.system import DomainHandle, System
+
+
+@dataclass
+class AttackResult:
+    """What an attack run achieved and what it cost."""
+
+    plan: AttackPlan
+    hammer_iterations: int
+    started_ns: int
+    finished_ns: int
+    flips: List[BitFlip]
+
+    @property
+    def duration_ns(self) -> int:
+        return self.finished_ns - self.started_ns
+
+    @property
+    def cross_domain_flips(self) -> int:
+        return sum(1 for flip in self.flips if flip.cross_domain)
+
+    @property
+    def intra_domain_flips(self) -> int:
+        return sum(1 for flip in self.flips if flip.intra_domain)
+
+    @property
+    def succeeded(self) -> bool:
+        """An attack 'succeeds' when it corrupts someone else's data."""
+        return self.cross_domain_flips > 0
+
+
+class Attacker:
+    """Runs one plan from one tenant, via cache-flush loads or DMA."""
+
+    def __init__(
+        self,
+        system: "System",
+        handle: "DomainHandle",
+        plan: AttackPlan,
+        use_dma: bool = False,
+    ) -> None:
+        self.system = system
+        self.handle = handle
+        self.plan = plan
+        self.use_dma = use_dma
+        self._dma = system.dma_engine(handle) if use_dma else None
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+
+    def run(self, duration_ns: int, start_ns: int = 0) -> AttackResult:
+        """Hammer for ``duration_ns`` of simulated time."""
+        if duration_ns < 1:
+            raise ValueError("duration_ns must be >= 1")
+        self.system.drain_flips()
+        flips: List[BitFlip] = []
+        iterations = 0
+        now = start_ns
+        deadline = start_ns + duration_ns
+        while now < deadline and self.plan.viable:
+            now = self._hammer_round(now)
+            iterations += 1
+            flips.extend(self.system.drain_flips())
+        return AttackResult(
+            plan=self.plan,
+            hammer_iterations=iterations,
+            started_ns=start_ns,
+            finished_ns=max(now, start_ns),
+            flips=flips,
+        )
+
+    def run_rounds(self, rounds: int, start_ns: int = 0) -> AttackResult:
+        """Hammer a fixed number of rotation rounds (deterministic work,
+        used by benchmarks)."""
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        self.system.drain_flips()
+        flips: List[BitFlip] = []
+        now = start_ns
+        done = 0
+        for _ in range(rounds):
+            if not self.plan.viable:
+                break
+            now = self._hammer_round(now)
+            done += 1
+            flips.extend(self.system.drain_flips())
+        return AttackResult(
+            plan=self.plan,
+            hammer_iterations=done,
+            started_ns=start_ns,
+            finished_ns=max(now, start_ns),
+            flips=flips,
+        )
+
+    # ------------------------------------------------------------------
+    # Stepping (also the engine-actor interface)
+    # ------------------------------------------------------------------
+
+    def step(self, now: int) -> int:
+        """One rotation over the aggressor lines; returns the new time.
+        This is the quantum the cooperative engine schedules."""
+        return self._hammer_round(now)
+
+    def _hammer_round(self, now: int) -> int:
+        """One rotation over all aggressor lines (honouring per-line
+        weights for Half-Double-style patterns).  A remapped page makes
+        the stale virtual line point somewhere new — which is precisely
+        the wear-leveling defense working; the attacker keeps hammering
+        the same virtual address like the real thing would."""
+        weights = self.plan.weights or (1,) * len(self.plan.aggressor_lines)
+        for virtual_line, weight in zip(self.plan.aggressor_lines, weights):
+            for _ in range(weight):
+                try:
+                    if self._dma is not None:
+                        physical = self.handle.physical_line(virtual_line)
+                        completed = self._dma.transfer(physical, now)
+                        now = completed.ready_at_ns
+                    else:
+                        outcome = self.system.core.hammer_access(
+                            self.handle.asid, virtual_line, now
+                        )
+                        now = outcome.done_at_ns
+                except TranslationError:
+                    # The page vanished (evacuated by a defense).
+                    break
+        return now

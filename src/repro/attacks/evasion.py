@@ -1,0 +1,119 @@
+"""A threshold-evading attacker (the adversary of §4.2's jitter).
+
+Against a *fixed* ACT-counter reset, an attacker who can count its own
+ACTs knows exactly when the next overflow will fire.  It hammers the
+real aggressors for ``threshold - margin`` ACTs, then burns the
+remaining budget on decoy rows so the overflow interrupt reports a
+harmless decoy address — and the defense remaps/refreshes the wrong
+thing forever.
+
+§4.2's countermeasure is to randomize the post-overflow reset: the
+attacker can no longer predict where in its burst the overflow lands,
+so with probability ≈ jitter/threshold each burst the reported address
+is a true aggressor.  Experiment E10 runs this attacker against both
+configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Sequence
+
+from repro.attacks.patterns import AttackPlan
+from repro.cpu.mmu import TranslationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.system import DomainHandle, System
+
+
+@dataclass
+class EvasionResult:
+    """What the evading attacker achieved."""
+
+    aggressor_acts: int
+    decoy_acts: int
+    cross_domain_flips: int
+    finished_ns: int
+
+
+class EvasiveAttacker:
+    """Paces aggressor ACTs below the believed threshold, masking each
+    overflow with decoy ACTs.
+
+    ``believed_threshold`` is what the attacker thinks the counter is
+    programmed to (learnable on fixed-reset hardware by timing interrupt
+    side effects).  ``margin`` is its safety slack.
+    """
+
+    def __init__(
+        self,
+        system: "System",
+        handle: "DomainHandle",
+        plan: AttackPlan,
+        decoy_lines: Sequence[int],
+        believed_threshold: int,
+        margin: int = 2,
+    ) -> None:
+        if len(decoy_lines) < 2:
+            raise ValueError(
+                "need at least two decoy lines (in one bank) to force "
+                "alternating decoy ACTs"
+            )
+        if believed_threshold <= margin:
+            raise ValueError("believed_threshold must exceed margin")
+        self.system = system
+        self.handle = handle
+        self.plan = plan
+        self.decoy_lines = list(decoy_lines)
+        self.believed_threshold = believed_threshold
+        self.margin = margin
+
+    def run(self, duration_ns: int, start_ns: int = 0) -> EvasionResult:
+        """Interleave aggressor and decoy ACTs by *counter phase*.
+
+        The attacker mirrors the MC counter in software: every one of
+        its own ACTs increments the shadow count.  While the shadow is
+        safely below the threshold it hammers aggressors; within
+        ``margin`` of the predicted overflow it switches to decoys so
+        the overflow's reported address is harmless, then wraps the
+        shadow and resumes.  Exact on fixed-reset hardware; thrown off
+        by jittered resets, whose early overflows land mid-aggressor-
+        burst (§4.2).
+        """
+        system = self.system
+        asid = self.handle.asid
+        now = start_ns
+        deadline = start_ns + duration_ns
+        aggressor_acts = 0
+        decoy_acts = 0
+        shadow = 0  # the attacker's estimate of the channel ACT counter
+        aggressor_index = 0
+        decoy_index = 0
+        system.drain_flips()
+        while now < deadline and self.plan.viable:
+            if shadow < self.believed_threshold - self.margin:
+                line = self.plan.aggressor_lines[
+                    aggressor_index % len(self.plan.aggressor_lines)
+                ]
+                aggressor_index += 1
+                try:
+                    now = system.core.hammer_access(asid, line, now).done_at_ns
+                    aggressor_acts += 1
+                    shadow += 1
+                except TranslationError:
+                    continue
+            else:
+                line = self.decoy_lines[decoy_index % len(self.decoy_lines)]
+                decoy_index += 1
+                now = system.core.hammer_access(asid, line, now).done_at_ns
+                decoy_acts += 1
+                shadow += 1
+                if shadow >= self.believed_threshold + self.margin:
+                    shadow -= self.believed_threshold
+        flips = system.drain_flips()
+        return EvasionResult(
+            aggressor_acts=aggressor_acts,
+            decoy_acts=decoy_acts,
+            cross_domain_flips=sum(1 for f in flips if f.cross_domain),
+            finished_ns=now,
+        )

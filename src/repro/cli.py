@@ -1,0 +1,242 @@
+"""Command-line interface: run experiments, mount attacks, emit reports.
+
+Examples::
+
+    python -m repro list
+    python -m repro run E3 E6
+    python -m repro attack --platform legacy --pattern double-sided
+    python -m repro attack --platform proposed --defense subarray-isolation
+    python -m repro report -o report.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.ablations import ABLATIONS
+from repro.analysis.validation import VALIDATIONS
+from repro.analysis.experiments import EXPERIMENTS
+from repro.analysis.report import generate_report
+from repro.analysis.scenarios import build_scenario, run_attack
+from repro.attacks.patterns import PATTERN_NAMES
+from repro.core.primitives import PrimitiveSet
+from repro.defenses import (
+    AggressorRemapDefense,
+    CriticalRowGuardDefense,
+    AnvilDefense,
+    BankPartitionDefense,
+    BlockHammerDefense,
+    CacheLineLockingDefense,
+    GrapheneDefense,
+    GuardRowsDefense,
+    ParaDefense,
+    SamplingTrr,
+    SubarrayIsolationDefense,
+    TargetedRefreshDefense,
+    TwiceDefense,
+    VendorTrr,
+)
+from repro.hostos.allocator import AllocationPolicy
+from repro.sim import (
+    SystemConfig,
+    ideal_platform,
+    legacy_platform,
+    proposed_platform,
+)
+
+#: CLI name -> zero-argument defense factory
+DEFENSE_FACTORIES: Dict[str, Callable] = {
+    "subarray-isolation": SubarrayIsolationDefense,
+    "bank-partition": BankPartitionDefense,
+    "guard-rows": GuardRowsDefense,
+    "aggressor-remap": AggressorRemapDefense,
+    "line-locking": CacheLineLockingDefense,
+    "blockhammer": BlockHammerDefense,
+    "targeted-refresh": TargetedRefreshDefense,
+    "anvil": AnvilDefense,
+    "para": ParaDefense,
+    "graphene": GrapheneDefense,
+    "twice": TwiceDefense,
+    "vendor-trr": VendorTrr,
+    "sampling-trr": SamplingTrr,
+    "critical-row-guard": CriticalRowGuardDefense,
+}
+
+
+def _platform_config(name: str, scale: int, defense: Optional[str]) -> SystemConfig:
+    """Resolve a platform name; special policies follow the defense."""
+    if name == "legacy":
+        config = legacy_platform(scale=scale)
+    elif name == "legacy+primitives":
+        config = legacy_platform(scale=scale).with_primitives(
+            PrimitiveSet.proposed()
+        )
+    elif name == "proposed":
+        config = proposed_platform(scale=scale)
+    elif name == "ideal":
+        config = ideal_platform(scale=scale)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(name)
+    if defense == "bank-partition":
+        config = config.with_mapping("linear").with_policy(
+            AllocationPolicy.BANK_PARTITION
+        )
+    elif defense == "guard-rows":
+        config = config.with_mapping("linear").with_policy(
+            AllocationPolicy.GUARD_ROWS
+        )
+    return config
+
+
+def _first_doc_line(runner) -> str:
+    lines = (runner.__doc__ or "").strip().splitlines()
+    return lines[0] if lines else ""
+
+
+def _cmd_list(args) -> int:
+    print("experiments:")
+    for experiment_id, runner in EXPERIMENTS.items():
+        print(f"  {experiment_id:4s} {_first_doc_line(runner)}")
+    print()
+    print("ablations:")
+    for ablation_id, runner in ABLATIONS.items():
+        print(f"  {ablation_id:4s} {_first_doc_line(runner)}")
+    print()
+    print("validations:")
+    for validation_id, runner in VALIDATIONS.items():
+        print(f"  {validation_id:4s} {_first_doc_line(runner)}")
+    print()
+    print("defenses:", ", ".join(sorted(DEFENSE_FACTORIES)))
+    print("attack patterns:", ", ".join(PATTERN_NAMES))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    registry = {**EXPERIMENTS, **ABLATIONS, **VALIDATIONS}
+    failed = []
+    for experiment_id in args.experiments:
+        key = experiment_id.upper()
+        if key not in registry:
+            print(f"unknown experiment {experiment_id!r}; "
+                  f"known: {', '.join(registry)}", file=sys.stderr)
+            return 2
+        if key.startswith("V"):
+            outcome = registry[key]()  # validations pick their own scales
+        else:
+            outcome = registry[key](scale=args.scale)
+        print(outcome.render())
+        print()
+        if not outcome.verdict:
+            failed.append(key)
+    if failed:
+        print(f"NOT reproduced: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_attack(args) -> int:
+    config = _platform_config(args.platform, args.scale, args.defense)
+    defenses = []
+    if args.defense:
+        defenses.append(DEFENSE_FACTORIES[args.defense]())
+    try:
+        scenario = build_scenario(
+            config,
+            defenses=defenses,
+            interleaved_allocation=not args.contiguous,
+        )
+    except Exception as error:  # surface capability errors readably
+        print(f"cannot build this combination: {error}", file=sys.stderr)
+        return 2
+    result = run_attack(
+        scenario, args.pattern, sides=args.sides,
+        windows=args.windows, use_dma=args.dma,
+    )
+    print(f"pattern:            {result.plan.pattern} "
+          f"({result.plan.sides} aggressor lines)")
+    print(f"plan viable:        {result.plan.viable}")
+    print(f"hammer iterations:  {result.hammer_iterations}")
+    print(f"cross-domain flips: {result.cross_domain_flips}")
+    print(f"intra-domain flips: {result.intra_domain_flips}")
+    for defense in scenario.defenses:
+        if defense.counters:
+            print(f"{defense.name} counters: {defense.counters}")
+    return 0 if (args.expect_flips is None
+                 or (result.cross_domain_flips > 0) == args.expect_flips) else 1
+
+
+def _cmd_report(args) -> int:
+    markdown = generate_report(
+        scale=args.scale,
+        progress=lambda eid: print(f"running {eid}...", file=sys.stderr),
+    )
+    if args.output:
+        with open(args.output, "w") as stream:
+            stream.write(markdown)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(markdown)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Rowhammer mitigation-primitives simulator "
+                    "(HotOS '21 'Stop! Hammer Time' reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments, defenses, patterns")
+
+    run_parser = sub.add_parser("run", help="run experiments by id")
+    run_parser.add_argument("experiments", nargs="+", metavar="EXPERIMENT")
+    run_parser.add_argument("--scale", type=int, default=64)
+
+    attack_parser = sub.add_parser("attack", help="mount one attack")
+    attack_parser.add_argument(
+        "--platform", default="legacy",
+        choices=("legacy", "legacy+primitives", "proposed", "ideal"),
+    )
+    attack_parser.add_argument(
+        "--defense", default=None, choices=sorted(DEFENSE_FACTORIES),
+    )
+    attack_parser.add_argument(
+        "--pattern", default="double-sided", choices=PATTERN_NAMES,
+    )
+    attack_parser.add_argument("--sides", type=int, default=8)
+    attack_parser.add_argument("--windows", type=float, default=1.0)
+    attack_parser.add_argument("--dma", action="store_true")
+    attack_parser.add_argument(
+        "--contiguous", action="store_true",
+        help="allocate tenants contiguously instead of interleaved slabs",
+    )
+    attack_parser.add_argument("--scale", type=int, default=64)
+    attack_parser.add_argument(
+        "--expect-flips", type=lambda v: v.lower() in ("1", "true", "yes"),
+        default=None,
+        help="exit non-zero unless the flip outcome matches (for scripts)",
+    )
+
+    report_parser = sub.add_parser("report", help="run everything, emit markdown")
+    report_parser.add_argument("--scale", type=int, default=64)
+    report_parser.add_argument("-o", "--output", default=None)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "attack": _cmd_attack,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,24 @@
+"""The paper's core contribution as code: the mitigation taxonomy and
+the proposed memory-controller primitives."""
+
+from repro.core.primitives import (
+    MissingPrimitiveError,
+    Primitive,
+    PrimitiveSet,
+)
+from repro.core.taxonomy import (
+    TABLE_1,
+    AttackCondition,
+    DefenseTraits,
+    MitigationClass,
+)
+
+__all__ = [
+    "AttackCondition",
+    "DefenseTraits",
+    "MissingPrimitiveError",
+    "MitigationClass",
+    "Primitive",
+    "PrimitiveSet",
+    "TABLE_1",
+]

@@ -1,0 +1,116 @@
+"""The paper's novel taxonomy of Rowhammer mitigations (§2.2).
+
+A Rowhammer attack needs three conditions simultaneously:
+
+1. **Proximity** — at least one victim row lies within the blast radius
+   of at least one aggressor row;
+2. **Frequency** — some aggressor is activated more than MAC times within
+   a refresh interval;
+3. **Staleness** — the victim is not refreshed before the aggressor
+   surpasses the MAC.
+
+Each viable mitigation eliminates exactly one condition, yielding the
+three classes: *isolation-centric* (kill proximity), *frequency-centric*
+(kill frequency), and *refresh-centric* (kill staleness).  This module
+encodes the taxonomy as data so defenses can declare their class, the
+harness can audit which condition each defense removed, and experiment E4
+can verify the classification is exhaustive and correct.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+class AttackCondition(enum.Enum):
+    """The three necessary conditions of a Rowhammer attack (§2.2)."""
+
+    PROXIMITY = "proximity"  # victim within blast radius of an aggressor
+    FREQUENCY = "frequency"  # aggressor ACTs exceed MAC within a window
+    STALENESS = "staleness"  # victim not refreshed before MAC exceeded
+
+
+class MitigationClass(enum.Enum):
+    """The paper's three mitigation classes, one per condition."""
+
+    ISOLATION = "isolation-centric"
+    FREQUENCY = "frequency-centric"
+    REFRESH = "refresh-centric"
+
+    @property
+    def eliminates(self) -> AttackCondition:
+        """Which attack condition this class removes."""
+        return _CLASS_TO_CONDITION[self]
+
+    @classmethod
+    def for_condition(cls, condition: AttackCondition) -> "MitigationClass":
+        """The class that eliminates ``condition``."""
+        return _CONDITION_TO_CLASS[condition]
+
+
+_CLASS_TO_CONDITION: Dict[MitigationClass, AttackCondition] = {
+    MitigationClass.ISOLATION: AttackCondition.PROXIMITY,
+    MitigationClass.FREQUENCY: AttackCondition.FREQUENCY,
+    MitigationClass.REFRESH: AttackCondition.STALENESS,
+}
+_CONDITION_TO_CLASS = {v: k for k, v in _CLASS_TO_CONDITION.items()}
+
+
+@dataclass(frozen=True)
+class DefenseTraits:
+    """Static classification of one defense implementation.
+
+    ``stops_cross_domain`` / ``stops_intra_domain``: whether the defense,
+    working as designed, prevents flips across / within trust domains.
+    §2.2 notes isolation-centric defenses typically do *not* stop
+    intra-domain disturbance — the taxonomy audit (E4) checks exactly
+    this distinction.
+
+    ``covers_dma``: whether the defense observes DMA-induced ACTs.  The
+    paper's motivating flaw in ANVIL (§1) is ``covers_dma=False``.
+
+    ``location``: where the mechanism lives ("dram", "mc", "software").
+    The paper's thesis is that "software" entries below are only possible
+    given the corresponding MC primitive.
+    """
+
+    mitigation_class: MitigationClass
+    location: str
+    stops_cross_domain: bool = True
+    stops_intra_domain: bool = True
+    covers_dma: bool = True
+    scales_with_density: bool = True
+
+    def __post_init__(self) -> None:
+        if self.location not in ("dram", "mc", "software"):
+            raise ValueError(f"unknown location {self.location!r}")
+
+    @property
+    def eliminated_condition(self) -> AttackCondition:
+        return self.mitigation_class.eliminates
+
+
+#: The paper's Table 1, as data: mitigation class → (MC primitive,
+#: software defense(s), optional DRAM assistance).
+TABLE_1: Tuple[Tuple[MitigationClass, str, Tuple[str, ...], str], ...] = (
+    (
+        MitigationClass.ISOLATION,
+        "Subarray-isolated interleaving",
+        ("Subarray-aware memory allocation",),
+        "Internal subarray mappings",
+    ),
+    (
+        MitigationClass.FREQUENCY,
+        "Precise ACT interrupt event",
+        ("Aggressor remapping", "Cache line locking"),
+        "-",
+    ),
+    (
+        MitigationClass.REFRESH,
+        "CPU refresh instruction",
+        ("Efficient software refresh of victim rows",),
+        "REF_NEIGHBORS command",
+    ),
+)

@@ -1,0 +1,37 @@
+"""CPU-side substrate: LLC with line locking, MMU/TLB, the proposed ISA
+surface (refresh instruction, uncore move), and a cache-bypassing DMA
+engine."""
+
+from repro.cpu.cache import (
+    CacheAccessResult,
+    LockError,
+    SetAssociativeCache,
+)
+from repro.cpu.core import LLC_HIT_LATENCY_NS, AccessOutcome, Core
+from repro.cpu.dma import DmaEngine
+from repro.cpu.isa import (
+    ExecutionContext,
+    IllegalInstructionError,
+    IsaSurface,
+    PrivilegeFaultError,
+)
+from repro.cpu.mmu import Mmu, PageMapping, PageTable, Tlb, TranslationError
+
+__all__ = [
+    "AccessOutcome",
+    "CacheAccessResult",
+    "Core",
+    "DmaEngine",
+    "ExecutionContext",
+    "IllegalInstructionError",
+    "IsaSurface",
+    "LLC_HIT_LATENCY_NS",
+    "LockError",
+    "Mmu",
+    "PageMapping",
+    "PageTable",
+    "PrivilegeFaultError",
+    "SetAssociativeCache",
+    "Tlb",
+    "TranslationError",
+]

@@ -1,0 +1,134 @@
+"""The core-side memory path: loads/stores through the LLC to the MC.
+
+This is the indirection §4.3 complains about: software cannot issue DRAM
+commands; it can only execute loads/stores which *may* miss the cache and
+*may* cause the controller to activate a row.  ``Core.load/store`` model
+that path faithfully — including ``clflush`` + fence, the contortion a
+software-only refresh (or an attacker) needs to force misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cpu.cache import LockError, SetAssociativeCache
+from repro.cpu.mmu import Mmu
+from repro.mc.controller import CompletedRequest, MemoryController, MemoryRequest
+
+#: Latency of an LLC hit, ns (order-of-magnitude realistic; only ratios
+#: against DRAM latencies matter).
+LLC_HIT_LATENCY_NS = 12
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """Result of one core load/store."""
+
+    done_at_ns: int
+    cache_hit: bool
+    served_by_locked: bool
+    memory: Optional[CompletedRequest]  # None when the LLC absorbed it
+
+
+class Core:
+    """A simple core front-end: translate, probe LLC, miss to memory."""
+
+    def __init__(
+        self,
+        mmu: Mmu,
+        cache: SetAssociativeCache,
+        controller: MemoryController,
+    ) -> None:
+        self.mmu = mmu
+        self.cache = cache
+        self.controller = controller
+        self.loads = 0
+        self.stores = 0
+        self.flushes = 0
+        self.blocked_flushes = 0
+
+    # ------------------------------------------------------------------
+    # Loads / stores (virtual addressing, per-domain)
+    # ------------------------------------------------------------------
+
+    def load(self, asid: int, virtual_line: int, now: int) -> AccessOutcome:
+        self.loads += 1
+        return self._access(asid, virtual_line, now, is_write=False)
+
+    def store(self, asid: int, virtual_line: int, now: int) -> AccessOutcome:
+        self.stores += 1
+        return self._access(asid, virtual_line, now, is_write=True)
+
+    def flush(self, asid: int, virtual_line: int, now: int) -> int:
+        """clflush: evict the line from the LLC, writing back if dirty.
+        Returns completion time.  This is how attackers (and the clumsy
+        software-refresh path) guarantee their next access reaches DRAM."""
+        self.flushes += 1
+        physical = self.mmu.translate_line(asid, virtual_line)
+        try:
+            writeback = self.cache.flush(physical)
+        except LockError:
+            # The line is pinned by the locking defense (§4.2): the flush
+            # has no architectural effect and the next load will hit.
+            self.blocked_flushes += 1
+            return now + 1
+        if writeback is not None:
+            completed = self.controller.submit(
+                MemoryRequest(
+                    time_ns=now,
+                    physical_line=writeback,
+                    is_write=True,
+                    domain=asid,
+                )
+            )
+            return completed.ready_at_ns
+        return now + 1  # flush of a clean/absent line is ~free
+
+    def hammer_access(self, asid: int, virtual_line: int, now: int) -> AccessOutcome:
+        """flush + fence + load: the canonical hammering access that
+        forces a DRAM row activation on every iteration."""
+        after_flush = self.flush(asid, virtual_line, now)
+        return self.load(asid, virtual_line, after_flush)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _access(
+        self, asid: int, virtual_line: int, now: int, is_write: bool
+    ) -> AccessOutcome:
+        physical = self.mmu.translate_line(asid, virtual_line)
+        result = self.cache.access(physical, is_write=is_write)
+        if result.hit:
+            return AccessOutcome(
+                done_at_ns=now + LLC_HIT_LATENCY_NS,
+                cache_hit=True,
+                served_by_locked=result.served_by_locked,
+                memory=None,
+            )
+        when = now
+        if result.writeback_line is not None:
+            written = self.controller.submit(
+                MemoryRequest(
+                    time_ns=when,
+                    physical_line=result.writeback_line,
+                    is_write=True,
+                    domain=asid,
+                )
+            )
+            when = written.ready_at_ns
+        completed = self.controller.submit(
+            MemoryRequest(
+                time_ns=when,
+                physical_line=physical,
+                is_write=is_write,
+                domain=asid,
+            )
+        )
+        return AccessOutcome(
+            done_at_ns=completed.ready_at_ns + LLC_HIT_LATENCY_NS,
+            cache_hit=False,
+            served_by_locked=False,
+            memory=completed,
+        )

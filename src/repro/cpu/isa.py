@@ -1,0 +1,148 @@
+"""The ISA surface of the proposed primitives (§4.2–4.3).
+
+``IsaSurface`` is what host-OS (and, in enclave mode, enclave) software
+actually executes.  Each proposed instruction checks two things before
+doing anything, in this order:
+
+1. the simulated hardware exposes the primitive (:class:`PrimitiveSet`),
+   else ``IllegalInstructionError`` — running the paper's software on
+   today's hardware must fail loudly, not silently no-op;
+2. the executing context is privileged where the paper requires it
+   (``refresh`` is host-privileged because its ACT side effect could
+   itself be abused to hammer, §4.3), else ``PrivilegeFaultError``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.primitives import Primitive, PrimitiveSet
+from repro.cpu.mmu import Mmu
+from repro.mc.controller import MemoryController
+
+
+class IllegalInstructionError(Exception):
+    """The hardware does not implement this instruction."""
+
+
+class PrivilegeFaultError(Exception):
+    """The executing context lacks the privilege the instruction needs."""
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """Who is executing: a trust domain plus its privilege level.
+
+    ``host=True`` models the host OS / hypervisor (ring -1..0).
+    ``enclave_refresh_grant=True`` models §4.4's relaxation: an enclave
+    may issue ``refresh`` to addresses inside its own, subarray-isolated
+    address space.
+    """
+
+    asid: int
+    host: bool = False
+    enclave_refresh_grant: bool = False
+
+
+class IsaSurface:
+    """Instruction implementations bridging MMU and memory controller."""
+
+    def __init__(
+        self,
+        mmu: Mmu,
+        controller: MemoryController,
+        primitives: PrimitiveSet,
+    ) -> None:
+        self.mmu = mmu
+        self.controller = controller
+        self.primitives = primitives
+        self.refreshes_executed = 0
+        self.moves_executed = 0
+
+    # ------------------------------------------------------------------
+    # refresh va, ap  (§4.3)
+    # ------------------------------------------------------------------
+
+    def refresh(
+        self,
+        context: ExecutionContext,
+        virtual_line: int,
+        now: int,
+        auto_precharge: bool = True,
+    ) -> int:
+        """Refresh the DRAM row backing ``virtual_line``.
+
+        Implemented exactly as §4.3 specifies: TLB translates va→pa, the
+        MC converts pa to a row, then PRE + ACT (+PRE when ``ap``).
+        Host-privileged; enclaves may hold a grant (§4.4).  Returns the
+        completion time.
+        """
+        if not self.primitives.has(Primitive.REFRESH_INSTRUCTION):
+            raise IllegalInstructionError("refresh instruction not implemented")
+        if not (context.host or context.enclave_refresh_grant):
+            raise PrivilegeFaultError("refresh is host-privileged (§4.3)")
+        physical_line = self.mmu.translate_line(context.asid, virtual_line)
+        done = self.controller.refresh_line(
+            physical_line, now, auto_precharge=auto_precharge
+        )
+        self.refreshes_executed += 1
+        return done
+
+    def refresh_physical(
+        self, context: ExecutionContext, physical_line: int, now: int,
+        auto_precharge: bool = True,
+    ) -> int:
+        """Host-only variant operating on a physical address directly —
+        the hypervisor refreshes frames it has not mapped into its own
+        address space (e.g. guest frames)."""
+        if not self.primitives.has(Primitive.REFRESH_INSTRUCTION):
+            raise IllegalInstructionError("refresh instruction not implemented")
+        if not context.host:
+            raise PrivilegeFaultError("physical refresh requires host privilege")
+        done = self.controller.refresh_line(
+            physical_line, now, auto_precharge=auto_precharge
+        )
+        self.refreshes_executed += 1
+        return done
+
+    # ------------------------------------------------------------------
+    # ref_neighbors pa, b  (§4.3, optional DRAM assistance)
+    # ------------------------------------------------------------------
+
+    def ref_neighbors(
+        self,
+        context: ExecutionContext,
+        physical_line: int,
+        blast_radius: int,
+        now: int,
+    ) -> int:
+        """Issue the proposed REF_NEIGHBORS command: DRAM refreshes all
+        potential victims within ``blast_radius`` of the aggressor row,
+        by *internal* adjacency."""
+        if not self.primitives.has(Primitive.REF_NEIGHBORS_COMMAND):
+            raise IllegalInstructionError("REF_NEIGHBORS not implemented by DRAM")
+        if not context.host:
+            raise PrivilegeFaultError("REF_NEIGHBORS requires host privilege")
+        return self.controller.ref_neighbors_line(physical_line, blast_radius, now)
+
+    # ------------------------------------------------------------------
+    # uncore_move src, dst  (§4.2)
+    # ------------------------------------------------------------------
+
+    def uncore_move(
+        self,
+        context: ExecutionContext,
+        src_physical_line: int,
+        dst_physical_line: int,
+        now: int,
+    ) -> int:
+        """Copy one line DRAM-to-DRAM through MC buffers (no core
+        registers touched) — the efficient data path for aggressor-row
+        wear-leveling (§4.2)."""
+        if not self.primitives.has(Primitive.UNCORE_MOVE):
+            raise IllegalInstructionError("uncore move not implemented")
+        if not context.host:
+            raise PrivilegeFaultError("uncore move requires host privilege")
+        done = self.controller.uncore_move(src_physical_line, dst_physical_line, now)
+        self.moves_executed += 1
+        return done

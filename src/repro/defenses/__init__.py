@@ -1,0 +1,76 @@
+"""All defenses, paper proposals and baselines, behind one lifecycle.
+
+Proposed by the paper (require MC primitives):
+``SubarrayIsolationDefense``, ``AggressorRemapDefense``,
+``CacheLineLockingDefense``, ``TargetedRefreshDefense``.
+
+Baselines the paper positions against:
+``VendorTrr`` (in-DRAM), ``ParaDefense``, ``BlockHammerDefense``,
+``GrapheneDefense``, ``TwiceDefense`` (in-MC), ``AnvilDefense``,
+``BankPartitionDefense``, ``GuardRowsDefense`` (software on today's
+hardware).
+"""
+
+from repro.defenses.base import Defense, DefenseCost
+from repro.defenses.enclave_guard import EnclaveGuardDefense, verify_placement
+from repro.defenses.frequency import (
+    AggressorRemapDefense,
+    BlockHammerDefense,
+    CacheLineLockingDefense,
+    remap_page_of_line,
+)
+from repro.defenses.isolation import (
+    BankPartitionDefense,
+    GuardRowsDefense,
+    SubarrayIsolationDefense,
+)
+from repro.defenses.refresh_centric import (
+    AnvilDefense,
+    GrapheneDefense,
+    ParaDefense,
+    TargetedRefreshDefense,
+    TwiceDefense,
+)
+from repro.defenses.scoped import CriticalRowGuardDefense
+from repro.defenses.vendor import SamplingTrr, VendorTrr
+
+ALL_DEFENSES = (
+    SubarrayIsolationDefense,
+    BankPartitionDefense,
+    GuardRowsDefense,
+    AggressorRemapDefense,
+    CacheLineLockingDefense,
+    BlockHammerDefense,
+    TargetedRefreshDefense,
+    AnvilDefense,
+    ParaDefense,
+    GrapheneDefense,
+    TwiceDefense,
+    VendorTrr,
+    SamplingTrr,
+    EnclaveGuardDefense,
+    CriticalRowGuardDefense,
+)
+
+__all__ = [
+    "ALL_DEFENSES",
+    "AggressorRemapDefense",
+    "AnvilDefense",
+    "BankPartitionDefense",
+    "BlockHammerDefense",
+    "CacheLineLockingDefense",
+    "CriticalRowGuardDefense",
+    "Defense",
+    "DefenseCost",
+    "EnclaveGuardDefense",
+    "SamplingTrr",
+    "verify_placement",
+    "GrapheneDefense",
+    "GuardRowsDefense",
+    "ParaDefense",
+    "SubarrayIsolationDefense",
+    "TargetedRefreshDefense",
+    "TwiceDefense",
+    "VendorTrr",
+    "remap_page_of_line",
+]

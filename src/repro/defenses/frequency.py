@@ -1,0 +1,498 @@
+"""Frequency-centric defenses: kill the >MAC activation condition (§4.2).
+
+Three implementations:
+
+``BlockHammerDefense`` — the in-MC state of the art [59] the paper
+positions against: per-row activation counters with throttling.  Works
+without software, but its tracker SRAM and its throttling stalls grow as
+MAC falls (§3) — experiment E5 measures both.
+
+``AggressorRemapDefense`` — the paper's proposal: the *precise* ACT
+interrupt reports a hot physical address; the host OS wear-levels the
+encompassing page to a fresh frame with the uncore move, so no physical
+row ever accumulates MAC activations.  Pure software policy + two small
+MC primitives.
+
+``CacheLineLockingDefense`` — the paper's cheaper first line of defense:
+pin the reported hot line in reserved LLC ways for the rest of the
+refresh interval; subsequent accesses hit in cache and generate no ACTs
+at all.  Falls back to remapping when the locked ways fill up.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Deque, Dict, Optional, Tuple
+
+from repro.core.primitives import Primitive
+from repro.core.taxonomy import DefenseTraits, MitigationClass
+from repro.cpu.cache import LockError
+from repro.defenses.base import Defense, DefenseCost
+from repro.dram.geometry import DdrAddress
+from repro.hostos.allocator import OutOfMemoryError
+from repro.mc.counters import ActInterrupt
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.system import System
+
+RowId = Tuple[int, int, int, int]
+
+#: counter width for BlockHammer-style trackers, bits
+_COUNTER_BITS = 16
+#: row-tag width, bits
+_TAG_BITS = 20
+
+
+class BlockHammerDefense(Defense):
+    """BlockHammer-style in-MC throttling [59].
+
+    Counts ACTs per row per epoch (an epoch is half a refresh window, as
+    in the paper's dual counting-bloom-filter scheme; we count exactly,
+    which only *understates* the real hardware cost).  A row beyond
+    ``threshold_fraction × MAC`` ACTs in the epoch has its further ACTs
+    delayed so it cannot reach the MAC before the epoch ends.
+    """
+
+    name = "blockhammer"
+    traits = DefenseTraits(
+        mitigation_class=MitigationClass.FREQUENCY,
+        location="mc",
+        stops_cross_domain=True,
+        stops_intra_domain=True,
+        covers_dma=True,
+        scales_with_density=False,  # tracker + stalls grow as MAC drops
+    )
+    requires: Tuple[Primitive, ...] = ()  # self-contained MC hardware
+
+    def __init__(self, threshold_fraction: Optional[float] = None) -> None:
+        """``threshold_fraction``: per-epoch row-ACT budget as a fraction
+        of MAC.  ``None`` (default) computes the safe budget from the
+        disturbance profile: a victim absorbs pressure from up to
+        ``2 * sum(decay**(d-1))`` aggressor rows and is only guaranteed a
+        sweep refresh once per window (= two epochs), so the budget is
+        ``MAC / (amplification * 2)`` with 10% margin — mirroring
+        BlockHammer's blacklisting guarantee."""
+        super().__init__()
+        if threshold_fraction is not None and not 0.0 < threshold_fraction < 1.0:
+            raise ValueError("threshold_fraction must be in (0, 1)")
+        self.threshold_fraction = threshold_fraction
+        self._counts: Dict[RowId, int] = {}
+        self._epoch_end = 0
+        self._epoch_len = 0
+        self._threshold = 0
+        self._mac = 0
+        self._peak_rows_tracked = 0
+
+    def _wire(self, system: "System") -> None:
+        self._epoch_len = max(1, system.timings.tREFW // 2)
+        self._epoch_end = self._epoch_len
+        self._mac = system.profile.mac
+        if self.threshold_fraction is not None:
+            fraction = self.threshold_fraction
+        else:
+            profile = system.profile
+            amplification = 2 * sum(
+                profile.weight(d) for d in range(1, profile.blast_radius + 1)
+            )
+            epochs_per_window = 2
+            fraction = 0.8 / (amplification * epochs_per_window)
+        self._threshold = max(1, int(system.profile.mac * fraction))
+        system.controller.add_act_gate(self._gate)
+
+    def cost(self) -> DefenseCost:
+        """Tracker sized for the worst case: every row that could legally
+        reach the threshold in one epoch needs an entry.  This is the
+        §3 scaling liability: entries ∝ tREFW / (threshold × tRC)."""
+        if self.system is None:
+            return DefenseCost()
+        timings = self.system.timings
+        max_acts_per_epoch = self._epoch_len // timings.tRC
+        entries = max(1, max_acts_per_epoch // self._threshold)
+        banks = self.system.geometry.banks_total
+        return DefenseCost(
+            sram_bits=entries * (_COUNTER_BITS + _TAG_BITS) * banks
+        )
+
+    # -- the throttle gate ----------------------------------------------
+
+    def _gate(self, address: DdrAddress, now: int, domain: Optional[int]) -> int:
+        if now >= self._epoch_end:
+            self._counts.clear()
+            while self._epoch_end <= now:
+                self._epoch_end += self._epoch_len
+        row = address.row_key()
+        count = self._counts.get(row, 0) + 1
+        self._counts[row] = count
+        self._peak_rows_tracked = max(self._peak_rows_tracked, len(self._counts))
+        if count <= self._threshold:
+            return 0
+        # Blacklisted: pace the row so it gains at most ~1/8 of its safe
+        # budget for the rest of the epoch (the budget itself already
+        # carries the amplification/epoch margin).
+        remaining_time = max(1, self._epoch_end - now)
+        trickle_budget = max(1, self._threshold // 8)
+        delay = remaining_time // trickle_budget
+        if delay:
+            self.bump("throttled_acts")
+            self.bump("throttle_delay_ns", delay)
+        return delay
+
+
+class AggressorRemapDefense(Defense):
+    """The paper's ACT wear-leveling (§4.2): remap + move hot pages.
+
+    On each precise ACT interrupt the host OS moves the encompassing
+    page of the reported address to a freshly allocated frame (same
+    domain, same policy) using the uncore move, updates the page table,
+    and frees the old frame.  No physical row can then accumulate MAC
+    activations, no matter what the access pattern is — including DMA
+    traffic, which the MC counter sees.
+    """
+
+    name = "aggressor-remap"
+    traits = DefenseTraits(
+        mitigation_class=MitigationClass.FREQUENCY,
+        location="software",
+        stops_cross_domain=True,
+        stops_intra_domain=True,
+        covers_dma=True,
+        scales_with_density=True,
+    )
+    requires = (Primitive.PRECISE_ACT_INTERRUPT, Primitive.UNCORE_MOVE)
+
+    def __init__(
+        self,
+        interrupt_fraction: float = 0.125,
+        jitter_fraction: float = 0.25,
+        park_vacated: bool = True,
+        rotate_destinations: bool = True,
+    ):
+        """``interrupt_fraction``: counter threshold as a fraction of MAC
+        (must leave slack for noise and the blast-radius weighting);
+        ``jitter_fraction``: randomized reset slack, as a fraction of the
+        threshold (§4.2 anti-evasion).
+
+        ``park_vacated`` and ``rotate_destinations`` are the two
+        mechanisms that make wear-leveling actually level (see
+        :func:`remap_page_of_line`); they exist as switches only so the
+        ablation benchmark can demonstrate that each is load-bearing.
+        """
+        super().__init__()
+        if not 0.0 < interrupt_fraction < 1.0:
+            raise ValueError("interrupt_fraction must be in (0, 1)")
+        if not 0.0 <= jitter_fraction < 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1)")
+        self.interrupt_fraction = interrupt_fraction
+        self.jitter_fraction = jitter_fraction
+        self.park_vacated = park_vacated
+        self.rotate_destinations = rotate_destinations
+        self._in_handler = False
+        self._parking: Optional[FrameParkingLot] = None
+        self._dest_rows: Deque = deque(maxlen=16)
+
+    def _wire(self, system: "System") -> None:
+        threshold = max(2, int(system.profile.mac * self.interrupt_fraction))
+        jitter = int(threshold * self.jitter_fraction)
+        system.controller.configure_counters(
+            threshold, precise=True, reset_jitter=jitter
+        )
+        system.controller.subscribe_interrupts(self._on_interrupt)
+        self._parking = FrameParkingLot(system)
+        self._dest_rows = deque(maxlen=_rotation_rows(system))
+
+    def _on_interrupt(self, interrupt: ActInterrupt) -> None:
+        assert self.system is not None
+        if self._in_handler:
+            # ACTs issued by the handler's own uncore moves re-enter the
+            # counter; a real OS masks the interrupt while servicing it.
+            self.bump("masked_interrupts")
+            return
+        if interrupt.physical_line is None:  # imprecise hardware: useless
+            self.bump("useless_imprecise_interrupts")
+            return
+        self.bump("interrupts")
+        assert self._parking is not None
+        self._parking.tick(interrupt.time_ns)
+        avoid = (
+            frozenset(self._dest_rows) if self.rotate_destinations else None
+        )
+        self._in_handler = True
+        try:
+            result = remap_page_of_line(
+                self.system, interrupt.physical_line, interrupt.time_ns,
+                free_old_frame=not self.park_vacated,
+                avoid_rows=avoid,
+            )
+        finally:
+            self._in_handler = False
+        if result is not None:
+            if self.park_vacated:
+                self._parking.park(result.vacated_frame)
+            if self.rotate_destinations:
+                self._dest_rows.append(result.hot_line_new_row)
+            self.bump("pages_moved")
+        else:
+            self.bump("moves_skipped")
+
+
+class CacheLineLockingDefense(Defense):
+    """The paper's cache-line locking first line of defense (§4.2).
+
+    Locked lines stop producing ACTs for the rest of the refresh
+    interval (their flushes are architecturally inert and their loads
+    hit in the LLC).  When a set's locked-way budget fills, falls back
+    to page remapping — exactly the two-tier policy §4.2 sketches.
+    """
+
+    name = "line-locking"
+    traits = DefenseTraits(
+        mitigation_class=MitigationClass.FREQUENCY,
+        location="software",
+        stops_cross_domain=True,
+        stops_intra_domain=True,
+        covers_dma=False,  # DMA never goes through the LLC...
+        scales_with_density=True,
+    )
+    requires = (Primitive.PRECISE_ACT_INTERRUPT, Primitive.CACHE_LINE_LOCKING)
+
+    def __init__(
+        self,
+        interrupt_fraction: float = 0.125,
+        jitter_fraction: float = 0.25,
+        remap_fallback: bool = True,
+        escalate_after_locks_per_row: int = 4,
+    ) -> None:
+        """``escalate_after_locks_per_row``: a hammer that rotates its
+        column defeats line-granular locking — each lock silences one of
+        128 lines while the row keeps activating.  Once this many lines
+        of a single row have been locked in one window, the defense
+        escalates to remapping the whole page (the second tier of
+        §4.2's policy)."""
+        super().__init__()
+        if not 0.0 < interrupt_fraction < 1.0:
+            raise ValueError("interrupt_fraction must be in (0, 1)")
+        if escalate_after_locks_per_row < 1:
+            raise ValueError("escalate_after_locks_per_row must be >= 1")
+        self.interrupt_fraction = interrupt_fraction
+        self.jitter_fraction = jitter_fraction
+        self.remap_fallback = remap_fallback
+        self.escalate_after_locks_per_row = escalate_after_locks_per_row
+        self._window_end = 0
+        self._in_handler = False
+        self._parking: Optional[FrameParkingLot] = None
+        self._dest_rows: Deque = deque(maxlen=16)
+        self._row_lock_counts: Dict[RowId, int] = {}
+
+    def _wire(self, system: "System") -> None:
+        if self.remap_fallback:
+            system.primitives.require(Primitive.UNCORE_MOVE)
+        threshold = max(2, int(system.profile.mac * self.interrupt_fraction))
+        jitter = int(threshold * self.jitter_fraction)
+        system.controller.configure_counters(
+            threshold, precise=True, reset_jitter=jitter
+        )
+        system.controller.subscribe_interrupts(self._on_interrupt)
+        self._window_end = system.timings.tREFW
+        self._parking = FrameParkingLot(system)
+        self._dest_rows = deque(maxlen=_rotation_rows(system))
+
+    def cost(self) -> DefenseCost:
+        ways = self.system.cache.max_locked_ways if self.system else 0
+        return DefenseCost(reserved_cache_ways=ways)
+
+    def _on_interrupt(self, interrupt: ActInterrupt) -> None:
+        assert self.system is not None
+        if self._in_handler:
+            self.bump("masked_interrupts")
+            return
+        if interrupt.physical_line is None:
+            self.bump("useless_imprecise_interrupts")
+            return
+        self.bump("interrupts")
+        self._in_handler = True
+        try:
+            self._handle(interrupt)
+        finally:
+            self._in_handler = False
+
+    def _handle(self, interrupt: ActInterrupt) -> None:
+        self._expire_window(interrupt.time_ns)
+        assert self._parking is not None
+        self._parking.tick(interrupt.time_ns)
+        if interrupt.from_dma:
+            # DMA buffers are uncached; locking cannot absorb them.
+            # Remap instead (the fallback covers the blind spot).
+            if self.remap_fallback:
+                result = remap_page_of_line(
+                    self.system, interrupt.physical_line, interrupt.time_ns,
+                    free_old_frame=False,
+                    avoid_rows=frozenset(self._dest_rows),
+                )
+                if result is not None:
+                    self._parking.park(result.vacated_frame)
+                    self._dest_rows.append(result.hot_line_new_row)
+                    self.bump("dma_fallback_moves")
+            return
+        row = self.system.row_of_physical_line(interrupt.physical_line)
+        locks_in_row = self._row_lock_counts.get(row, 0)
+        if (
+            self.remap_fallback
+            and locks_in_row >= self.escalate_after_locks_per_row
+        ):
+            # The attacker is rotating columns within this row; locking
+            # line by line cannot keep up — move the page instead.
+            self.bump("rotation_escalations")
+            self._fallback_move(interrupt)
+            return
+        try:
+            writeback = self.system.cache.lock(interrupt.physical_line)
+            self.bump("lines_locked")
+            self._row_lock_counts[row] = locks_in_row + 1
+            if writeback is not None:
+                from repro.mc.controller import MemoryRequest
+
+                self.system.controller.submit(
+                    MemoryRequest(
+                        time_ns=interrupt.time_ns,
+                        physical_line=writeback,
+                        is_write=True,
+                    )
+                )
+        except LockError:
+            self.bump("lock_budget_exhausted")
+            if self.remap_fallback:
+                self._fallback_move(interrupt)
+
+    def _fallback_move(self, interrupt: ActInterrupt) -> None:
+        result = remap_page_of_line(
+            self.system, interrupt.physical_line, interrupt.time_ns,
+            free_old_frame=False,
+            avoid_rows=frozenset(self._dest_rows),
+        )
+        if result is not None:
+            self._parking.park(result.vacated_frame)
+            self._dest_rows.append(result.hot_line_new_row)
+            self.bump("fallback_moves")
+
+    def _expire_window(self, now: int) -> None:
+        """Locks last one refresh interval (§4.2), then everything is
+        released — the hammering clock restarted anyway."""
+        if now < self._window_end:
+            return
+        released = len(self.system.cache.locked_lines())
+        self.system.cache.unlock_all()
+        self._row_lock_counts.clear()
+        if released:
+            self.bump("locks_expired", released)
+        refw = self.system.timings.tREFW
+        while self._window_end <= now:
+            self._window_end += refw
+
+
+@dataclass(frozen=True)
+class RemapResult:
+    """Outcome of one wear-leveling page move."""
+
+    vacated_frame: int
+    new_frame: int
+    #: DRAM row now holding the line that triggered the move — the row
+    #: the attacker's next accesses will hammer, fed into the caller's
+    #: destination-rotation buffer
+    hot_line_new_row: RowId
+
+
+def remap_page_of_line(
+    system: "System",
+    physical_line: int,
+    now: int,
+    free_old_frame: bool = True,
+    avoid_rows: Optional[frozenset] = None,
+) -> Optional[RemapResult]:
+    """Shared wear-leveling mechanics (§4.2): move the page containing
+    ``physical_line`` to a fresh frame of the same domain.
+
+    Returns ``None`` when there is nothing to do (unowned frame) or no
+    replacement frame is available.
+
+    Two rotation requirements make wear-leveling actually level:
+
+    * ``free_old_frame=False`` leaves the vacated frame allocated
+      (parked) — releasing it immediately lets a first-fit allocator
+      hand the *same* frame back on the next move, and the hammering
+      ping-pongs between two locations whose victims' accumulated
+      pressure never resets (see ``FrameParkingLot``);
+    * ``avoid_rows`` keeps the destination away from recently used
+      destination rows — multiple frames share one DRAM row, so naive
+      consecutive destinations re-concentrate ACTs into a single row.
+    """
+    frame = system.mapper.frame_of_line(physical_line)
+    asid = system.allocator.owner_of(frame)
+    if asid is None:
+        return None
+    located = system.mmu.reverse_lookup(frame)
+    if located is None:
+        return None
+    owner_asid, virtual_page = located
+    try:
+        (new_frame,) = system.allocator.allocate(asid, 1, avoid_rows=avoid_rows)
+    except OutOfMemoryError:
+        return None
+
+    lines_per_page = system.mmu.lines_per_page
+    old_base = frame * lines_per_page
+    new_base = new_frame * lines_per_page
+    when = now
+    for offset in range(lines_per_page):
+        old_line = old_base + offset
+        if system.cache.is_locked(old_line):
+            system.cache.unlock(old_line)
+        try:
+            system.cache.flush(old_line)
+        except LockError:  # pragma: no cover - unlocked above
+            pass
+        when = system.controller.uncore_move(old_line, new_base + offset, when)
+    system.mmu.remap_page(owner_asid, virtual_page, new_frame)
+    if free_old_frame:
+        system.allocator.free(frame)
+    hot_offset = physical_line - old_base
+    hot_new_row = system.mapper.line_to_ddr(new_base + hot_offset).row_key()
+    return RemapResult(frame, new_frame, hot_new_row)
+
+
+def _rotation_rows(system: "System") -> int:
+    """Destination-rotation depth: enough recently used destination rows
+    to keep any single row's per-window stint ACTs under MAC/2.  One
+    stint deposits ~threshold ACTs, the channel can issue at most
+    tREFW/tRC ACTs per window, so rows needed = 2 * acts_per_window/MAC."""
+    acts_per_window = system.timings.tREFW // system.timings.tRC
+    needed = -(-2 * acts_per_window // max(1, system.profile.mac))
+    return max(16, min(needed, system.geometry.rows_total // 2))
+
+
+class FrameParkingLot:
+    """Holds vacated frames until the refresh window rolls over, then
+    returns them to the allocator — the rotation that makes ACT
+    wear-leveling actually level."""
+
+    def __init__(self, system: "System") -> None:
+        self.system = system
+        self._parked: List[int] = []
+        self._window_end = system.timings.tREFW
+
+    def park(self, frame: int) -> None:
+        self._parked.append(frame)
+
+    def tick(self, now: int) -> int:
+        """Release parked frames if the window rolled; returns how many
+        were released."""
+        if now < self._window_end:
+            return 0
+        released = len(self._parked)
+        for frame in self._parked:
+            self.system.allocator.free(frame)
+        self._parked.clear()
+        refw = self.system.timings.tREFW
+        while self._window_end <= now:
+            self._window_end += refw
+        return released

@@ -1,0 +1,209 @@
+"""Vendor-style blackbox in-DRAM mitigation: Target Row Refresh (TRR).
+
+§3 summarizes the reverse-engineering results of TRRespass [15] and
+SMASH [14]: deployed TRR tracks a small number ``n`` of aggressor rows
+per bank (``n`` varies by module and vendor) and refreshes their
+neighbours during REF — and is *bypassed* by hammering more than ``n``
+aggressors, because no row's activity estimate ever rises above the
+noise once the tracker churns.
+
+``VendorTrr`` models that shape with a frequency-estimating tracker
+(Misra-Gries style, which is what counter-based TRR implementations
+approximate): ``n`` (row, count) entries per bank; an ACT of an
+untracked row when the table is full decrements everyone instead of
+inserting.  During each REF the module refreshes the neighbours of rows
+whose count crossed ``trigger`` and retires them.
+
+* ≤ n aggressors: every aggressor's count climbs quickly, victims are
+  refreshed well inside the window — no flips.
+* > n aggressors (TRRespass): round-robin hammering makes the table
+  churn; counts never reach ``trigger``; **no targeted refreshes happen
+  at all** and victims accumulate pressure for the whole window — the
+  protection cliff experiment E6 sweeps across.
+
+Like the real thing, the model is a *blackbox*: no knobs, no telemetry,
+no guarantees exposed to the platform; the harness learns what it does
+only by hammering and observing flips.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from repro.core.primitives import Primitive
+from repro.core.taxonomy import DefenseTraits, MitigationClass
+from repro.defenses.base import Defense, DefenseCost
+from repro.dram.geometry import DdrAddress
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.system import System
+
+BankKey = Tuple[int, int, int]
+
+#: bits per tracker entry: row address (~17b) + saturating counter
+_BITS_PER_ENTRY = 32
+
+
+class VendorTrr(Defense):
+    """In-DRAM TRR: per-bank Misra-Gries tracker of ``n_trackers`` rows.
+
+    ``refresh_radius`` is the neighbourhood the module repairs around a
+    triggered aggressor — fixed at module design time, a scaling
+    liability once blast radii grow past it (§3, experiment E5).
+    """
+
+    name = "vendor-trr"
+    traits = DefenseTraits(
+        mitigation_class=MitigationClass.REFRESH,
+        location="dram",
+        stops_cross_domain=True,
+        stops_intra_domain=True,
+        covers_dma=True,  # in DRAM, it sees every ACT...
+        scales_with_density=False,  # ...but its tracker does not scale
+    )
+    requires: Tuple[Primitive, ...] = ()  # needs nothing from the CPU
+
+    def __init__(
+        self,
+        n_trackers: int = 4,
+        refresh_radius: int = 2,
+        trigger: int = 8,
+    ) -> None:
+        super().__init__()
+        if n_trackers < 1:
+            raise ValueError("n_trackers must be >= 1")
+        if refresh_radius < 1:
+            raise ValueError("refresh_radius must be >= 1")
+        if trigger < 1:
+            raise ValueError("trigger must be >= 1")
+        self.n_trackers = n_trackers
+        self.refresh_radius = refresh_radius
+        self.trigger = trigger
+        # per bank: row -> (count, exemplar address)
+        self._tables: Dict[BankKey, Dict[int, List]] = {}
+
+    # ------------------------------------------------------------------
+    # Defense lifecycle
+    # ------------------------------------------------------------------
+
+    def _wire(self, system: "System") -> None:
+        if system.device.mitigation is not None:
+            raise RuntimeError("the DRAM module already has a mitigation")
+        system.device.mitigation = self
+
+    def cost(self) -> DefenseCost:
+        banks = (
+            self.system.geometry.banks_total if self.system is not None else 1
+        )
+        return DefenseCost(sram_bits=self.n_trackers * _BITS_PER_ENTRY * banks)
+
+    # ------------------------------------------------------------------
+    # InDramMitigation protocol (driven by the DRAM device)
+    # ------------------------------------------------------------------
+
+    def on_activate(self, address: DdrAddress, time_ns: int) -> None:
+        table = self._tables.setdefault(address.bank_key(), {})
+        entry = table.get(address.row)
+        if entry is not None:
+            entry[0] += 1
+            return
+        if len(table) < self.n_trackers:
+            table[address.row] = [1, address]
+            return
+        # Misra-Gries decrement: an untracked row on a full table costs
+        # every tracked row one count — the churn that >n-sided attacks
+        # exploit to keep all estimates below the trigger.
+        for row in list(table):
+            table[row][0] -= 1
+            if table[row][0] <= 0:
+                del table[row]
+        self.bump("tracker_churn")
+
+    def targets_to_refresh(self, time_ns: int) -> List[Tuple[DdrAddress, int]]:
+        targets: List[Tuple[DdrAddress, int]] = []
+        for table in self._tables.values():
+            hot = [row for row, entry in table.items() if entry[0] >= self.trigger]
+            for row in hot:
+                targets.append((table[row][1], self.refresh_radius))
+                del table[row]
+        if targets:
+            self.bump("trr_targets_refreshed", len(targets))
+        return targets
+
+
+class SamplingTrr(Defense):
+    """The other reverse-engineered TRR flavour: a *sampler*, not a
+    counter.  Each ACT is captured with probability ``sample_rate`` into
+    a per-bank table of at most ``n_trackers`` entries; every REF burst
+    refreshes the neighbours of all captured rows and clears the table.
+
+    Its weakness is dilution rather than churn: with many aggressors (or
+    heavy benign traffic) the chance that a *specific* aggressor is
+    sampled between two REFs shrinks, and its victims go unrefreshed for
+    long stretches — the "probabilistic" bypass surface TRRespass also
+    documents across vendors.
+    """
+
+    name = "sampling-trr"
+    traits = VendorTrr.traits
+    requires: Tuple[Primitive, ...] = ()
+
+    def __init__(
+        self,
+        n_trackers: int = 4,
+        refresh_radius: int = 2,
+        sample_rate: float = 0.1,
+        seed: int = 0x7A11,
+    ) -> None:
+        super().__init__()
+        if n_trackers < 1:
+            raise ValueError("n_trackers must be >= 1")
+        if refresh_radius < 1:
+            raise ValueError("refresh_radius must be >= 1")
+        if not 0.0 < sample_rate <= 1.0:
+            raise ValueError("sample_rate must be in (0, 1]")
+        self.n_trackers = n_trackers
+        self.refresh_radius = refresh_radius
+        self.sample_rate = sample_rate
+        self._seed = seed
+        self._rng = None
+        self._tables: Dict[BankKey, Dict[int, DdrAddress]] = {}
+
+    def _wire(self, system: "System") -> None:
+        import random
+
+        if system.device.mitigation is not None:
+            raise RuntimeError("the DRAM module already has a mitigation")
+        self._rng = random.Random(system.config.seed ^ self._seed)
+        system.device.mitigation = self
+
+    def cost(self) -> DefenseCost:
+        banks = (
+            self.system.geometry.banks_total if self.system is not None else 1
+        )
+        return DefenseCost(sram_bits=self.n_trackers * _BITS_PER_ENTRY * banks)
+
+    # -- InDramMitigation protocol --------------------------------------
+
+    def on_activate(self, address: DdrAddress, time_ns: int) -> None:
+        assert self._rng is not None, "not attached"
+        if self._rng.random() >= self.sample_rate:
+            return
+        table = self._tables.setdefault(address.bank_key(), {})
+        if address.row in table or len(table) < self.n_trackers:
+            table[address.row] = address
+            self.bump("samples_captured")
+        else:
+            self.bump("samples_dropped_table_full")
+
+    def targets_to_refresh(self, time_ns: int) -> List[Tuple[DdrAddress, int]]:
+        targets = [
+            (address, self.refresh_radius)
+            for table in self._tables.values()
+            for address in table.values()
+        ]
+        for table in self._tables.values():
+            table.clear()
+        if targets:
+            self.bump("trr_targets_refreshed", len(targets))
+        return targets

@@ -1,0 +1,72 @@
+"""Behavioral DRAM device model: geometry, timing, commands, Rowhammer
+disturbance physics, internal row remapping, generation presets, the
+optional data plane, and SEC-DED ECC."""
+
+from repro.dram.bank import BankState
+from repro.dram.data import DataPlane
+from repro.dram.ecc import EccOutcome, classify_flips, decode, encode
+from repro.dram.commands import (
+    CommandKind,
+    DramCommand,
+    act,
+    pre,
+    rd,
+    ref,
+    ref_neighbors,
+    wr,
+)
+from repro.dram.device import DramDevice, InDramMitigation
+from repro.dram.disturbance import (
+    BitFlip,
+    DisturbanceProfile,
+    DisturbanceTracker,
+)
+from repro.dram.geometry import DdrAddress, DramGeometry
+from repro.dram.presets import (
+    DDR3_NEW,
+    DDR3_OLD,
+    DDR4_NEW,
+    DDR4_OLD,
+    FUTURE,
+    GENERATIONS,
+    LPDDR4,
+    DramGenerationPreset,
+    by_name,
+)
+from repro.dram.remap import RowRemapper
+from repro.dram.timing import DramTimings
+
+__all__ = [
+    "BankState",
+    "DataPlane",
+    "EccOutcome",
+    "classify_flips",
+    "decode",
+    "encode",
+    "BitFlip",
+    "CommandKind",
+    "DdrAddress",
+    "DisturbanceProfile",
+    "DisturbanceTracker",
+    "DramCommand",
+    "DramDevice",
+    "DramGenerationPreset",
+    "DramGeometry",
+    "DramTimings",
+    "InDramMitigation",
+    "RowRemapper",
+    "GENERATIONS",
+    "DDR3_OLD",
+    "DDR3_NEW",
+    "DDR4_OLD",
+    "DDR4_NEW",
+    "LPDDR4",
+    "FUTURE",
+    "by_name",
+    "act",
+    "pre",
+    "rd",
+    "wr",
+    "ref",
+    "ref_neighbors",
+]

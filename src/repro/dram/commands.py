@@ -1,0 +1,89 @@
+"""The DDR command vocabulary spoken between controller and module.
+
+Matches §2.1 of the paper (ACT/PRE/RD/WR/REF) plus the paper's proposed
+``REF_NEIGHBORS`` extension (§4.3): a refresh command that takes an
+aggressor row address *and a blast radius* so the module can refresh all
+potential victims itself.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dram.geometry import DdrAddress
+
+
+class CommandKind(enum.Enum):
+    """DDR command opcodes."""
+
+    ACT = "ACT"  # activate: connect a row to its bank's row buffer
+    PRE = "PRE"  # precharge: disconnect (close) the bank's open row
+    RD = "RD"  # read a cache-line column from the open row
+    WR = "WR"  # write a cache-line column of the open row
+    REF = "REF"  # periodic refresh burst (no row argument, §4.3)
+    REF_NEIGHBORS = "REF_NEIGHBORS"  # proposed: refresh victims of a row
+
+
+@dataclass(frozen=True)
+class DramCommand:
+    """One command as issued on the command bus.
+
+    ``address`` is required for ACT/RD/WR/REF_NEIGHBORS, identifies only
+    the bank for PRE, and is ``None`` for REF (the module's internal
+    refresh pointer chooses the rows — exactly the limitation §4.3 calls
+    out: software cannot name a row through REF).
+
+    ``blast_radius`` is meaningful only for REF_NEIGHBORS and carries the
+    adaptability argument from §4.3: the command accepts ``b`` so defenses
+    can widen the refreshed neighbourhood as DRAM density worsens.
+    """
+
+    kind: CommandKind
+    address: Optional[DdrAddress] = None
+    blast_radius: int = 0
+
+    def __post_init__(self) -> None:
+        needs_address = self.kind in (
+            CommandKind.ACT,
+            CommandKind.PRE,
+            CommandKind.RD,
+            CommandKind.WR,
+            CommandKind.REF_NEIGHBORS,
+        )
+        if needs_address and self.address is None:
+            raise ValueError(f"{self.kind.value} requires an address")
+        if self.kind is CommandKind.REF and self.address is not None:
+            raise ValueError(
+                "REF takes no row address; use REF_NEIGHBORS (proposed) or "
+                "the refresh instruction's PRE+ACT sequence to target a row"
+            )
+        if self.kind is CommandKind.REF_NEIGHBORS and self.blast_radius < 1:
+            raise ValueError("REF_NEIGHBORS requires blast_radius >= 1")
+        if self.kind is not CommandKind.REF_NEIGHBORS and self.blast_radius:
+            raise ValueError("blast_radius only applies to REF_NEIGHBORS")
+
+
+def act(address: DdrAddress) -> DramCommand:
+    return DramCommand(CommandKind.ACT, address)
+
+
+def pre(address: DdrAddress) -> DramCommand:
+    return DramCommand(CommandKind.PRE, address)
+
+
+def rd(address: DdrAddress) -> DramCommand:
+    return DramCommand(CommandKind.RD, address)
+
+
+def wr(address: DdrAddress) -> DramCommand:
+    return DramCommand(CommandKind.WR, address)
+
+
+def ref() -> DramCommand:
+    return DramCommand(CommandKind.REF)
+
+
+def ref_neighbors(address: DdrAddress, blast_radius: int) -> DramCommand:
+    return DramCommand(CommandKind.REF_NEIGHBORS, address, blast_radius)

@@ -1,0 +1,244 @@
+"""The Rowhammer fault model: activation-induced disturbance of victim rows.
+
+§2.1–2.2 of the paper define the physics we model behaviourally:
+
+* each row withstands a per-module *maximum activation count* (MAC) of
+  neighbour ACTs within a refresh interval before its cells may flip;
+* victims lie up to ``b`` rows from an aggressor (``b`` = blast radius);
+* refreshing a victim — by the periodic REF sweep, by an ACT of the victim
+  itself, or by a targeted refresh — repairs it and restarts the race.
+
+We track the accumulated, distance-weighted neighbour-ACT "pressure" on
+each victim row since its last refresh.  When the pressure crosses the MAC
+the victim flips bits (deterministically by default, optionally with a
+probabilistic tail), and the event records which domain hammered which —
+the attribution every experiment in the harness keys on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from repro.dram.geometry import DdrAddress, DramGeometry
+
+RowKey = Tuple[int, int, int, int]
+
+
+@dataclass(frozen=True)
+class BitFlip:
+    """One disturbance event: a victim row crossed its MAC.
+
+    ``aggressor_domain`` is the domain whose ACT tipped the victim over.
+    ``victim_domains`` is the set of domains with data in the victim row
+    at that moment — a *set* because conventional interleaving packs
+    lines from many pages (hence many trust domains) into one DRAM row,
+    which is exactly the isolation problem §4.1 describes.  Empty for
+    unallocated rows.
+
+    Cross-domain flips are the attacks the paper's defenses must stop;
+    intra-domain flips are the residual that isolation-centric
+    mitigations tolerate (§2.2).
+    """
+
+    time_ns: int
+    victim: RowKey
+    aggressor: RowKey
+    aggressor_domain: Optional[int]
+    victim_domains: FrozenSet[int]
+    flipped_bits: int
+
+    @property
+    def cross_domain(self) -> bool:
+        """The flip corrupted data belonging to some *other* domain."""
+        return self.aggressor_domain is not None and any(
+            domain != self.aggressor_domain for domain in self.victim_domains
+        )
+
+    @property
+    def intra_domain(self) -> bool:
+        """The flip corrupted the aggressor's own data."""
+        return (
+            self.aggressor_domain is not None
+            and self.aggressor_domain in self.victim_domains
+        )
+
+
+@dataclass(frozen=True)
+class DisturbanceProfile:
+    """Susceptibility parameters of one DRAM technology node.
+
+    ``mac``            — neighbour ACTs a victim tolerates per refresh window
+                         (HC_first in Kim et al. ISCA'20 terms).
+    ``blast_radius``   — how many rows away an aggressor disturbs (§2.1).
+    ``decay_per_row``  — multiplicative weight per row of distance: an ACT at
+                         distance d contributes ``decay_per_row ** (d - 1)``
+                         to the victim's pressure.  Distance-1 neighbours
+                         always contribute 1.
+    ``flip_probability`` — probability that crossing the MAC actually flips
+                         bits (1.0 = deterministic threshold model).
+    ``max_bits_per_flip`` — upper bound on bits corrupted per event.
+    """
+
+    mac: int = 50_000
+    blast_radius: int = 1
+    decay_per_row: float = 0.5
+    flip_probability: float = 1.0
+    max_bits_per_flip: int = 4
+
+    def __post_init__(self) -> None:
+        if self.mac < 1:
+            raise ValueError("mac must be >= 1")
+        if self.blast_radius < 1:
+            raise ValueError("blast_radius must be >= 1")
+        if not 0.0 < self.decay_per_row <= 1.0:
+            raise ValueError("decay_per_row must be in (0, 1]")
+        if not 0.0 < self.flip_probability <= 1.0:
+            raise ValueError("flip_probability must be in (0, 1]")
+        if self.max_bits_per_flip < 1:
+            raise ValueError("max_bits_per_flip must be >= 1")
+
+    def weight(self, distance: int) -> float:
+        """Disturbance contribution of one ACT at ``distance`` rows."""
+        if distance < 1 or distance > self.blast_radius:
+            return 0.0
+        return self.decay_per_row ** (distance - 1)
+
+    def scaled(self, factor: int) -> "DisturbanceProfile":
+        """MAC divided by ``factor`` for fast simulation (pair with
+        ``DramTimings.scaled`` so the ACTs-vs-window race is preserved)."""
+        if factor < 1:
+            raise ValueError("scale factor must be >= 1")
+        from dataclasses import replace
+
+        return replace(self, mac=max(1, self.mac // factor))
+
+
+# Maps a (channel, rank, bank, internal_row) key to the set of trust
+# domains whose data currently lives in that row.
+DomainLookup = Callable[[RowKey], FrozenSet[int]]
+
+
+class DisturbanceTracker:
+    """Per-victim accumulated disturbance since that victim's last refresh.
+
+    The tracker is the ground-truth oracle of the simulation: defenses may
+    not read it (real hardware exposes nothing comparable — that opacity is
+    the paper's complaint); only the harness does, to count flips.
+    """
+
+    def __init__(
+        self,
+        geometry: DramGeometry,
+        profile: DisturbanceProfile,
+        rng: Optional[random.Random] = None,
+        domain_lookup: Optional[DomainLookup] = None,
+    ) -> None:
+        self.geometry = geometry
+        self.profile = profile
+        self._rng = rng or random.Random(0)
+        self._domain_lookup = domain_lookup or (lambda row: frozenset())
+        # pressure[victim_row_key] -> accumulated weighted ACT count
+        self._pressure: Dict[RowKey, float] = {}
+        # rows that already flipped this window (flip once until refreshed)
+        self._tripped: Dict[RowKey, bool] = {}
+        self.flips: List[BitFlip] = []
+        self.total_acts: int = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def set_domain_lookup(self, lookup: DomainLookup) -> None:
+        """Install the allocator's row→domain map for flip attribution."""
+        self._domain_lookup = lookup
+
+    # ------------------------------------------------------------------
+    # Event ingestion (called by the DRAM device)
+    # ------------------------------------------------------------------
+
+    def on_activate(
+        self,
+        address: DdrAddress,
+        time_ns: int,
+        domain: Optional[int] = None,
+    ) -> List[BitFlip]:
+        """Record an ACT of ``address``'s row; return any flips it caused.
+
+        The activated row itself is refreshed as a side effect (§2.1), so
+        its own pressure resets.  Every neighbour within the blast radius
+        (clipped at the subarray boundary) accumulates weighted pressure.
+        """
+        self.total_acts += 1
+        aggressor_key = address.row_key()
+        self._reset(aggressor_key)
+
+        flips: List[BitFlip] = []
+        for victim_row in self.geometry.neighbors_within(
+            address.row, self.profile.blast_radius
+        ):
+            victim_key = (address.channel, address.rank, address.bank, victim_row)
+            distance = abs(victim_row - address.row)
+            pressure = self._pressure.get(victim_key, 0.0) + self.profile.weight(distance)
+            self._pressure[victim_key] = pressure
+            if pressure >= self.profile.mac and not self._tripped.get(victim_key):
+                flip = self._maybe_flip(victim_key, aggressor_key, time_ns, domain)
+                if flip is not None:
+                    flips.append(flip)
+        return flips
+
+    def on_refresh(self, row_key: RowKey) -> None:
+        """A row was refreshed (REF sweep, targeted refresh, or neighbour
+        refresh): its accumulated pressure and tripped state clear."""
+        self._reset(row_key)
+
+    # ------------------------------------------------------------------
+    # Inspection (harness / oracle use only)
+    # ------------------------------------------------------------------
+
+    def pressure_of(self, row_key: RowKey) -> float:
+        return self._pressure.get(row_key, 0.0)
+
+    def headroom_of(self, row_key: RowKey) -> float:
+        """Remaining pressure before the row flips."""
+        return self.profile.mac - self.pressure_of(row_key)
+
+    def cross_domain_flips(self) -> List[BitFlip]:
+        return [flip for flip in self.flips if flip.cross_domain]
+
+    def intra_domain_flips(self) -> List[BitFlip]:
+        return [flip for flip in self.flips if flip.intra_domain]
+
+    def clear_flips(self) -> None:
+        self.flips.clear()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _reset(self, row_key: RowKey) -> None:
+        self._pressure.pop(row_key, None)
+        self._tripped.pop(row_key, None)
+
+    def _maybe_flip(
+        self,
+        victim_key: RowKey,
+        aggressor_key: RowKey,
+        time_ns: int,
+        aggressor_domain: Optional[int],
+    ) -> Optional[BitFlip]:
+        self._tripped[victim_key] = True
+        if self.profile.flip_probability < 1.0:
+            if self._rng.random() >= self.profile.flip_probability:
+                return None
+        flip = BitFlip(
+            time_ns=time_ns,
+            victim=victim_key,
+            aggressor=aggressor_key,
+            aggressor_domain=aggressor_domain,
+            victim_domains=frozenset(self._domain_lookup(victim_key)),
+            flipped_bits=self._rng.randint(1, self.profile.max_bits_per_flip),
+        )
+        self.flips.append(flip)
+        return flip

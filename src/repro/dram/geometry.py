@@ -1,0 +1,196 @@
+"""DRAM organization: channels, ranks, banks, subarrays, rows, columns.
+
+The paper (§2.1) describes modules as sets of banks, each bank a set of
+row-column *subarrays* sharing one row buffer.  Subarrays are the unit of
+electromagnetic isolation (§4.1): rows in different subarrays of the same
+bank cannot disturb each other, which is what makes subarray-isolated
+interleaving a sound isolation primitive.
+
+This module defines the static shape of a simulated memory system and the
+address arithmetic over it.  All dynamic state (open rows, charge,
+disturbance counters) lives elsewhere.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+@dataclass(frozen=True)
+class DdrAddress:
+    """A DDR *logical* address: the coordinates the memory controller
+    speaks to the module (§2.1), as opposed to a CPU physical address.
+
+    ``column`` indexes cache-line-sized slots within a row, matching the
+    granularity at which the controller issues RD/WR commands.
+    """
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+    column: int
+
+    def same_bank(self, other: "DdrAddress") -> bool:
+        """True when both addresses land in the same physical bank (and
+        therefore contend for one row buffer — the bank-conflict condition
+        that forces alternating ACTs during a Rowhammer attack)."""
+        return (
+            self.channel == other.channel
+            and self.rank == other.rank
+            and self.bank == other.bank
+        )
+
+    def bank_key(self) -> Tuple[int, int, int]:
+        """Hashable identifier of the encompassing bank."""
+        return (self.channel, self.rank, self.bank)
+
+    def row_key(self) -> Tuple[int, int, int, int]:
+        """Hashable identifier of the encompassing row."""
+        return (self.channel, self.rank, self.bank, self.row)
+
+
+@dataclass(frozen=True)
+class DramGeometry:
+    """Static shape of a simulated memory system.
+
+    Defaults model a deliberately small DDR4-like system: large enough to
+    exhibit bank-level parallelism and subarray isolation, small enough
+    that pure-Python simulation stays fast.  Row size follows the paper's
+    "each 8 KB row" (§2.1).
+    """
+
+    channels: int = 1
+    ranks_per_channel: int = 1
+    banks_per_rank: int = 8
+    subarrays_per_bank: int = 8
+    rows_per_subarray: int = 64
+    columns_per_row: int = 128  # cache-line slots per row
+    cacheline_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if value < 1:
+                raise ValueError(f"geometry field {field.name!r} must be >= 1, got {value}")
+
+    # ------------------------------------------------------------------
+    # Derived sizes
+    # ------------------------------------------------------------------
+
+    @property
+    def rows_per_bank(self) -> int:
+        return self.subarrays_per_bank * self.rows_per_subarray
+
+    @property
+    def row_bytes(self) -> int:
+        return self.columns_per_row * self.cacheline_bytes
+
+    @property
+    def banks_total(self) -> int:
+        return self.channels * self.ranks_per_channel * self.banks_per_rank
+
+    @property
+    def rows_total(self) -> int:
+        return self.banks_total * self.rows_per_bank
+
+    @property
+    def total_bytes(self) -> int:
+        return self.rows_total * self.row_bytes
+
+    @property
+    def cachelines_total(self) -> int:
+        return self.total_bytes // self.cacheline_bytes
+
+    # ------------------------------------------------------------------
+    # Subarray arithmetic
+    # ------------------------------------------------------------------
+
+    def subarray_of_row(self, row: int) -> int:
+        """The subarray index (within a bank) containing ``row``.
+
+        Rows are numbered contiguously within a bank; subarray ``s`` holds
+        rows ``[s * rows_per_subarray, (s + 1) * rows_per_subarray)``.
+        """
+        self._check_row(row)
+        return row // self.rows_per_subarray
+
+    def rows_in_subarray(self, subarray: int) -> range:
+        """Bank-local row indices belonging to ``subarray``."""
+        if not 0 <= subarray < self.subarrays_per_bank:
+            raise ValueError(f"subarray {subarray} out of range")
+        start = subarray * self.rows_per_subarray
+        return range(start, start + self.rows_per_subarray)
+
+    def same_subarray(self, row_a: int, row_b: int) -> bool:
+        return self.subarray_of_row(row_a) == self.subarray_of_row(row_b)
+
+    def neighbors_within(self, row: int, radius: int) -> Iterator[int]:
+        """Bank-local rows within ``radius`` of ``row``, excluding ``row``
+        itself, clipped to the *subarray* boundary.
+
+        Subarrays do not share bit lines (§4.1 cites LISA/SALP), so
+        disturbance does not cross subarray edges; the blast radius of an
+        aggressor stops at its subarray.
+        """
+        self._check_row(row)
+        if radius < 0:
+            raise ValueError("radius must be >= 0")
+        subarray = self.subarray_of_row(row)
+        bounds = self.rows_in_subarray(subarray)
+        low = max(bounds.start, row - radius)
+        high = min(bounds.stop - 1, row + radius)
+        for candidate in range(low, high + 1):
+            if candidate != row:
+                yield candidate
+
+    # ------------------------------------------------------------------
+    # Flat indices (useful for allocators and metrics)
+    # ------------------------------------------------------------------
+
+    def bank_index(self, address: DdrAddress) -> int:
+        """Flat index of the addressed bank in ``[0, banks_total)``."""
+        self._check(address)
+        return (
+            address.channel * self.ranks_per_channel + address.rank
+        ) * self.banks_per_rank + address.bank
+
+    def global_row_index(self, address: DdrAddress) -> int:
+        """Flat index of the addressed row in ``[0, rows_total)``."""
+        return self.bank_index(address) * self.rows_per_bank + address.row
+
+    def bank_from_index(self, index: int) -> Tuple[int, int, int]:
+        """Inverse of :meth:`bank_index` → ``(channel, rank, bank)``."""
+        if not 0 <= index < self.banks_total:
+            raise ValueError(f"bank index {index} out of range")
+        bank = index % self.banks_per_rank
+        index //= self.banks_per_rank
+        rank = index % self.ranks_per_channel
+        channel = index // self.ranks_per_channel
+        return channel, rank, bank
+
+    def iter_banks(self) -> Iterator[Tuple[int, int, int]]:
+        """All ``(channel, rank, bank)`` coordinates in flat-index order."""
+        for index in range(self.banks_total):
+            yield self.bank_from_index(index)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows_per_bank:
+            raise ValueError(f"row {row} out of range [0, {self.rows_per_bank})")
+
+    def _check(self, address: DdrAddress) -> None:
+        if not 0 <= address.channel < self.channels:
+            raise ValueError(f"channel {address.channel} out of range")
+        if not 0 <= address.rank < self.ranks_per_channel:
+            raise ValueError(f"rank {address.rank} out of range")
+        if not 0 <= address.bank < self.banks_per_rank:
+            raise ValueError(f"bank {address.bank} out of range")
+        self._check_row(address.row)
+        if not 0 <= address.column < self.columns_per_row:
+            raise ValueError(f"column {address.column} out of range")

@@ -1,0 +1,113 @@
+"""DRAM technology-generation presets.
+
+§3 of the paper summarizes Kim et al. (ISCA '20): as DRAM nodes densify,
+the minimum hammer count to first flip (HC_first, our MAC) drops by orders
+of magnitude and the blast radius grows.  These presets encode that trend
+with the published HC_first medians so the density-scaling experiments
+(E5) sweep realistic points:
+
+==============  ========  ============
+generation      MAC       blast radius
+==============  ========  ============
+DDR3 (old)      139,200   1
+DDR3 (new)       22,400   1
+DDR4 (old)       17,500   2
+DDR4 (new)       10,000   2
+LPDDR4            4,800   2
+future (extrapolated)  1,000   4
+==============  ========  ============
+
+Each preset bundles geometry, timing, and disturbance parameters plus a
+``scale`` knob that shrinks the refresh window and MAC together so
+pure-Python runs finish quickly while preserving the attack-vs-refresh
+race (DESIGN.md §3, "Scaling note").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from repro.dram.disturbance import DisturbanceProfile
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import DramTimings
+
+
+@dataclass(frozen=True)
+class DramGenerationPreset:
+    """One DRAM technology node: name + geometry + timing + susceptibility."""
+
+    name: str
+    geometry: DramGeometry = field(default_factory=DramGeometry)
+    timings: DramTimings = field(default_factory=DramTimings)
+    profile: DisturbanceProfile = field(default_factory=DisturbanceProfile)
+
+    def scaled(self, factor: int) -> "DramGenerationPreset":
+        """Shrink refresh window and MAC together by ``factor``.
+
+        ACTs-needed-to-flip and window both divide by ``factor``, so the
+        fraction of a window an attack needs — the quantity every
+        experiment compares — is unchanged.
+        """
+        if factor < 1:
+            raise ValueError("scale factor must be >= 1")
+        if factor == 1:
+            return self
+        return replace(
+            self,
+            name=f"{self.name}/scale{factor}",
+            timings=self.timings.scaled(factor),
+            profile=self.profile.scaled(factor),
+        )
+
+
+def _preset(name: str, mac: int, blast_radius: int) -> DramGenerationPreset:
+    return DramGenerationPreset(
+        name=name,
+        profile=DisturbanceProfile(mac=mac, blast_radius=blast_radius),
+    )
+
+
+DDR3_OLD = _preset("ddr3-old", mac=139_200, blast_radius=1)
+DDR3_NEW = _preset("ddr3-new", mac=22_400, blast_radius=1)
+DDR4_OLD = _preset("ddr4-old", mac=17_500, blast_radius=2)
+DDR4_NEW = _preset("ddr4-new", mac=10_000, blast_radius=2)
+LPDDR4 = _preset("lpddr4", mac=4_800, blast_radius=2)
+FUTURE = _preset("future", mac=1_000, blast_radius=4)
+
+GENERATIONS: Tuple[DramGenerationPreset, ...] = (
+    DDR3_OLD,
+    DDR3_NEW,
+    DDR4_OLD,
+    DDR4_NEW,
+    LPDDR4,
+    FUTURE,
+)
+
+_BY_NAME: Dict[str, DramGenerationPreset] = {p.name: p for p in GENERATIONS}
+
+
+def scale_for(preset: DramGenerationPreset, target_mac: int = 150,
+              cap: int = 64) -> int:
+    """The largest scale factor (≤ ``cap``) keeping the scaled MAC at or
+    above ``target_mac``.
+
+    Scaling shrinks MAC and window together, which preserves the
+    window-level race exactly — but second-order effects (a defense's
+    own refresh ACTs disturbing the refresh-radius *periphery*) grow
+    quadratically as MAC falls, so dense-node presets must be scaled
+    more gently.  Keeping scaled MAC ≥ ~150 keeps those artefacts below
+    the flip threshold; see DESIGN.md §3.
+    """
+    if target_mac < 1 or cap < 1:
+        raise ValueError("target_mac and cap must be >= 1")
+    return max(1, min(cap, preset.profile.mac // target_mac))
+
+
+def by_name(name: str) -> DramGenerationPreset:
+    """Look up a generation preset by name (e.g. ``"ddr4-new"``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown DRAM generation {name!r}; known: {known}") from None

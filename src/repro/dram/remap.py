@@ -1,0 +1,119 @@
+"""DRAM-internal row remapping.
+
+§2.1/§4.1: modules occasionally remap logically-adjacent rows to different
+internal locations (e.g. to route around faulty rows at manufacturing
+time).  Disturbance physics follow *internal* adjacency, so remaps both
+(a) mislead naive software defenses that assume logical adjacency and
+(b) threaten subarray isolation if a row lands in another domain's
+subarray.  The paper notes internal adjacency can be recovered from
+software via hammer templating (the success/failure of Rowhammer attacks),
+which experiment E11 exercises.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.dram.geometry import DramGeometry
+
+
+class RowRemapper:
+    """Bijective logical→internal row map, per bank.
+
+    The identity map models a module without remaps.  ``random_swaps``
+    builds a map where a fraction of rows have been pairwise swapped with
+    another row of the same bank — the simplest model that breaks logical
+    adjacency while keeping the map bijective.
+    """
+
+    def __init__(self, geometry: DramGeometry) -> None:
+        self.geometry = geometry
+        # (bank_index, logical_row) -> internal_row; identity if absent
+        self._forward: Dict[Tuple[int, int], int] = {}
+        self._backward: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def identity(cls, geometry: DramGeometry) -> "RowRemapper":
+        return cls(geometry)
+
+    @classmethod
+    def random_swaps(
+        cls,
+        geometry: DramGeometry,
+        fraction: float,
+        rng: Optional[random.Random] = None,
+        within_subarray: bool = False,
+    ) -> "RowRemapper":
+        """Swap ``fraction`` of each bank's rows with random partners.
+
+        ``within_subarray=True`` confines swaps to the row's own subarray
+        (remaps that cannot break subarray isolation); ``False`` allows
+        cross-subarray swaps, the case §4.1 flags as a threat.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        rng = rng or random.Random(0)
+        remapper = cls(geometry)
+        swaps_per_bank = int(geometry.rows_per_bank * fraction / 2)
+        for bank_index in range(geometry.banks_total):
+            for _ in range(swaps_per_bank):
+                row_a = rng.randrange(geometry.rows_per_bank)
+                if within_subarray:
+                    subarray = geometry.subarray_of_row(row_a)
+                    row_b = rng.choice(list(geometry.rows_in_subarray(subarray)))
+                else:
+                    row_b = rng.randrange(geometry.rows_per_bank)
+                if row_a != row_b:
+                    remapper.swap(bank_index, row_a, row_b)
+        return remapper
+
+    def swap(self, bank_index: int, row_a: int, row_b: int) -> None:
+        """Swap the internal locations of two logical rows of one bank."""
+        internal_a = self.to_internal(bank_index, row_a)
+        internal_b = self.to_internal(bank_index, row_b)
+        self._set(bank_index, row_a, internal_b)
+        self._set(bank_index, row_b, internal_a)
+
+    # ------------------------------------------------------------------
+    # Translation
+    # ------------------------------------------------------------------
+
+    def to_internal(self, bank_index: int, logical_row: int) -> int:
+        return self._forward.get((bank_index, logical_row), logical_row)
+
+    def to_logical(self, bank_index: int, internal_row: int) -> int:
+        return self._backward.get((bank_index, internal_row), internal_row)
+
+    def is_identity(self) -> bool:
+        return not self._forward
+
+    def remapped_rows(self, bank_index: int) -> Iterator[int]:
+        """Logical rows of ``bank_index`` whose internal location differs."""
+        for (bank, logical), internal in self._forward.items():
+            if bank == bank_index and logical != internal:
+                yield logical
+
+    def breaks_subarray(self, bank_index: int) -> Iterator[int]:
+        """Logical rows mapped into a *different* subarray internally —
+        exactly the rows that endanger subarray isolation (§4.1)."""
+        for logical in self.remapped_rows(bank_index):
+            internal = self.to_internal(bank_index, logical)
+            if not self.geometry.same_subarray(logical, internal):
+                yield logical
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _set(self, bank_index: int, logical: int, internal: int) -> None:
+        if logical == internal:
+            self._forward.pop((bank_index, logical), None)
+            self._backward.pop((bank_index, internal), None)
+        else:
+            self._forward[(bank_index, logical)] = internal
+            self._backward[(bank_index, internal)] = logical

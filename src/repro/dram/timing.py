@@ -1,0 +1,104 @@
+"""DDR timing parameters for the command-accurate (not cycle-accurate) model.
+
+Times are integer nanoseconds.  The defaults approximate DDR4-2400; the
+absolute values matter less than their ratios, which drive the behaviours
+the paper reasons about:
+
+* row-buffer hits are cheaper than misses/conflicts (§2.1, Fig. 1),
+* interleaving across banks overlaps ACT latencies (§4.1),
+* each row must be refreshed within ``tREFW`` of its last refresh (§2.1),
+* every ``tREFI`` the module performs a refresh burst costing ``tRFC``.
+
+``scaled()`` shrinks the refresh window for fast simulation while keeping
+every ratio fixed; see DESIGN.md §3 "Scaling note".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class DramTimings:
+    """DDR-style timing constraints, in nanoseconds."""
+
+    tCL: int = 14  # CAS latency: column access on an open row
+    tRCD: int = 14  # ACT to RD/WR delay
+    tRP: int = 14  # PRE to ACT delay
+    tRAS: int = 32  # ACT to PRE minimum
+    tBL: int = 4  # data-burst occupancy of the channel bus per cache line
+    tREFI: int = 7_800  # interval between periodic REF commands
+    tRFC: int = 350  # duration of one REF burst (banks unavailable)
+    tREFW: int = 64_000_000  # refresh window: every row refreshed this often
+
+    def __post_init__(self) -> None:
+        for name in ("tCL", "tRCD", "tRP", "tRAS", "tBL", "tREFI", "tRFC", "tREFW"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"timing {name} must be positive")
+        if self.tREFI >= self.tREFW:
+            raise ValueError("tREFI must be smaller than the refresh window tREFW")
+        if self.tRC <= 0:
+            raise ValueError("derived tRC must be positive")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def tRC(self) -> int:
+        """Row cycle time: minimum spacing of two ACTs to one bank."""
+        return self.tRAS + self.tRP
+
+    @property
+    def row_hit_latency(self) -> int:
+        """Request latency when the target row is already open."""
+        return self.tCL
+
+    @property
+    def row_closed_latency(self) -> int:
+        """Request latency when the bank is precharged (row miss)."""
+        return self.tRCD + self.tCL
+
+    @property
+    def row_conflict_latency(self) -> int:
+        """Request latency when another row occupies the buffer."""
+        return self.tRP + self.tRCD + self.tCL
+
+    @property
+    def refs_per_window(self) -> int:
+        """Number of periodic REF commands within one refresh window."""
+        return max(1, self.tREFW // self.tREFI)
+
+    def max_acts_per_window(self) -> int:
+        """Upper bound on ACTs one bank can issue in a refresh window —
+        the physical ceiling an attacker races against (tRC-limited)."""
+        return self.tREFW // self.tRC
+
+    # ------------------------------------------------------------------
+    # Scaling for fast simulation
+    # ------------------------------------------------------------------
+
+    def scaled(self, factor: int) -> "DramTimings":
+        """Return timings with the refresh window (and REF interval)
+        divided by ``factor``.
+
+        Command-level timings stay untouched, so row-buffer behaviour
+        and bank-level parallelism are unaffected.  tREFI shrinks with
+        the window (floored at 4x tRFC) so REF-driven defenses keep a
+        realistic number of reaction points per window; the device's
+        refresh sweep paces itself off tREFW/rows either way.  Pair with
+        an equally scaled MAC (see ``DramGenerationPreset``) to preserve
+        the attack-vs-refresh race.
+        """
+        if factor < 1:
+            raise ValueError("scale factor must be >= 1")
+        if factor == 1:
+            return self
+        new_refw = max(self.tREFW // factor, self.tRC * 16)
+        # tREFI shrinks too so defenses that act per REF burst (TRR,
+        # refresh sweeps) keep a realistic number of reaction points per
+        # window; floored at 4x tRFC so bursts never dominate the bus.
+        new_refi = max(self.tREFI // factor, 4 * self.tRFC)
+        if new_refi >= new_refw:
+            new_refi = max(self.tRFC + 1, new_refw // 16)
+        return replace(self, tREFW=new_refw, tREFI=new_refi)

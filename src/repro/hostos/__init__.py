@@ -1,0 +1,25 @@
+"""Host OS / hypervisor: trust domains, the policy-aware page-frame
+allocator, and enclave memory semantics."""
+
+from repro.hostos.allocator import (
+    AllocationPolicy,
+    OutOfMemoryError,
+    PageAllocator,
+    PolicyUnsupportedError,
+)
+from repro.hostos.domains import DomainRegistry, TrustDomain
+from repro.hostos.enclave import EnclaveRuntime, SystemLockupError
+from repro.hostos.portfolio import DefensePortfolio, Posture
+
+__all__ = [
+    "AllocationPolicy",
+    "DomainRegistry",
+    "DefensePortfolio",
+    "EnclaveRuntime",
+    "Posture",
+    "OutOfMemoryError",
+    "PageAllocator",
+    "PolicyUnsupportedError",
+    "SystemLockupError",
+    "TrustDomain",
+]

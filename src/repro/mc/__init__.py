@@ -1,0 +1,39 @@
+"""Memory-controller model: address mapping schemes (including the
+subarray-isolated interleaving primitive), ACT counters with precise
+overflow interrupts, refresh back-ends, and request timing."""
+
+from repro.mc.address_map import (
+    MAPPING_SCHEMES,
+    AddressMapper,
+    CachelineInterleaving,
+    LinearMapping,
+    PermutationInterleaving,
+    SubarrayIsolatedInterleaving,
+    make_mapper,
+)
+from repro.mc.controller import (
+    CompletedRequest,
+    MemoryController,
+    MemoryRequest,
+)
+from repro.mc.counters import ActCounter, ActInterrupt
+from repro.mc.scheduler import POLICIES, BatchScheduler
+from repro.mc.stats import ControllerStats
+
+__all__ = [
+    "MAPPING_SCHEMES",
+    "ActCounter",
+    "BatchScheduler",
+    "POLICIES",
+    "ActInterrupt",
+    "AddressMapper",
+    "CachelineInterleaving",
+    "CompletedRequest",
+    "ControllerStats",
+    "LinearMapping",
+    "MemoryController",
+    "MemoryRequest",
+    "PermutationInterleaving",
+    "SubarrayIsolatedInterleaving",
+    "make_mapper",
+]

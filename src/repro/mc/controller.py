@@ -1,0 +1,281 @@
+"""The CPU's integrated memory controller — where the paper's primitives live.
+
+The controller owns: the physical→DDR address map (including the
+subarray-isolated interleaving primitive), per-channel ACT counters with
+(im)precise overflow interrupts, the periodic-refresh engine, and the
+back-ends of the proposed ``refresh`` instruction, ``REF_NEIGHBORS``
+command, and uncore move (§4.1–4.3).
+
+Timing is request-driven: banks expose ``busy_until``; the controller adds
+per-channel data-bus occupancy.  Requests to different banks overlap
+(bank-level parallelism); requests to one bank serialize; all transfers on
+a channel share its bus — enough fidelity for every claim in the paper
+without a cycle-accurate pipeline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.dram.device import DramDevice
+from repro.dram.disturbance import BitFlip
+from repro.dram.geometry import DdrAddress
+from repro.mc.address_map import AddressMapper
+from repro.mc.counters import ActCounter, ActInterrupt, InterruptHandler
+from repro.mc.stats import ControllerStats
+
+
+@dataclass(frozen=True)
+class MemoryRequest:
+    """One cache-line request reaching the controller (an LLC miss,
+    writeback, or DMA transfer)."""
+
+    time_ns: int
+    physical_line: int
+    is_write: bool = False
+    domain: Optional[int] = None
+    is_dma: bool = False
+
+    def __post_init__(self) -> None:
+        if self.time_ns < 0:
+            raise ValueError("request time must be >= 0")
+        if self.physical_line < 0:
+            raise ValueError("physical_line must be >= 0")
+
+
+@dataclass(frozen=True)
+class CompletedRequest:
+    """Outcome of one serviced request."""
+
+    request: MemoryRequest
+    address: DdrAddress
+    ready_at_ns: int
+    caused_act: bool
+    buffer_outcome: str  # "hit" | "miss" | "conflict"
+    throttled_ns: int
+    flips: List[BitFlip]
+
+    @property
+    def latency_ns(self) -> int:
+        return self.ready_at_ns - self.request.time_ns
+
+
+# A throttle gate inspects an imminent ACT and returns extra delay in ns
+# (0 = proceed immediately).  BlockHammer-style defenses install one.
+ActGate = Callable[[DdrAddress, int, Optional[int]], int]
+
+# An ACT observer sees every ACT the controller issues (address, time,
+# domain, is_dma).  In-MC tracker defenses (Graphene, TWiCe, PARA)
+# subscribe here.
+ActObserver = Callable[[DdrAddress, int, Optional[int], bool], None]
+
+
+class MemoryController:
+    """One memory controller driving one DRAM device."""
+
+    def __init__(
+        self,
+        device: DramDevice,
+        mapper: AddressMapper,
+        act_threshold: int = 1 << 20,
+        precise_interrupts: bool = False,
+        reset_jitter: int = 0,
+        page_policy: str = "open",
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        """``page_policy``: "open" keeps rows in the buffer after an
+        access (locality-friendly; a lone hammered row self-absorbs into
+        buffer hits); "closed" auto-precharges after every access
+        (conflict-free for random traffic — and it turns *one-location*
+        hammering into a real attack, since every access re-activates)."""
+        if mapper.geometry is not device.geometry:
+            if mapper.geometry != device.geometry:
+                raise ValueError("mapper and device geometries differ")
+        if page_policy not in ("open", "closed"):
+            raise ValueError(f"unknown page policy {page_policy!r}")
+        self.device = device
+        self.mapper = mapper
+        self.page_policy = page_policy
+        self.stats = ControllerStats()
+        self._rng = rng or random.Random(0)
+        self.counters: Dict[int, ActCounter] = {
+            channel: ActCounter(
+                channel,
+                act_threshold,
+                precise=precise_interrupts,
+                reset_jitter=reset_jitter,
+                rng=random.Random(self._rng.randrange(1 << 30)),
+            )
+            for channel in range(device.geometry.channels)
+        }
+        self._bus_busy_until: Dict[int, int] = {
+            channel: 0 for channel in range(device.geometry.channels)
+        }
+        self._next_ref_at: int = device.timings.tREFI
+        self._act_gates: List[ActGate] = []
+        self._act_observers: List[ActObserver] = []
+        self.refresh_enabled: bool = True
+
+    # ------------------------------------------------------------------
+    # Defense wiring
+    # ------------------------------------------------------------------
+
+    def subscribe_interrupts(self, handler: InterruptHandler) -> None:
+        """Deliver ACT_COUNT overflow interrupts to ``handler`` (§4.2)."""
+        for counter in self.counters.values():
+            counter.subscribe(handler)
+
+    def configure_counters(
+        self,
+        threshold: int,
+        precise: Optional[bool] = None,
+        reset_jitter: Optional[int] = None,
+    ) -> None:
+        """Host-OS reconfiguration of the ACT counters."""
+        for counter in self.counters.values():
+            if precise is not None:
+                counter.precise = precise
+            if reset_jitter is not None:
+                counter.reset_jitter = reset_jitter
+            counter.set_threshold(threshold)
+
+    def add_act_gate(self, gate: ActGate) -> None:
+        self._act_gates.append(gate)
+
+    def add_act_observer(self, observer: ActObserver) -> None:
+        self._act_observers.append(observer)
+
+    # ------------------------------------------------------------------
+    # The request path
+    # ------------------------------------------------------------------
+
+    def submit(self, request: MemoryRequest) -> CompletedRequest:
+        """Service one request; returns its completion record.
+
+        Side effects: periodic REF bursts due before the request are
+        executed first; ACT counters/observers/gates fire if the request
+        activates a row.
+        """
+        self.advance_to(request.time_ns)
+        address = self.mapper.line_to_ddr(request.physical_line)
+        bank = self.device.banks[address.bank_key()]
+        outcome = bank.classify_access(address.row)
+        will_act = outcome != "hit"
+
+        now = request.time_ns
+        throttled = 0
+        if will_act:
+            for gate in self._act_gates:
+                throttled += gate(address, now, request.domain)
+            if throttled:
+                now += throttled
+                self.stats.throttle_stalls_ns += throttled
+
+        data_at_bank, flips = self.device.access(address, now, request.domain)
+        transfer_start = max(data_at_bank, self._bus_busy_until[address.channel])
+        done = transfer_start + self.device.timings.tBL
+        self._bus_busy_until[address.channel] = done
+        if self.page_policy == "closed":
+            bank.precharge(data_at_bank)
+
+        if will_act:
+            self._note_act(address, done, request)
+
+        self._account(request, outcome, done)
+        return CompletedRequest(
+            request=request,
+            address=address,
+            ready_at_ns=done,
+            caused_act=will_act,
+            buffer_outcome=outcome,
+            throttled_ns=throttled,
+            flips=flips,
+        )
+
+    def advance_to(self, now: int) -> None:
+        """Execute all periodic REF bursts scheduled before ``now``."""
+        if not self.refresh_enabled:
+            return
+        while self._next_ref_at <= now:
+            self.device.refresh_burst(self._next_ref_at)
+            self.stats.ref_bursts += 1
+            self._next_ref_at += self.device.timings.tREFI
+
+    # ------------------------------------------------------------------
+    # Primitive back-ends (§4.1–4.3)
+    # ------------------------------------------------------------------
+
+    def refresh_line(
+        self, physical_line: int, now: int, auto_precharge: bool = True
+    ) -> int:
+        """Back-end of the proposed ``refresh`` instruction: PRE + ACT
+        (+PRE if ``auto_precharge``) on the row holding ``physical_line``.
+        Returns completion time.  The ACT side effect goes through the
+        same counting/observation path as any other ACT — the instruction
+        is not exempt from the MC's own bookkeeping."""
+        self.advance_to(now)
+        address = self.mapper.line_to_ddr(physical_line)
+        ready, _flips = self.device.activate(
+            address, now, domain=None, precharge_after=auto_precharge,
+            refresh_only=True,
+        )
+        self.stats.targeted_refreshes += 1
+        self.stats.acts += 1
+        for observer in self._act_observers:
+            observer(address, ready, None, False)
+        return ready
+
+    def ref_neighbors_line(
+        self, physical_line: int, blast_radius: int, now: int
+    ) -> int:
+        """Back-end of the proposed REF_NEIGHBORS DDR command (§4.3)."""
+        self.advance_to(now)
+        address = self.mapper.line_to_ddr(physical_line)
+        done = self.device.ref_neighbors(address, blast_radius, now)
+        self.stats.neighbor_refresh_commands += 1
+        return done
+
+    def uncore_move(self, src_line: int, dst_line: int, now: int) -> int:
+        """Back-end of the proposed uncore move (§4.2): copy one cache
+        line DRAM-to-DRAM through MC buffers, never touching core
+        registers.  Returns completion time."""
+        read_done = self.submit(
+            MemoryRequest(time_ns=now, physical_line=src_line, is_write=False)
+        ).ready_at_ns
+        write_done = self.submit(
+            MemoryRequest(
+                time_ns=read_done, physical_line=dst_line, is_write=True
+            )
+        ).ready_at_ns
+        self.stats.uncore_moves += 1
+        return write_done
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _note_act(self, address: DdrAddress, time_ns: int, request: MemoryRequest) -> None:
+        self.stats.acts += 1
+        self.counters[address.channel].on_act(
+            time_ns, request.physical_line, request.is_dma
+        )
+        for observer in self._act_observers:
+            observer(address, time_ns, request.domain, request.is_dma)
+
+    def _account(self, request: MemoryRequest, outcome: str, done: int) -> None:
+        if request.is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        if request.is_dma:
+            self.stats.dma_requests += 1
+        if outcome == "hit":
+            self.stats.row_hits += 1
+        elif outcome == "miss":
+            self.stats.row_misses += 1
+        else:
+            self.stats.row_conflicts += 1
+        self.stats.total_request_latency_ns += done - request.time_ns
+        self.stats.busy_until_ns = max(self.stats.busy_until_ns, done)

@@ -1,0 +1,139 @@
+"""Memory-controller ACT counters and the precise-interrupt primitive.
+
+Existing Intel uncore counters can count ACTs per channel and interrupt
+after a configurable count, but report *no address* (§4.2) — system
+software learns "some row got activated a lot" and cannot act.  The
+paper's primitive augments the ACT_COUNT overflow event to report the
+physical (cache-line) address of the RD/WR that triggered the latest ACT.
+
+Two further details from §4.2 are modelled:
+
+* the host OS resets the counter to an arbitrary value after each
+  overflow, and can *randomize* the reset so attackers cannot pace their
+  ACTs to stay just under the detection threshold (experiment E10);
+* the counter sits in the MC, after the point where core and DMA traffic
+  merge, so DMA-driven ACTs are counted — unlike the core performance
+  counters ANVIL relies on (experiment E7).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+
+@dataclass(frozen=True)
+class ActInterrupt:
+    """One ACT_COUNT overflow event delivered to the host OS.
+
+    ``physical_line`` is the cache-line index whose RD/WR caused the
+    latest ACT — present only when the MC implements the paper's precise
+    primitive, ``None`` on legacy hardware.  ``from_dma`` flags whether
+    the triggering request was a direct memory access (visible to the MC,
+    invisible to core counters).
+    """
+
+    time_ns: int
+    channel: int
+    count_at_overflow: int
+    physical_line: Optional[int]
+    from_dma: bool
+
+
+InterruptHandler = Callable[[ActInterrupt], None]
+
+
+class ActCounter:
+    """Per-channel ACT counter with configurable overflow interrupt.
+
+    ``precise=True`` models the paper's primitive (address reported);
+    ``precise=False`` models today's hardware (count only).
+
+    ``reset_jitter`` > 0 randomizes the post-overflow reset value within
+    ``[0, reset_jitter]`` counted ACTs, advancing the next overflow by a
+    secret amount (§4.2's anti-evasion measure).
+    """
+
+    def __init__(
+        self,
+        channel: int,
+        threshold: int,
+        precise: bool = True,
+        reset_jitter: int = 0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if reset_jitter < 0:
+            raise ValueError("reset_jitter must be >= 0")
+        if reset_jitter >= threshold:
+            raise ValueError("reset_jitter must be smaller than the threshold")
+        self.channel = channel
+        self.threshold = threshold
+        self.precise = precise
+        self.reset_jitter = reset_jitter
+        self._rng = rng or random.Random(0)
+        self._count = 0
+        self._next_overflow_at = self._draw_overflow_point()
+        self._handlers: List[InterruptHandler] = []
+        self.total_acts = 0
+        self.interrupts_raised = 0
+
+    # ------------------------------------------------------------------
+    # Host-OS interface
+    # ------------------------------------------------------------------
+
+    def subscribe(self, handler: InterruptHandler) -> None:
+        """Register a host-OS interrupt handler."""
+        self._handlers.append(handler)
+
+    def set_threshold(self, threshold: int) -> None:
+        """Reconfigure the overflow threshold (host-OS controlled, §4.2)."""
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if self.reset_jitter >= threshold:
+            raise ValueError("threshold must exceed the configured jitter")
+        self.threshold = threshold
+        self._count = 0
+        self._next_overflow_at = self._draw_overflow_point()
+
+    # ------------------------------------------------------------------
+    # MC-side event ingestion
+    # ------------------------------------------------------------------
+
+    def on_act(
+        self,
+        time_ns: int,
+        physical_line: int,
+        from_dma: bool,
+    ) -> Optional[ActInterrupt]:
+        """Record one ACT on this channel; deliver an interrupt on
+        overflow.  Returns the interrupt, if one fired."""
+        self.total_acts += 1
+        self._count += 1
+        if self._count < self._next_overflow_at:
+            return None
+        interrupt = ActInterrupt(
+            time_ns=time_ns,
+            channel=self.channel,
+            count_at_overflow=self._count,
+            physical_line=physical_line if self.precise else None,
+            from_dma=from_dma,
+        )
+        self.interrupts_raised += 1
+        self._count = 0
+        self._next_overflow_at = self._draw_overflow_point()
+        for handler in self._handlers:
+            handler(interrupt)
+        return interrupt
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _draw_overflow_point(self) -> int:
+        """ACTs until the next overflow, shortened by secret jitter."""
+        if self.reset_jitter:
+            return max(1, self.threshold - self._rng.randint(0, self.reset_jitter))
+        return self.threshold

@@ -1,0 +1,123 @@
+"""Result persistence: save run metrics as JSON, reload, and compare.
+
+Long simulation campaigns (the E-series sweeps) want their numbers kept
+and diffed across code changes.  ``save_metrics``/``load_metrics`` are a
+plain JSON round-trip of :class:`~repro.sim.metrics.RunMetrics`;
+``compare`` produces a per-field delta report with tolerances, which the
+regression helper turns into a pass/fail verdict.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.sim.metrics import RunMetrics
+
+#: metric fields compared exactly (security must not drift at all)
+EXACT_FIELDS = ("cross_domain_flips", "intra_domain_flips", "total_flips")
+#: metric fields compared within a relative tolerance (performance noise)
+TOLERANT_FIELDS = (
+    "elapsed_ns",
+    "requests",
+    "acts",
+    "average_latency_ns",
+    "energy_proxy",
+)
+
+
+def metrics_to_dict(metrics: RunMetrics) -> Dict:
+    """Serialize to a plain JSON-compatible dict."""
+    return dataclasses.asdict(metrics)
+
+
+def metrics_from_dict(payload: Dict) -> RunMetrics:
+    """Inverse of :func:`metrics_to_dict`."""
+    field_names = {field.name for field in dataclasses.fields(RunMetrics)}
+    unknown = set(payload) - field_names
+    if unknown:
+        raise ValueError(f"unknown metric fields: {sorted(unknown)}")
+    return RunMetrics(**payload)
+
+
+def save_metrics(
+    metrics: Union[RunMetrics, List[RunMetrics]], path: Union[str, Path]
+) -> None:
+    """Write one or many metrics records to a JSON file."""
+    records = metrics if isinstance(metrics, list) else [metrics]
+    payload = [metrics_to_dict(record) for record in records]
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_metrics(path: Union[str, Path]) -> List[RunMetrics]:
+    """Read metrics records back from a JSON file."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, list):
+        raise ValueError("metrics file must contain a JSON list")
+    return [metrics_from_dict(record) for record in payload]
+
+
+@dataclass(frozen=True)
+class FieldDelta:
+    """One field's old-vs-new comparison."""
+
+    field: str
+    old: float
+    new: float
+    within_tolerance: bool
+
+    @property
+    def relative_change(self) -> float:
+        if self.old == 0:
+            return 0.0 if self.new == 0 else float("inf")
+        return (self.new - self.old) / self.old
+
+
+def compare(
+    old: RunMetrics, new: RunMetrics, tolerance: float = 0.10
+) -> List[FieldDelta]:
+    """Field-by-field comparison: security fields exact, performance
+    fields within ``tolerance`` relative change."""
+    deltas: List[FieldDelta] = []
+    for field in EXACT_FIELDS:
+        old_value = getattr(old, field)
+        new_value = getattr(new, field)
+        deltas.append(
+            FieldDelta(field, old_value, new_value, old_value == new_value)
+        )
+    for field in TOLERANT_FIELDS:
+        old_value = float(getattr(old, field))
+        new_value = float(getattr(new, field))
+        if old_value == 0:
+            ok = new_value == 0
+        else:
+            ok = abs(new_value - old_value) / abs(old_value) <= tolerance
+        deltas.append(FieldDelta(field, old_value, new_value, ok))
+    return deltas
+
+
+def regression_check(
+    baseline_path: Union[str, Path],
+    current: List[RunMetrics],
+    tolerance: float = 0.10,
+) -> Tuple[bool, List[str]]:
+    """Compare current runs against a saved baseline by label.
+
+    Returns ``(passed, problems)``.  Labels present on only one side are
+    reported as problems; matched labels are compared field-wise.
+    """
+    baseline = {record.label: record for record in load_metrics(baseline_path)}
+    current_by_label = {record.label: record for record in current}
+    problems: List[str] = []
+    for label in sorted(set(baseline) ^ set(current_by_label)):
+        problems.append(f"label {label!r} present on only one side")
+    for label in sorted(set(baseline) & set(current_by_label)):
+        for delta in compare(baseline[label], current_by_label[label], tolerance):
+            if not delta.within_tolerance:
+                problems.append(
+                    f"{label}/{delta.field}: {delta.old} -> {delta.new}"
+                )
+    return not problems, problems

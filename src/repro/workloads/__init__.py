@@ -1,0 +1,27 @@
+"""Benign workload generators and trace record/replay."""
+
+from repro.workloads.generators import (
+    GENERATOR_NAMES,
+    SharedQueueRunner,
+    WorkloadResult,
+    WorkloadRunner,
+    make_generator,
+)
+from repro.workloads.traces import (
+    TraceRecord,
+    TraceReplayer,
+    read_trace,
+    write_trace,
+)
+
+__all__ = [
+    "GENERATOR_NAMES",
+    "SharedQueueRunner",
+    "TraceRecord",
+    "TraceReplayer",
+    "WorkloadResult",
+    "WorkloadRunner",
+    "make_generator",
+    "read_trace",
+    "write_trace",
+]

@@ -1,0 +1,26 @@
+"""Fast checks of the ablation suite (full runs live in benchmarks)."""
+
+import pytest
+
+from repro.analysis.ablations import ABLATIONS, run_a1, run_a4
+
+
+def test_registry_complete():
+    assert set(ABLATIONS) == {"A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8"}
+
+
+def test_a1_reproduces():
+    outcome = run_a1()
+    assert outcome.verdict, outcome.render()
+
+
+def test_a4_reproduces():
+    outcome = run_a4()
+    assert outcome.verdict, outcome.render()
+
+
+def test_a6_reproduces():
+    from repro.analysis.ablations import run_a6
+
+    outcome = run_a6(multipliers=(1, 8))
+    assert outcome.verdict, outcome.render()

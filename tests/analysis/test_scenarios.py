@@ -1,0 +1,73 @@
+"""Tests for the shared scenario builders."""
+
+import pytest
+
+from repro.analysis.scenarios import (
+    build_scenario,
+    run_attack,
+    run_attack_under_noise,
+    run_benign,
+)
+from repro.defenses import VendorTrr
+from repro.sim import legacy_platform, proposed_platform
+
+
+class TestBuildScenario:
+    def test_contiguous_allocation(self):
+        scenario = build_scenario(legacy_platform(scale=64))
+        assert scenario.victim.pages == 64
+        assert scenario.attacker.pages == 64
+
+    def test_interleaved_allocation_mixes_rows(self):
+        scenario = build_scenario(
+            legacy_platform(scale=64), interleaved_allocation=True
+        )
+        shared = scenario.victim.rows() & scenario.attacker.rows()
+        assert shared  # slabs share rows under interleaving
+
+    def test_defenses_attached(self):
+        scenario = build_scenario(
+            legacy_platform(scale=64), defenses=[VendorTrr()]
+        )
+        assert scenario.defenses[0].attached
+
+    def test_enclave_victim(self):
+        scenario = build_scenario(
+            legacy_platform(scale=64), victim_enclave=True
+        )
+        assert scenario.victim.asid in scenario.system.enclaves
+
+
+class TestRunAttack:
+    def test_nonviable_attack_still_advances_time(self):
+        scenario = build_scenario(proposed_platform(scale=64))
+        result = run_attack(scenario, "double-sided")
+        assert not result.plan.viable
+        assert result.finished_ns >= scenario.system.timings.tREFW
+        assert scenario.system.controller.stats.ref_bursts > 0
+
+    def test_windows_fraction(self):
+        scenario = build_scenario(legacy_platform(scale=64))
+        result = run_attack(scenario, "double-sided", windows=0.25)
+        assert result.finished_ns <= scenario.system.timings.tREFW * 0.3
+
+
+class TestRunUnderNoise:
+    def test_attack_and_noise_share_system(self):
+        scenario = build_scenario(legacy_platform(scale=64))
+        result, flips_seen = run_attack_under_noise(
+            scenario, windows=0.5, workload="random"
+        )
+        assert result.hammer_iterations > 0
+        assert scenario.system.cache.accesses > 0
+
+
+class TestRunBenign:
+    def test_fixed_work(self):
+        metrics, elapsed = run_benign(
+            legacy_platform(scale=64), workload="random", accesses=400,
+            tenants=2, mlp=4,
+        )
+        assert metrics.requests > 0
+        assert elapsed > 0
+        assert metrics.secure

@@ -1,0 +1,79 @@
+"""Tests for seeded-replication statistics."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.stats import (
+    Aggregate,
+    aggregate,
+    attack_observables,
+    replicate,
+)
+from repro.sim import legacy_platform
+
+
+class TestAggregate:
+    def test_basic_stats(self):
+        summary = aggregate("x", [1, 2, 3, 4])
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1
+        assert summary.maximum == 4
+        assert summary.samples == 4
+        assert summary.stdev == pytest.approx(1.29099, rel=1e-4)
+
+    def test_single_sample(self):
+        summary = aggregate("x", [7])
+        assert summary.stdev == 0.0
+        assert summary.stderr == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate("x", [])
+
+    def test_interval_and_describe(self):
+        summary = aggregate("x", [10.0] * 9)
+        low, high = summary.interval95()
+        assert low == high == 10.0
+        assert "n=9" in summary.describe()
+
+
+class TestReplicate:
+    def test_aggregates_each_observable(self):
+        results = replicate(
+            lambda seed: {"a": seed, "b": seed * 2}, seeds=[1, 2, 3]
+        )
+        assert results["a"].mean == pytest.approx(2.0)
+        assert results["b"].mean == pytest.approx(4.0)
+
+    def test_mismatched_observables_rejected(self):
+        runs = [{"a": 1}, {"b": 2}]
+        with pytest.raises(ValueError):
+            replicate(lambda seed: runs[seed], seeds=[0, 1])
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(lambda seed: {"a": 1}, seeds=[])
+
+
+class TestAttackObservables:
+    def test_attack_replication_shape(self):
+        scenario = attack_observables(
+            lambda seed: legacy_platform(scale=64, seed=seed),
+            windows=0.5,
+        )
+        results = replicate(scenario, seeds=[1, 2, 3])
+        assert results["cross_domain_flips"].mean > 0
+        assert results["acts"].minimum > 0
+
+    def test_undefended_attack_is_consistent_across_seeds(self):
+        """The deterministic double-sided attack should land for every
+        seed — variance in flips stays small."""
+        scenario = attack_observables(
+            lambda seed: legacy_platform(scale=64, seed=seed),
+            windows=0.5,
+        )
+        results = replicate(scenario, seeds=list(range(5)))
+        flips = results["cross_domain_flips"]
+        assert flips.minimum >= 1
+        assert flips.stdev <= flips.mean  # no wild outliers

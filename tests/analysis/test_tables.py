@@ -1,0 +1,61 @@
+"""Tests for the table/series rendering."""
+
+import pytest
+
+from repro.analysis.tables import Table, render_series
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        table = Table("demo", ("name", "value"))
+        table.add("a", 1)
+        table.add("longer", 22)
+        rendered = table.render()
+        lines = rendered.splitlines()
+        assert lines[0] == "== demo =="
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len({line.index("1") for line in lines[3:4]})  # data present
+
+    def test_row_arity_checked(self):
+        table = Table("demo", ("a", "b"))
+        with pytest.raises(ValueError):
+            table.add(1)
+
+    def test_column_extraction(self):
+        table = Table("demo", ("a", "b"))
+        table.add(1, "x")
+        table.add(2, "y")
+        assert table.column("a") == [1, 2]
+        assert table.column("b") == ["x", "y"]
+
+    def test_bool_formatting(self):
+        table = Table("demo", ("flag",))
+        table.add(True)
+        table.add(False)
+        rendered = table.render()
+        assert "yes" in rendered and "no" in rendered
+
+    def test_notes(self):
+        table = Table("demo", ("a",))
+        table.add(1)
+        table.add_note("context")
+        assert "note: context" in table.render()
+
+    def test_empty_table_renders(self):
+        assert "demo" in Table("demo", ("a",)).render()
+
+
+class TestSeries:
+    def test_bars_proportional(self):
+        rendered = render_series("curve", [("x1", 1), ("x2", 2)], width=10)
+        lines = rendered.splitlines()
+        bar1 = lines[2].count("#")
+        bar2 = lines[3].count("#")
+        assert bar2 == 2 * bar1
+
+    def test_empty_series(self):
+        assert "(no data)" in render_series("curve", [])
+
+    def test_zero_values(self):
+        rendered = render_series("curve", [("x", 0)])
+        assert "#" not in rendered

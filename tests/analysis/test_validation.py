@@ -1,0 +1,17 @@
+"""Fast checks of the methodology validations."""
+
+from repro.analysis.validation import VALIDATIONS, run_v1, run_v2
+
+
+def test_registry():
+    assert set(VALIDATIONS) == {"V1", "V2"}
+
+
+def test_v1_two_scales():
+    outcome = run_v1(scales=(32, 64))
+    assert outcome.verdict, outcome.render()
+
+
+def test_v2_three_seeds():
+    outcome = run_v2(seeds=(1, 2, 3))
+    assert outcome.verdict, outcome.render()

@@ -1,0 +1,64 @@
+"""Tests for attack execution."""
+
+import pytest
+
+from repro.analysis.scenarios import build_scenario
+from repro.attacks import Attacker, AttackPlanner
+from repro.sim import legacy_platform
+
+
+@pytest.fixture
+def scenario():
+    return build_scenario(legacy_platform(scale=64))
+
+
+def make_attacker(scenario, use_dma=False):
+    planner = AttackPlanner(scenario.system, scenario.attacker)
+    plan = planner.plan(scenario.victim, "double-sided")
+    return Attacker(scenario.system, scenario.attacker, plan, use_dma=use_dma)
+
+
+class TestRun:
+    def test_run_by_duration(self, scenario):
+        attacker = make_attacker(scenario)
+        result = attacker.run(duration_ns=scenario.system.timings.tREFW)
+        assert result.hammer_iterations > 100
+        assert result.succeeded
+        assert result.cross_domain_flips > 0
+
+    def test_run_rounds_deterministic_work(self, scenario):
+        attacker = make_attacker(scenario)
+        result = attacker.run_rounds(50)
+        assert result.hammer_iterations == 50
+
+    def test_insufficient_rounds_no_flips(self, scenario):
+        attacker = make_attacker(scenario)
+        mac = scenario.system.profile.mac
+        result = attacker.run_rounds(mac // 4)
+        assert result.cross_domain_flips == 0
+
+    def test_dma_attack_flips_too(self, scenario):
+        attacker = make_attacker(scenario, use_dma=True)
+        result = attacker.run(duration_ns=scenario.system.timings.tREFW)
+        assert result.succeeded
+        assert scenario.system.controller.stats.dma_requests > 0
+
+    def test_validation(self, scenario):
+        attacker = make_attacker(scenario)
+        with pytest.raises(ValueError):
+            attacker.run(duration_ns=0)
+        with pytest.raises(ValueError):
+            attacker.run_rounds(0)
+
+    def test_duration_respected(self, scenario):
+        attacker = make_attacker(scenario)
+        horizon = scenario.system.timings.tREFW // 4
+        result = attacker.run(duration_ns=horizon)
+        # one extra round of slack: the attacker finishes its rotation
+        assert result.finished_ns < horizon * 1.2
+
+    def test_result_attribution_counts(self, scenario):
+        attacker = make_attacker(scenario)
+        result = attacker.run(duration_ns=scenario.system.timings.tREFW)
+        oracle_cross = len(scenario.system.cross_domain_flips())
+        assert result.cross_domain_flips == oracle_cross

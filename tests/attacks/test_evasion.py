@@ -1,0 +1,73 @@
+"""Tests for the threshold-evading attacker (§4.2 jitter rationale)."""
+
+import pytest
+
+from repro.analysis.experiments import _decoy_lines
+from repro.analysis.scenarios import build_scenario
+from repro.attacks import AttackPlanner, EvasiveAttacker
+from repro.core.primitives import PrimitiveSet
+from repro.defenses import TargetedRefreshDefense
+from repro.sim import legacy_platform
+
+
+def evasion_run(jitter_fraction):
+    config = legacy_platform(scale=64).with_primitives(PrimitiveSet.proposed())
+    defense = TargetedRefreshDefense(
+        interrupt_fraction=0.125, jitter_fraction=jitter_fraction
+    )
+    scenario = build_scenario(
+        config, defenses=[defense], interleaved_allocation=True
+    )
+    system = scenario.system
+    planner = AttackPlanner(system, scenario.attacker)
+    plan = planner.plan(scenario.victim, "double-sided")
+    threshold = next(iter(system.controller.counters.values())).threshold
+    attacker = EvasiveAttacker(
+        system, scenario.attacker, plan,
+        decoy_lines=_decoy_lines(planner, plan),
+        believed_threshold=threshold,
+    )
+    return attacker.run(duration_ns=system.timings.tREFW)
+
+
+class TestEvasion:
+    def test_beats_fixed_reset(self):
+        result = evasion_run(jitter_fraction=0.0)
+        assert result.cross_domain_flips > 0
+
+    def test_loses_to_randomized_reset(self):
+        result = evasion_run(jitter_fraction=0.25)
+        assert result.cross_domain_flips == 0
+
+    def test_spends_decoy_budget(self):
+        result = evasion_run(jitter_fraction=0.0)
+        assert result.decoy_acts > 0
+        assert result.aggressor_acts > result.decoy_acts
+
+
+class TestValidation:
+    def test_needs_two_decoys(self):
+        config = legacy_platform(scale=64).with_primitives(
+            PrimitiveSet.proposed()
+        )
+        scenario = build_scenario(config)
+        planner = AttackPlanner(scenario.system, scenario.attacker)
+        plan = planner.plan(scenario.victim, "double-sided")
+        with pytest.raises(ValueError):
+            EvasiveAttacker(
+                scenario.system, scenario.attacker, plan,
+                decoy_lines=[1], believed_threshold=10,
+            )
+
+    def test_threshold_must_exceed_margin(self):
+        config = legacy_platform(scale=64).with_primitives(
+            PrimitiveSet.proposed()
+        )
+        scenario = build_scenario(config)
+        planner = AttackPlanner(scenario.system, scenario.attacker)
+        plan = planner.plan(scenario.victim, "double-sided")
+        with pytest.raises(ValueError):
+            EvasiveAttacker(
+                scenario.system, scenario.attacker, plan,
+                decoy_lines=[1, 2], believed_threshold=2, margin=2,
+            )

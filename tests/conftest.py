@@ -1,0 +1,37 @@
+"""Shared fixtures: small geometries and pre-built systems for speed."""
+
+import pytest
+
+from repro.dram.disturbance import DisturbanceProfile
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import DramTimings
+
+
+@pytest.fixture
+def tiny_geometry():
+    """A deliberately small DRAM shape for unit tests."""
+    return DramGeometry(
+        channels=1,
+        ranks_per_channel=1,
+        banks_per_rank=2,
+        subarrays_per_bank=2,
+        rows_per_subarray=8,
+        columns_per_row=8,
+        cacheline_bytes=64,
+    )
+
+
+@pytest.fixture
+def default_geometry():
+    return DramGeometry()
+
+
+@pytest.fixture
+def timings():
+    return DramTimings()
+
+
+@pytest.fixture
+def fast_profile():
+    """Low MAC so attacks flip quickly in tests."""
+    return DisturbanceProfile(mac=10, blast_radius=1)

@@ -1,0 +1,56 @@
+"""Unit tests for the mitigation taxonomy (§2.2)."""
+
+import pytest
+
+from repro.core.taxonomy import (
+    TABLE_1,
+    AttackCondition,
+    DefenseTraits,
+    MitigationClass,
+)
+
+
+class TestClassConditionBijection:
+    def test_every_class_eliminates_one_condition(self):
+        eliminated = {cls.eliminates for cls in MitigationClass}
+        assert eliminated == set(AttackCondition)
+
+    def test_for_condition_inverse(self):
+        for condition in AttackCondition:
+            assert MitigationClass.for_condition(condition).eliminates is condition
+
+    def test_specific_pairings(self):
+        assert MitigationClass.ISOLATION.eliminates is AttackCondition.PROXIMITY
+        assert MitigationClass.FREQUENCY.eliminates is AttackCondition.FREQUENCY
+        assert MitigationClass.REFRESH.eliminates is AttackCondition.STALENESS
+
+
+class TestDefenseTraits:
+    def test_location_validated(self):
+        with pytest.raises(ValueError):
+            DefenseTraits(
+                mitigation_class=MitigationClass.ISOLATION, location="gpu"
+            )
+
+    def test_eliminated_condition(self):
+        traits = DefenseTraits(
+            mitigation_class=MitigationClass.REFRESH, location="software"
+        )
+        assert traits.eliminated_condition is AttackCondition.STALENESS
+
+
+class TestTable1:
+    def test_covers_all_classes(self):
+        classes = {row[0] for row in TABLE_1}
+        assert classes == set(MitigationClass)
+
+    def test_row_shapes(self):
+        for mitigation_class, primitive, defenses, dram_assist in TABLE_1:
+            assert isinstance(primitive, str) and primitive
+            assert defenses and all(isinstance(d, str) for d in defenses)
+            assert isinstance(dram_assist, str)
+
+    def test_frequency_has_two_defenses(self):
+        # Table 1: "Aggressor remapping, cache line locking"
+        frequency_rows = [r for r in TABLE_1 if r[0] is MitigationClass.FREQUENCY]
+        assert len(frequency_rows[0][2]) == 2

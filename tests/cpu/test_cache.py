@@ -1,0 +1,155 @@
+"""Unit tests for the LLC with line locking."""
+
+import pytest
+
+from repro.cpu.cache import LockError, SetAssociativeCache
+
+
+@pytest.fixture
+def cache():
+    return SetAssociativeCache(sets=4, ways=2, max_locked_ways=1)
+
+
+class TestBasics:
+    def test_miss_then_hit(self, cache):
+        first = cache.access(0)
+        assert not first.hit
+        assert first.fill_line == 0
+        second = cache.access(0)
+        assert second.hit
+
+    def test_set_indexing(self, cache):
+        assert cache.set_of(0) == 0
+        assert cache.set_of(5) == 1
+
+    def test_lru_eviction(self, cache):
+        # lines 0, 4, 8 all map to set 0 (4 sets); ways=2
+        cache.access(0)
+        cache.access(4)
+        cache.access(0)  # 0 is now MRU
+        result = cache.access(8)
+        assert not result.hit
+        assert not cache.contains(4)  # LRU victim
+        assert cache.contains(0)
+
+    def test_eviction_counts(self, cache):
+        cache.access(0)
+        cache.access(4)
+        cache.access(8)
+        assert cache.evictions == 1
+
+    def test_negative_line_rejected(self, cache):
+        with pytest.raises(ValueError):
+            cache.access(-1)
+
+
+class TestWriteback:
+    def test_dirty_eviction_reports_writeback(self, cache):
+        cache.access(0, is_write=True)
+        cache.access(4)
+        result = cache.access(8)
+        assert result.writeback_line == 0
+        assert cache.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self, cache):
+        cache.access(0)
+        cache.access(4)
+        result = cache.access(8)
+        assert result.writeback_line is None
+
+    def test_write_hit_dirties(self, cache):
+        cache.access(0)
+        cache.access(0, is_write=True)
+        cache.access(4)
+        result = cache.access(8)
+        assert result.writeback_line == 0
+
+
+class TestFlush:
+    def test_flush_removes(self, cache):
+        cache.access(0)
+        cache.flush(0)
+        assert not cache.contains(0)
+
+    def test_flush_dirty_returns_line(self, cache):
+        cache.access(0, is_write=True)
+        assert cache.flush(0) == 0
+
+    def test_flush_clean_returns_none(self, cache):
+        cache.access(0)
+        assert cache.flush(0) is None
+
+    def test_flush_absent_is_noop(self, cache):
+        assert cache.flush(123) is None
+
+    def test_flush_locked_raises(self, cache):
+        cache.lock(0)
+        with pytest.raises(LockError):
+            cache.flush(0)
+
+
+class TestLocking:
+    def test_lock_inserts_line(self, cache):
+        cache.lock(0)
+        assert cache.contains(0)
+        assert cache.is_locked(0)
+
+    def test_locked_line_survives_pressure(self, cache):
+        cache.lock(0)
+        cache.access(4)
+        cache.access(8)
+        cache.access(12)
+        assert cache.contains(0)
+
+    def test_lock_budget_per_set(self, cache):
+        cache.lock(0)
+        with pytest.raises(LockError):
+            cache.lock(4)  # same set, budget is 1
+
+    def test_lock_budget_independent_sets(self, cache):
+        cache.lock(0)
+        cache.lock(1)  # different set: fine
+
+    def test_relock_is_idempotent(self, cache):
+        cache.lock(0)
+        cache.lock(0)
+        assert cache.locked_ways_in_set(0) == 1
+
+    def test_unlock(self, cache):
+        cache.lock(0)
+        cache.unlock(0)
+        assert not cache.is_locked(0)
+        cache.access(4)
+        cache.access(8)
+        assert not cache.contains(0)  # evictable again
+
+    def test_unlock_all(self, cache):
+        cache.lock(0)
+        cache.lock(1)
+        cache.unlock_all()
+        assert cache.locked_lines() == set()
+
+    def test_locked_hit_flagged(self, cache):
+        cache.lock(0)
+        result = cache.access(0)
+        assert result.served_by_locked
+        assert cache.locked_hits == 1
+
+    def test_lock_eviction_writes_back(self, cache):
+        cache.access(0, is_write=True)
+        cache.access(4, is_write=True)
+        writeback = cache.lock(8)
+        assert writeback == 0  # LRU dirty line pushed out
+
+    def test_budget_leaves_unlocked_way(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(sets=4, ways=2, max_locked_ways=2)
+
+
+class TestStats:
+    def test_hit_rate(self, cache):
+        cache.access(0)
+        cache.access(0)
+        cache.access(0)
+        assert cache.hit_rate == pytest.approx(2 / 3)
+        assert cache.accesses == 3

@@ -1,0 +1,123 @@
+"""Unit tests for the core memory path (loads/stores/flush/hammer)."""
+
+import pytest
+
+from repro.cpu.cache import SetAssociativeCache
+from repro.cpu.core import Core
+from repro.cpu.dma import DmaEngine
+from repro.cpu.mmu import Mmu
+from repro.dram.device import DramDevice
+from repro.dram.disturbance import DisturbanceProfile
+from repro.dram.geometry import DramGeometry
+from repro.mc.address_map import make_mapper
+from repro.mc.controller import MemoryController
+
+
+@pytest.fixture
+def system_parts():
+    geometry = DramGeometry(
+        banks_per_rank=8, subarrays_per_bank=4,
+        rows_per_subarray=32, columns_per_row=64,
+    )
+    device = DramDevice(
+        geometry=geometry, profile=DisturbanceProfile(mac=5, blast_radius=1)
+    )
+    controller = MemoryController(device, make_mapper("linear", geometry))
+    cache = SetAssociativeCache(sets=16, ways=4, max_locked_ways=1)
+    mmu = Mmu(lines_per_page=64)
+    mmu.table(1).map(0, 0)
+    mmu.table(1).map(1, 1)
+    core = Core(mmu, cache, controller)
+    return core, controller, cache, device
+
+
+class TestLoadStore:
+    def test_load_misses_then_hits(self, system_parts):
+        core, controller, cache, _device = system_parts
+        first = core.load(1, 0, now=0)
+        assert not first.cache_hit
+        assert first.memory is not None
+        second = core.load(1, 0, now=first.done_at_ns)
+        assert second.cache_hit
+        assert second.memory is None
+        assert second.done_at_ns - first.done_at_ns < first.done_at_ns
+
+    def test_store_dirties_then_writes_back(self, system_parts):
+        core, controller, cache, _device = system_parts
+        core.store(1, 0, now=0)
+        # evict line 0 by filling its set (set index = physical % 16)
+        for page_offset in range(1, 5):
+            core.load(1, page_offset * 16, now=1000 * page_offset)
+        assert controller.stats.writes >= 1
+
+    def test_counters(self, system_parts):
+        core, *_ = system_parts
+        core.load(1, 0, now=0)
+        core.store(1, 1, now=100)
+        assert core.loads == 1
+        assert core.stores == 1
+
+
+class TestFlushAndHammer:
+    def test_flush_forces_next_miss(self, system_parts):
+        core, *_ = system_parts
+        core.load(1, 0, now=0)
+        core.flush(1, 0, now=100)
+        outcome = core.load(1, 0, now=200)
+        assert not outcome.cache_hit
+
+    def test_hammer_access_always_reaches_memory(self, system_parts):
+        core, controller, _cache, _device = system_parts
+        now = 0
+        for _ in range(10):
+            outcome = core.hammer_access(1, 0, now)
+            now = outcome.done_at_ns
+            assert not outcome.cache_hit
+        assert controller.stats.requests >= 10
+
+    def test_hammering_two_rows_flips_victim(self, system_parts):
+        core, _controller, _cache, device = system_parts
+        # pages 0 and 1 sit in rows 0 and 1 of bank 0 under linear map...
+        # actually 64-line pages fill row 0 (64 columns); use lines in
+        # different rows: virtual line 0 (row 0) and 64 (row 1)
+        now = 0
+        for _ in range(12):
+            now = core.hammer_access(1, 0, now).done_at_ns
+            now = core.hammer_access(1, 64, now).done_at_ns
+        assert device.flips  # row between/near them crossed MAC=5
+
+    def test_blocked_flush_on_locked_line(self, system_parts):
+        core, _controller, cache, _device = system_parts
+        core.load(1, 0, now=0)
+        physical = core.mmu.translate_line(1, 0)
+        cache.lock(physical)
+        done = core.flush(1, 0, now=100)
+        assert done == 101  # no-op timing
+        assert core.blocked_flushes == 1
+        assert core.load(1, 0, now=200).cache_hit  # still cached
+
+
+class TestDma:
+    def test_dma_bypasses_cache(self, system_parts):
+        core, controller, cache, _device = system_parts
+        core.load(1, 0, now=0)  # line is cached
+        physical = core.mmu.translate_line(1, 0)
+        dma = DmaEngine(controller, domain=1)
+        completed = dma.transfer(physical, now=1000)
+        # DMA reached the controller even though the line was cached
+        assert controller.stats.dma_requests == 1
+        assert completed.request.is_dma
+
+    def test_burst(self, system_parts):
+        _core, controller, _cache, _device = system_parts
+        dma = DmaEngine(controller, domain=1)
+        done = dma.burst(0, count=8, now=0)
+        assert done > 0
+        assert dma.transfers == 8
+        assert controller.stats.dma_requests == 8
+
+    def test_burst_validation(self, system_parts):
+        _core, controller, *_ = system_parts
+        dma = DmaEngine(controller)
+        with pytest.raises(ValueError):
+            dma.burst(0, count=0, now=0)

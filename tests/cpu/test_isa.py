@@ -1,0 +1,149 @@
+"""Unit tests for the proposed ISA surface: privilege and capability
+checks, and the architectural effects of each instruction."""
+
+import pytest
+
+from repro.core.primitives import Primitive, PrimitiveSet
+from repro.cpu.isa import (
+    ExecutionContext,
+    IllegalInstructionError,
+    IsaSurface,
+    PrivilegeFaultError,
+)
+from repro.cpu.mmu import Mmu
+from repro.dram.device import DramDevice
+from repro.dram.geometry import DramGeometry
+from repro.mc.address_map import make_mapper
+from repro.mc.controller import MemoryController
+
+HOST = ExecutionContext(asid=0, host=True)
+GUEST = ExecutionContext(asid=1, host=False)
+ENCLAVE = ExecutionContext(asid=2, host=False, enclave_refresh_grant=True)
+
+
+@pytest.fixture
+def isa_factory():
+    def make(primitives):
+        geometry = DramGeometry(
+            banks_per_rank=8, subarrays_per_bank=4,
+            rows_per_subarray=32, columns_per_row=64,
+        )
+        device = DramDevice(geometry=geometry)
+        controller = MemoryController(device, make_mapper("linear", geometry))
+        mmu = Mmu(lines_per_page=64)
+        mmu.table(0).map(0, 0)
+        mmu.table(1).map(0, 1)
+        mmu.table(2).map(0, 2)
+        return IsaSurface(mmu, controller, primitives)
+
+    return make
+
+
+class TestRefreshInstruction:
+    def test_requires_primitive(self, isa_factory):
+        isa = isa_factory(PrimitiveSet.none())
+        with pytest.raises(IllegalInstructionError):
+            isa.refresh(HOST, 0, now=0)
+
+    def test_requires_privilege(self, isa_factory):
+        isa = isa_factory(PrimitiveSet.proposed())
+        with pytest.raises(PrivilegeFaultError):
+            isa.refresh(GUEST, 0, now=0)
+
+    def test_host_can_refresh(self, isa_factory):
+        isa = isa_factory(PrimitiveSet.proposed())
+        done = isa.refresh(HOST, 0, now=0)
+        assert done > 0
+        assert isa.refreshes_executed == 1
+
+    def test_enclave_grant_allows_refresh(self, isa_factory):
+        """§4.4: enclaves may refresh within their own address space."""
+        isa = isa_factory(PrimitiveSet.proposed())
+        isa.refresh(ENCLAVE, 0, now=0)
+        assert isa.refreshes_executed == 1
+
+    def test_refresh_resets_pressure(self, isa_factory):
+        isa = isa_factory(PrimitiveSet.proposed())
+        row_key = isa.controller.mapper.line_to_ddr(0).row_key()
+        isa.controller.device.tracker._pressure[row_key] = 9.0
+        isa.refresh(HOST, 0, now=0)
+        assert isa.controller.device.tracker.pressure_of(row_key) == 0.0
+
+    def test_auto_precharge(self, isa_factory):
+        isa = isa_factory(PrimitiveSet.proposed())
+        isa.refresh(HOST, 0, now=0, auto_precharge=True)
+        bank = isa.controller.device.banks[(0, 0, 0)]
+        assert bank.open_row is None
+
+    def test_no_auto_precharge_leaves_row_open(self, isa_factory):
+        isa = isa_factory(PrimitiveSet.proposed())
+        isa.refresh(HOST, 0, now=0, auto_precharge=False)
+        bank = isa.controller.device.banks[(0, 0, 0)]
+        assert bank.open_row is not None
+
+    def test_physical_variant_host_only(self, isa_factory):
+        isa = isa_factory(PrimitiveSet.proposed())
+        with pytest.raises(PrivilegeFaultError):
+            isa.refresh_physical(ENCLAVE, 0, now=0)
+        isa.refresh_physical(HOST, 0, now=0)
+
+
+class TestRefNeighbors:
+    def test_requires_dram_support(self, isa_factory):
+        isa = isa_factory(PrimitiveSet.proposed())  # no DRAM cooperation
+        with pytest.raises(IllegalInstructionError):
+            isa.ref_neighbors(HOST, 0, 1, now=0)
+
+    def test_ideal_platform_supports(self, isa_factory):
+        isa = isa_factory(PrimitiveSet.ideal())
+        done = isa.ref_neighbors(HOST, 64, 2, now=0)
+        assert done > 0
+
+    def test_guest_rejected(self, isa_factory):
+        isa = isa_factory(PrimitiveSet.ideal())
+        with pytest.raises(PrivilegeFaultError):
+            isa.ref_neighbors(GUEST, 0, 1, now=0)
+
+
+class TestUncoreMove:
+    def test_requires_primitive(self, isa_factory):
+        isa = isa_factory(PrimitiveSet.none())
+        with pytest.raises(IllegalInstructionError):
+            isa.uncore_move(HOST, 0, 100, now=0)
+
+    def test_host_only(self, isa_factory):
+        isa = isa_factory(PrimitiveSet.proposed())
+        with pytest.raises(PrivilegeFaultError):
+            isa.uncore_move(GUEST, 0, 100, now=0)
+
+    def test_move_executes(self, isa_factory):
+        isa = isa_factory(PrimitiveSet.proposed())
+        isa.uncore_move(HOST, 0, 100, now=0)
+        assert isa.moves_executed == 1
+        assert isa.controller.stats.uncore_moves == 1
+
+
+class TestPrimitiveSets:
+    def test_none_is_empty(self):
+        assert PrimitiveSet.none().available == frozenset()
+
+    def test_proposed_excludes_dram_assists(self):
+        proposed = PrimitiveSet.proposed()
+        assert not proposed.has(Primitive.REF_NEIGHBORS_COMMAND)
+        assert not proposed.has(Primitive.SUBARRAY_MAP_DISCLOSURE)
+        assert proposed.has(Primitive.REFRESH_INSTRUCTION)
+
+    def test_ideal_has_everything(self):
+        assert PrimitiveSet.ideal().available == frozenset(Primitive)
+
+    def test_with_without(self):
+        ps = PrimitiveSet.none().with_(Primitive.UNCORE_MOVE)
+        assert ps.has(Primitive.UNCORE_MOVE)
+        assert not ps.without(Primitive.UNCORE_MOVE).has(Primitive.UNCORE_MOVE)
+
+    def test_require_raises_with_names(self):
+        from repro.core.primitives import MissingPrimitiveError
+
+        with pytest.raises(MissingPrimitiveError) as excinfo:
+            PrimitiveSet.none().require(Primitive.REFRESH_INSTRUCTION)
+        assert "refresh-instruction" in str(excinfo.value)

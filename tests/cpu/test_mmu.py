@@ -1,0 +1,124 @@
+"""Unit tests for page tables and the ASID-tagged TLB."""
+
+import pytest
+
+from repro.cpu.mmu import Mmu, PageTable, Tlb, TranslationError
+
+
+class TestPageTable:
+    def test_map_translate(self):
+        table = PageTable(asid=1)
+        table.map(0, 42)
+        assert table.translate(0).frame == 42
+
+    def test_double_map_rejected(self):
+        table = PageTable(asid=1)
+        table.map(0, 42)
+        with pytest.raises(ValueError):
+            table.map(0, 43)
+
+    def test_unmapped_raises(self):
+        with pytest.raises(TranslationError):
+            PageTable(asid=1).translate(0)
+
+    def test_remap(self):
+        table = PageTable(asid=1)
+        table.map(0, 42)
+        old = table.remap(0, 99)
+        assert old == 42
+        assert table.translate(0).frame == 99
+
+    def test_remap_unmapped_raises(self):
+        with pytest.raises(TranslationError):
+            PageTable(asid=1).remap(0, 99)
+
+    def test_unmap(self):
+        table = PageTable(asid=1)
+        table.map(0, 42)
+        assert table.unmap(0) == 42
+        with pytest.raises(TranslationError):
+            table.translate(0)
+
+    def test_frames_iterator(self):
+        table = PageTable(asid=1)
+        table.map(0, 42)
+        table.map(1, 43)
+        assert sorted(table.frames()) == [42, 43]
+        assert len(table) == 2
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        tlb = Tlb(entries=4)
+        assert tlb.lookup(1, 0) is None
+        tlb.fill(1, 0, 42)
+        assert tlb.lookup(1, 0) == 42
+        assert tlb.hits == 1
+        assert tlb.misses == 1
+
+    def test_asid_tagging(self):
+        tlb = Tlb(entries=4)
+        tlb.fill(1, 0, 42)
+        assert tlb.lookup(2, 0) is None  # other ASID does not hit
+
+    def test_capacity_eviction(self):
+        tlb = Tlb(entries=2)
+        tlb.fill(1, 0, 10)
+        tlb.fill(1, 1, 11)
+        tlb.fill(1, 2, 12)
+        assert tlb.lookup(1, 0) is None  # LRU evicted
+
+    def test_lru_refresh(self):
+        tlb = Tlb(entries=2)
+        tlb.fill(1, 0, 10)
+        tlb.fill(1, 1, 11)
+        tlb.lookup(1, 0)  # touch 0 so 1 becomes LRU
+        tlb.fill(1, 2, 12)
+        assert tlb.lookup(1, 0) == 10
+        assert tlb.lookup(1, 1) is None
+
+    def test_invalidate_page(self):
+        tlb = Tlb(entries=4)
+        tlb.fill(1, 0, 42)
+        tlb.invalidate(1, 0)
+        assert tlb.lookup(1, 0) is None
+
+    def test_invalidate_asid(self):
+        tlb = Tlb(entries=4)
+        tlb.fill(1, 0, 42)
+        tlb.fill(1, 1, 43)
+        tlb.fill(2, 0, 44)
+        tlb.invalidate(1)
+        assert tlb.lookup(1, 0) is None
+        assert tlb.lookup(1, 1) is None
+        assert tlb.lookup(2, 0) == 44
+
+
+class TestMmu:
+    def test_translate_line(self):
+        mmu = Mmu(lines_per_page=64)
+        mmu.table(1).map(0, 5)
+        assert mmu.translate_line(1, 3) == 5 * 64 + 3
+        assert mmu.translate_line(1, 63) == 5 * 64 + 63
+
+    def test_translate_uses_tlb(self):
+        mmu = Mmu(lines_per_page=64)
+        mmu.table(1).map(0, 5)
+        mmu.translate_line(1, 0)
+        mmu.translate_line(1, 1)
+        assert mmu.tlb.hits == 1
+
+    def test_remap_page_shoots_down_tlb(self):
+        mmu = Mmu(lines_per_page=64)
+        mmu.table(1).map(0, 5)
+        mmu.translate_line(1, 0)  # TLB now caches frame 5
+        mmu.remap_page(1, 0, 9)
+        assert mmu.translate_line(1, 0) == 9 * 64
+
+    def test_reverse_lookup(self):
+        mmu = Mmu(lines_per_page=64)
+        mmu.table(1).map(0, 5)
+        mmu.table(2).map(7, 8)
+        assert mmu.reverse_lookup(5) == (1, 0)
+        assert mmu.reverse_lookup(8) == (2, 7)
+        assert mmu.reverse_lookup(999) is None

@@ -1,0 +1,33 @@
+"""Defense-test helpers: pre-built attack scenarios at high scale so
+individual tests stay fast."""
+
+import pytest
+
+from repro.analysis.scenarios import build_scenario, run_attack
+from repro.core.primitives import PrimitiveSet
+from repro.sim import legacy_platform, proposed_platform
+
+
+@pytest.fixture
+def legacy_config():
+    return legacy_platform(scale=64)
+
+
+@pytest.fixture
+def primitives_config():
+    """Legacy interleaving but with the proposed MC primitives exposed
+    (the deployment point for frequency/refresh software defenses)."""
+    return legacy_platform(scale=64).with_primitives(PrimitiveSet.proposed())
+
+
+@pytest.fixture
+def isolation_config():
+    return proposed_platform(scale=64)
+
+
+def attack_with(config, defenses=(), **kwargs):
+    """One double-sided attack window; returns (scenario, result)."""
+    scenario = build_scenario(config, defenses=list(defenses),
+                              interleaved_allocation=True)
+    result = run_attack(scenario, kwargs.pop("pattern", "double-sided"), **kwargs)
+    return scenario, result

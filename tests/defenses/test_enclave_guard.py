@@ -1,0 +1,91 @@
+"""Tests for the §4.4 enclave-cooperative defense."""
+
+import pytest
+
+from repro.analysis.scenarios import build_scenario, run_attack
+from repro.core.primitives import MissingPrimitiveError, PrimitiveSet
+from repro.defenses import EnclaveGuardDefense, verify_placement
+from repro.sim import build_system, legacy_platform, proposed_platform
+
+
+@pytest.fixture
+def primitives_config():
+    return legacy_platform(scale=64).with_primitives(PrimitiveSet.proposed())
+
+
+def enclave_attack(config, defenses, evacuate_after=1 << 30,
+                   grant_refresh=True):
+    if defenses is None:
+        defenses = [EnclaveGuardDefense(
+            grant_refresh=grant_refresh, evacuate_after=evacuate_after,
+        )]
+    scenario = build_scenario(
+        config, defenses=defenses, interleaved_allocation=True,
+        victim_enclave=True, enclave_integrity=False,
+    )
+    result = run_attack(scenario, "double-sided")
+    return scenario, result
+
+
+class TestRequirements:
+    def test_requires_precise_interrupts(self):
+        system = build_system(legacy_platform(scale=64))
+        with pytest.raises(MissingPrimitiveError):
+            EnclaveGuardDefense().attach(system)
+
+    def test_refresh_grant_requires_instruction(self):
+        from repro.core.primitives import Primitive
+
+        config = legacy_platform(scale=64).with_primitives(
+            PrimitiveSet.proposed().without(Primitive.REFRESH_INSTRUCTION)
+        )
+        system = build_system(config)
+        with pytest.raises(MissingPrimitiveError):
+            EnclaveGuardDefense(grant_refresh=True).attach(system)
+        EnclaveGuardDefense(grant_refresh=False).attach(
+            build_system(config)
+        )
+
+
+class TestProtection:
+    def test_undefended_enclave_corrupts(self, primitives_config):
+        scenario, result = enclave_attack(primitives_config, defenses=[])
+        runtime = scenario.system.enclaves[scenario.victim.asid]
+        assert runtime.pending_poisoned_rows > 0
+
+    def test_granted_refresh_protects(self, primitives_config):
+        scenario, result = enclave_attack(primitives_config, defenses=None)
+        runtime = scenario.system.enclaves[scenario.victim.asid]
+        defense = scenario.defenses[0]
+        assert result.cross_domain_flips == 0
+        assert runtime.pending_poisoned_rows == 0
+        assert defense.counters.get("enclave_refreshes", 0) > 0
+        assert defense.counters.get("warnings_forwarded", 0) > 0
+
+    def test_warnings_reach_runtime(self, primitives_config):
+        scenario, _result = enclave_attack(primitives_config, defenses=None)
+        runtime = scenario.system.enclaves[scenario.victim.asid]
+        assert runtime.act_warnings > 0
+
+    def test_evacuation_after_threshold(self, primitives_config):
+        scenario, result = enclave_attack(
+            primitives_config, defenses=None, evacuate_after=3,
+        )
+        defense = scenario.defenses[0]
+        assert defense.counters.get("enclave_pages_evacuated", 0) > 0
+        assert result.cross_domain_flips == 0
+
+
+class TestPlacementVerification:
+    def test_isolated_enclave_verifies(self):
+        system = build_system(proposed_platform(scale=64))
+        enclave = system.create_domain("encl", pages=16, enclave=True)
+        system.create_domain("other", pages=16)
+        assert verify_placement(system, enclave)
+
+    def test_shared_subarray_fails_verification(self):
+        system = build_system(legacy_platform(scale=64))
+        enclave = system.create_domain("encl", pages=16, enclave=True)
+        system.create_domain("other", pages=16)
+        # conventional interleaving mixes everyone into subarray 0
+        assert not verify_placement(system, enclave)

@@ -1,0 +1,135 @@
+"""Tests for isolation-centric defenses."""
+
+import pytest
+
+from repro.core.primitives import MissingPrimitiveError
+from repro.defenses.isolation import (
+    BankPartitionDefense,
+    GuardRowsDefense,
+    SubarrayIsolationDefense,
+)
+from repro.hostos.allocator import AllocationPolicy
+from repro.sim import build_system, legacy_platform
+
+from tests.defenses.conftest import attack_with
+
+
+class TestSubarrayIsolation:
+    def test_requires_primitive(self, legacy_config):
+        system = build_system(legacy_config)
+        with pytest.raises(MissingPrimitiveError):
+            SubarrayIsolationDefense().attach(system)
+
+    def test_requires_matching_policy(self, isolation_config):
+        from dataclasses import replace
+
+        config = replace(
+            isolation_config, allocation_policy=AllocationPolicy.DEFAULT,
+            mapping="cacheline-interleave",
+        )
+        system = build_system(config)
+        with pytest.raises(RuntimeError):
+            SubarrayIsolationDefense().attach(system)
+
+    def test_attack_has_no_target(self, isolation_config):
+        scenario, result = attack_with(
+            isolation_config, [SubarrayIsolationDefense()]
+        )
+        assert not result.plan.viable
+        assert result.cross_domain_flips == 0
+
+    def test_dma_also_has_no_target(self, isolation_config):
+        scenario, result = attack_with(
+            isolation_config, [SubarrayIsolationDefense()], use_dma=True
+        )
+        assert result.cross_domain_flips == 0
+
+    def test_intra_domain_not_protected(self, isolation_config):
+        """The §2.2 caveat, as a regression test."""
+        from repro.analysis.scenarios import build_scenario, run_attack
+
+        scenario = build_scenario(
+            isolation_config, defenses=[SubarrayIsolationDefense()],
+            interleaved_allocation=True,
+        )
+        result = run_attack(scenario, "double-sided", intra_domain=True)
+        assert result.intra_domain_flips > 0
+
+
+class TestRemapAudit:
+    def test_audit_quarantines_escaping_rows(self, isolation_config):
+        from repro.analysis.experiments import _craft_cross_subarray_swaps
+        from repro.analysis.scenarios import build_scenario
+
+        defense = SubarrayIsolationDefense()
+        scenario = build_scenario(
+            isolation_config, defenses=[defense],
+            victim_pages=96, attacker_pages=96,
+        )
+        swaps = _craft_cross_subarray_swaps(scenario, swaps=2)
+        assert swaps == 2
+        system = scenario.system
+        pairs = [
+            (b, row)
+            for b in range(system.geometry.banks_total)
+            for row in system.device.remapper.remapped_rows(b)
+        ]
+        quarantined = defense.audit_internal_remaps(pairs)
+        assert quarantined > 0
+        assert system.allocator.retired_frames == quarantined
+
+    def test_harmless_remaps_ignored(self, isolation_config):
+        from repro.analysis.scenarios import build_scenario
+
+        defense = SubarrayIsolationDefense()
+        scenario = build_scenario(isolation_config, defenses=[defense])
+        system = scenario.system
+        # swap two rows within one subarray: isolation unaffected
+        system.device.remapper.swap(0, 64, 65)
+        assert defense.audit_internal_remaps([(0, 64), (0, 65)]) == 0
+
+
+class TestLegacyIsolationBaselines:
+    def test_bank_partition_isolates(self):
+        config = legacy_platform(
+            scale=64, mapping="linear",
+            allocation_policy=AllocationPolicy.BANK_PARTITION,
+        )
+        scenario, result = attack_with(config, [BankPartitionDefense()])
+        assert result.cross_domain_flips == 0
+
+    def test_guard_rows_isolate(self):
+        config = legacy_platform(
+            scale=64, mapping="linear",
+            allocation_policy=AllocationPolicy.GUARD_ROWS,
+        )
+        scenario, result = attack_with(config, [GuardRowsDefense()])
+        assert result.cross_domain_flips == 0
+
+    def test_guard_rows_cost_capacity(self):
+        config = legacy_platform(
+            scale=64, mapping="linear",
+            allocation_policy=AllocationPolicy.GUARD_ROWS,
+        )
+        scenario, _result = attack_with(config, [GuardRowsDefense()])
+        assert scenario.defenses[0].cost().reserved_capacity_fraction > 0
+
+    def test_policy_mismatch_refused(self, legacy_config):
+        system = build_system(legacy_config)
+        with pytest.raises(RuntimeError):
+            BankPartitionDefense().attach(system)
+
+
+class TestDefenseLifecycle:
+    def test_double_attach_rejected(self, isolation_config):
+        system = build_system(isolation_config)
+        defense = SubarrayIsolationDefense()
+        defense.attach(system)
+        with pytest.raises(RuntimeError):
+            defense.attach(system)
+
+    def test_describe(self, isolation_config):
+        row = SubarrayIsolationDefense().describe()
+        assert row["class"] == "isolation-centric"
+        assert row["location"] == "software"
+        assert row["stops_intra_domain"] is False

@@ -1,0 +1,78 @@
+"""Registry-wide invariants: every defense plays by the framework rules."""
+
+import pytest
+
+from repro.core.taxonomy import AttackCondition, MitigationClass
+from repro.defenses import ALL_DEFENSES
+from repro.defenses.base import Defense, DefenseCost
+
+
+@pytest.mark.parametrize("defense_cls", ALL_DEFENSES,
+                         ids=lambda cls: cls.name)
+class TestEveryDefense:
+    def test_constructs_with_defaults(self, defense_cls):
+        defense = defense_cls()
+        assert isinstance(defense, Defense)
+        assert defense.name and defense.name != "defense"
+
+    def test_has_valid_traits(self, defense_cls):
+        traits = defense_cls.traits
+        assert traits.mitigation_class in MitigationClass
+        assert traits.location in ("dram", "mc", "software")
+        assert traits.eliminated_condition in AttackCondition
+
+    def test_describe_row(self, defense_cls):
+        row = defense_cls().describe()
+        for key in ("name", "class", "location", "requires",
+                    "covers_dma", "stops_intra_domain"):
+            assert key in row
+
+    def test_unattached_cost_is_safe(self, defense_cls):
+        cost = defense_cls().cost()
+        assert isinstance(cost, DefenseCost)
+        assert cost.sram_bits >= 0
+
+    def test_detached_state(self, defense_cls):
+        defense = defense_cls()
+        assert not defense.attached
+        assert defense.counters == {}
+
+
+def test_every_mitigation_class_represented():
+    classes = {cls.traits.mitigation_class for cls in ALL_DEFENSES}
+    assert classes == set(MitigationClass)
+
+
+def test_paper_defenses_all_require_primitives():
+    """Every defense the paper proposes is impossible on today's
+    hardware; every baseline is possible (that's what makes them
+    baselines)."""
+    from repro.defenses import (
+        AggressorRemapDefense,
+        AnvilDefense,
+        BlockHammerDefense,
+        CacheLineLockingDefense,
+        CriticalRowGuardDefense,
+        EnclaveGuardDefense,
+        GrapheneDefense,
+        ParaDefense,
+        SamplingTrr,
+        SubarrayIsolationDefense,
+        TargetedRefreshDefense,
+        TwiceDefense,
+        VendorTrr,
+    )
+
+    proposed = (
+        SubarrayIsolationDefense, AggressorRemapDefense,
+        CacheLineLockingDefense, TargetedRefreshDefense,
+        EnclaveGuardDefense, CriticalRowGuardDefense,
+    )
+    baselines = (
+        VendorTrr, SamplingTrr, ParaDefense, BlockHammerDefense,
+        GrapheneDefense, TwiceDefense, AnvilDefense,
+    )
+    for cls in proposed:
+        assert cls.requires, cls.name
+    for cls in baselines:
+        assert not cls.requires, cls.name

@@ -1,0 +1,77 @@
+"""Tests for the scoped (SoftTRR-style) critical-row guard."""
+
+import pytest
+
+from repro.analysis.scenarios import build_scenario, run_attack
+from repro.core.primitives import MissingPrimitiveError
+from repro.defenses import CriticalRowGuardDefense
+from repro.sim import build_system, legacy_platform
+
+
+class TestRequirements:
+    def test_requires_primitives(self):
+        system = build_system(legacy_platform(scale=64))
+        with pytest.raises(MissingPrimitiveError):
+            CriticalRowGuardDefense().attach(system)
+
+    def test_protect_before_attach_rejected(self):
+        defense = CriticalRowGuardDefense()
+        with pytest.raises(AssertionError):
+            defense.protect_frames([0])
+
+
+class TestScopedProtection:
+    def _scenario(self, protect_victim):
+        from tests.defenses.conftest import attack_with  # reuse config style
+        from repro.core.primitives import PrimitiveSet
+
+        config = legacy_platform(scale=64).with_primitives(
+            PrimitiveSet.proposed()
+        )
+        defense = CriticalRowGuardDefense()
+        scenario = build_scenario(
+            config, defenses=[defense], interleaved_allocation=True
+        )
+        if protect_victim:
+            defense.protect_domain(scenario.victim)
+        result = run_attack(scenario, "double-sided")
+        return scenario, defense, result
+
+    def test_protected_victim_survives(self):
+        scenario, defense, result = self._scenario(protect_victim=True)
+        assert result.cross_domain_flips == 0
+        assert defense.counters.get("protected_refreshes", 0) > 0
+
+    def test_unprotected_victim_still_flips(self):
+        """The guard is scoped by design: assets outside the protected
+        set get nothing — and cost nothing."""
+        scenario, defense, result = self._scenario(protect_victim=False)
+        assert result.cross_domain_flips > 0
+        assert defense.counters.get("protected_refreshes", 0) == 0
+        assert defense.counters.get("interrupts_ignored", 0) > 0
+
+    def test_refresh_budget_smaller_than_full_defense(self):
+        """Scoping buys a lower refresh budget than guarding everything
+        (the SoftTRR selling point)."""
+        from repro.core.primitives import PrimitiveSet
+        from repro.defenses import TargetedRefreshDefense
+
+        config = legacy_platform(scale=64).with_primitives(
+            PrimitiveSet.proposed()
+        )
+        scoped = CriticalRowGuardDefense()
+        scenario = build_scenario(
+            config, defenses=[scoped], interleaved_allocation=True
+        )
+        # protect only a quarter of the victim's pages
+        scoped.protect_frames(scenario.victim.frames[: len(scenario.victim.frames) // 4])
+        run_attack(scenario, "double-sided")
+        scoped_refreshes = scenario.system.controller.stats.targeted_refreshes
+
+        full = TargetedRefreshDefense()
+        scenario2 = build_scenario(
+            config, defenses=[full], interleaved_allocation=True
+        )
+        run_attack(scenario2, "double-sided")
+        full_refreshes = scenario2.system.controller.stats.targeted_refreshes
+        assert scoped_refreshes < full_refreshes

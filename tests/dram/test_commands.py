@@ -1,0 +1,57 @@
+"""Unit tests for the DDR command vocabulary."""
+
+import pytest
+
+from repro.dram.commands import (
+    CommandKind,
+    DramCommand,
+    act,
+    pre,
+    rd,
+    ref,
+    ref_neighbors,
+    wr,
+)
+from repro.dram.geometry import DdrAddress
+
+ADDRESS = DdrAddress(0, 0, 0, 5, 3)
+
+
+class TestConstructors:
+    def test_act(self):
+        command = act(ADDRESS)
+        assert command.kind is CommandKind.ACT
+        assert command.address == ADDRESS
+
+    def test_rd_wr_pre(self):
+        assert rd(ADDRESS).kind is CommandKind.RD
+        assert wr(ADDRESS).kind is CommandKind.WR
+        assert pre(ADDRESS).kind is CommandKind.PRE
+
+    def test_ref_has_no_address(self):
+        # §4.3: REF takes no row address — the root of the software
+        # refresh problem
+        assert ref().address is None
+
+    def test_ref_neighbors(self):
+        command = ref_neighbors(ADDRESS, 2)
+        assert command.kind is CommandKind.REF_NEIGHBORS
+        assert command.blast_radius == 2
+
+
+class TestValidation:
+    def test_act_requires_address(self):
+        with pytest.raises(ValueError):
+            DramCommand(CommandKind.ACT)
+
+    def test_ref_rejects_address(self):
+        with pytest.raises(ValueError):
+            DramCommand(CommandKind.REF, ADDRESS)
+
+    def test_ref_neighbors_requires_radius(self):
+        with pytest.raises(ValueError):
+            DramCommand(CommandKind.REF_NEIGHBORS, ADDRESS)
+
+    def test_radius_only_for_ref_neighbors(self):
+        with pytest.raises(ValueError):
+            DramCommand(CommandKind.ACT, ADDRESS, blast_radius=1)

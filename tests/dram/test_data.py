@@ -1,0 +1,96 @@
+"""Tests for the optional data plane."""
+
+import pytest
+
+from repro.dram.data import DataPlane
+
+
+class TestReadWrite:
+    def test_roundtrip(self):
+        plane = DataPlane()
+        plane.write(5, b"hello")
+        assert plane.read(5)[:5] == b"hello"
+        assert plane.read(5)[5:] == bytes(59)  # zero padded
+
+    def test_unwritten_reads_zero(self):
+        plane = DataPlane()
+        assert plane.read(7) == bytes(64)
+
+    def test_oversized_write_rejected(self):
+        plane = DataPlane()
+        with pytest.raises(ValueError):
+            plane.write(0, bytes(65))
+
+    def test_negative_line_rejected(self):
+        plane = DataPlane()
+        with pytest.raises(ValueError):
+            plane.write(-1, b"x")
+        with pytest.raises(ValueError):
+            plane.read(-1)
+
+    def test_verify(self):
+        plane = DataPlane()
+        plane.write(3, b"abc")
+        assert plane.verify(3, b"abc")
+        assert not plane.verify(3, b"abd")
+
+
+class TestCorruption:
+    def test_corrupts_only_written_lines(self):
+        plane = DataPlane(seed=1)
+        assert plane.corrupt_one_of([1, 2, 3], bits=1) is None
+
+    def test_corruption_flips_bits(self):
+        plane = DataPlane(seed=1)
+        plane.write(5, b"\xAA" * 64)
+        line, bits = plane.corrupt_one_of([4, 5, 6], bits=2)
+        assert line == 5
+        assert len(bits) == 2
+        assert plane.read(5) != b"\xAA" * 64
+        assert plane.corrupted_count() == 1
+
+    def test_deterministic_by_seed(self):
+        results = []
+        for _ in range(2):
+            plane = DataPlane(seed=9)
+            plane.write(5, bytes(64))
+            plane.write(6, bytes(64))
+            results.append(plane.corrupt_one_of([5, 6], bits=1))
+        assert results[0] == results[1]
+
+
+class TestSystemIntegration:
+    def test_tenant_reads_back_corruption(self):
+        from repro.analysis.scenarios import build_scenario, run_attack
+        from repro.sim import legacy_platform
+
+        scenario = build_scenario(
+            legacy_platform(scale=64), interleaved_allocation=True
+        )
+        victim = scenario.victim
+        pattern = b"\x55" * 64
+        for page in range(victim.pages):
+            victim.write(victim.virtual_line(page, 0), pattern)
+        result = run_attack(scenario, "double-sided")
+        assert result.cross_domain_flips > 0
+        assert scenario.system.data.corrupted_count() > 0
+
+    def test_no_attack_no_corruption(self):
+        from repro.sim import build_system, legacy_platform
+
+        system = build_system(legacy_platform(scale=64))
+        tenant = system.create_domain("t", pages=4)
+        tenant.write(0, b"data")
+        data, _ = tenant.read(0)
+        assert data[:4] == b"data"
+        assert system.data.corrupted_count() == 0
+
+    def test_write_read_go_through_timing(self):
+        from repro.sim import build_system, legacy_platform
+
+        system = build_system(legacy_platform(scale=64))
+        tenant = system.create_domain("t", pages=4)
+        done = tenant.write(0, b"x", now=100)
+        assert done > 100
+        _data, done2 = tenant.read(0, now=done)
+        assert done2 > done

@@ -1,0 +1,210 @@
+"""Unit tests for the DRAM device: access path, refresh engine,
+mitigation hook, and the internal remap translation."""
+
+import random
+
+import pytest
+
+from repro.dram.device import DramDevice
+from repro.dram.disturbance import DisturbanceProfile
+from repro.dram.geometry import DdrAddress, DramGeometry
+from repro.dram.remap import RowRemapper
+from repro.dram.timing import DramTimings
+
+
+def make_device(geometry, mac=10, blast_radius=1, remapper=None, mitigation=None):
+    return DramDevice(
+        geometry=geometry,
+        timings=DramTimings(),
+        profile=DisturbanceProfile(mac=mac, blast_radius=blast_radius),
+        remapper=remapper,
+        mitigation=mitigation,
+        rng=random.Random(3),
+    )
+
+
+def hammer(device, row, times, start=0, domain=None):
+    """Alternate the target row with a far row to force real ACTs."""
+    address = DdrAddress(0, 0, 0, row, 0)
+    other = DdrAddress(0, 0, 0, row if row > 7 else 12, 0)
+    now = start
+    for _ in range(times):
+        now, _ = device.access(address, now, domain)
+        if other.row != row:
+            now, _ = device.access(other, now, domain)
+    return now
+
+
+class TestAccessPath:
+    def test_access_returns_increasing_time(self, tiny_geometry):
+        device = make_device(tiny_geometry)
+        t1, _ = device.access(DdrAddress(0, 0, 0, 0, 0), 0)
+        t2, _ = device.access(DdrAddress(0, 0, 0, 1, 0), t1)
+        assert t2 > t1
+
+    def test_repeated_same_row_is_hit_and_causes_no_disturbance(self, tiny_geometry):
+        device = make_device(tiny_geometry, mac=3)
+        address = DdrAddress(0, 0, 0, 4, 0)
+        now = 0
+        for _ in range(20):
+            now, flips = device.access(address, now)
+            assert flips == []
+        # neighbours only got pressured by the single initial ACT
+        assert device.tracker.pressure_of((0, 0, 0, 3)) == 1.0
+
+    def test_alternating_rows_disturb(self, tiny_geometry):
+        device = make_device(tiny_geometry, mac=5)
+        hammer(device, row=4, times=10)
+        assert device.flips  # victims of rows 4 and 12 flipped
+
+    def test_flip_count_and_oracle_match(self, tiny_geometry):
+        device = make_device(tiny_geometry, mac=5)
+        hammer(device, row=4, times=10)
+        assert device.flips == device.tracker.flips
+
+
+class TestRefreshSweep:
+    def test_every_row_refreshed_within_window(self, tiny_geometry):
+        """The sweep must visit every row once per tREFW."""
+        device = make_device(tiny_geometry)
+        timings = device.timings
+        # preload pressure everywhere
+        for row in range(tiny_geometry.rows_per_bank):
+            for key in device.banks:
+                device.tracker._pressure[key + (row,)] = 5.0
+        now = 0
+        while now <= timings.tREFW:
+            device.refresh_burst(now)
+            now += timings.tREFI
+        for row in range(tiny_geometry.rows_per_bank):
+            for key in device.banks:
+                assert device.tracker.pressure_of(key + (row,)) == 0.0
+
+    def test_sweep_paces_not_all_at_once(self, tiny_geometry):
+        device = make_device(tiny_geometry)
+        for row in range(tiny_geometry.rows_per_bank):
+            device.tracker._pressure[(0, 0, 0, row)] = 5.0
+        device.refresh_burst(0)
+        still_pressured = sum(
+            1
+            for row in range(tiny_geometry.rows_per_bank)
+            if device.tracker.pressure_of((0, 0, 0, row)) > 0
+        )
+        assert still_pressured > 0  # one burst refreshes only a slice
+
+    def test_refresh_blocks_banks(self, tiny_geometry):
+        device = make_device(tiny_geometry)
+        free_at = device.refresh_burst(1000)
+        assert free_at == 1000 + device.timings.tRFC
+
+
+class TestTargetedRefresh:
+    def test_activate_refreshes_row(self, tiny_geometry):
+        device = make_device(tiny_geometry)
+        device.tracker._pressure[(0, 0, 0, 5)] = 7.0
+        device.activate(DdrAddress(0, 0, 0, 5, 0), 0)
+        assert device.tracker.pressure_of((0, 0, 0, 5)) == 0.0
+
+    def test_normal_activate_disturbs_neighbors(self, tiny_geometry):
+        device = make_device(tiny_geometry)
+        device.activate(DdrAddress(0, 0, 0, 5, 0), 0)
+        assert device.tracker.pressure_of((0, 0, 0, 4)) == 1.0
+
+    def test_refresh_only_activate_does_not_disturb(self, tiny_geometry):
+        """Refresh-path ACTs are pressure-free (see device docstring)."""
+        device = make_device(tiny_geometry)
+        device.activate(DdrAddress(0, 0, 0, 5, 0), 0, refresh_only=True)
+        assert device.tracker.pressure_of((0, 0, 0, 4)) == 0.0
+
+    def test_refresh_only_still_refreshes(self, tiny_geometry):
+        device = make_device(tiny_geometry)
+        device.tracker._pressure[(0, 0, 0, 5)] = 7.0
+        device.activate(DdrAddress(0, 0, 0, 5, 0), 0, refresh_only=True)
+        assert device.tracker.pressure_of((0, 0, 0, 5)) == 0.0
+
+    def test_precharge_after(self, tiny_geometry):
+        device = make_device(tiny_geometry)
+        device.activate(DdrAddress(0, 0, 0, 5, 0), 0, precharge_after=True)
+        assert device.banks[(0, 0, 0)].open_row is None
+
+
+class TestRefNeighbors:
+    def test_refreshes_neighbors(self, tiny_geometry):
+        device = make_device(tiny_geometry, blast_radius=2)
+        for row in (3, 5, 6):
+            device.tracker._pressure[(0, 0, 0, row)] = 9.0
+        device.ref_neighbors(DdrAddress(0, 0, 0, 4, 0), 2, 0)
+        for row in (3, 5, 6):
+            assert device.tracker.pressure_of((0, 0, 0, row)) == 0.0
+
+    def test_uses_internal_adjacency(self, tiny_geometry):
+        """REF_NEIGHBORS resolves adjacency inside DRAM, so it follows
+        remaps that fool logical-adjacency defenses (§4.3)."""
+        remapper = RowRemapper(tiny_geometry)
+        remapper.swap(0, 4, 12)  # logical 4 now lives at internal 12
+        device = make_device(tiny_geometry, remapper=remapper)
+        device.tracker._pressure[(0, 0, 0, 11)] = 9.0  # internal victim
+        device.ref_neighbors(DdrAddress(0, 0, 0, 4, 0), 1, 0)
+        assert device.tracker.pressure_of((0, 0, 0, 11)) == 0.0
+
+    def test_validates_radius(self, tiny_geometry):
+        device = make_device(tiny_geometry)
+        with pytest.raises(ValueError):
+            device.ref_neighbors(DdrAddress(0, 0, 0, 4, 0), 0, 0)
+
+
+class TestRemapTranslation:
+    def test_disturbance_follows_internal_position(self, tiny_geometry):
+        remapper = RowRemapper(tiny_geometry)
+        remapper.swap(0, 4, 12)
+        device = make_device(tiny_geometry, mac=5, remapper=remapper)
+        # alternate logical 4 (= internal 12) with an unremapped conflict
+        # row in the other subarray so only internal 12's neighbours load
+        target = DdrAddress(0, 0, 0, 4, 0)
+        conflict = DdrAddress(0, 0, 0, 14, 0)
+        now = 0
+        for _ in range(10):
+            now, _ = device.access(target, now)
+            now, _ = device.access(conflict, now)
+        internal_victims = {flip.victim[3] for flip in device.flips}
+        # victims of internal 12: rows 11 and 13 (and 13/15 from the
+        # conflict row 14); crucially, internal neighbours of logical 4
+        # (rows 3 and 5) must NOT appear
+        assert internal_victims
+        assert 3 not in internal_victims
+        assert 5 not in internal_victims
+        assert 11 in internal_victims
+
+
+class _RecordingMitigation:
+    def __init__(self):
+        self.seen = []
+        self.refresh_calls = 0
+
+    def on_activate(self, address, time_ns):
+        self.seen.append(address.row)
+
+    def targets_to_refresh(self, time_ns):
+        self.refresh_calls += 1
+        return []
+
+
+class TestMitigationHook:
+    def test_mitigation_sees_acts(self, tiny_geometry):
+        mitigation = _RecordingMitigation()
+        device = make_device(tiny_geometry, mitigation=mitigation)
+        device.access(DdrAddress(0, 0, 0, 4, 0), 0)
+        assert mitigation.seen == [4]
+
+    def test_mitigation_consulted_on_ref(self, tiny_geometry):
+        mitigation = _RecordingMitigation()
+        device = make_device(tiny_geometry, mitigation=mitigation)
+        device.refresh_burst(0)
+        assert mitigation.refresh_calls == 1
+
+    def test_stats(self, tiny_geometry):
+        device = make_device(tiny_geometry)
+        device.access(DdrAddress(0, 0, 0, 4, 0), 0)
+        device.access(DdrAddress(0, 0, 0, 4, 1), 100)
+        assert device.total_acts() == 1
+        assert device.row_hit_rate() == pytest.approx(0.5)

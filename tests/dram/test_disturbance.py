@@ -1,0 +1,169 @@
+"""Unit tests for the Rowhammer disturbance model."""
+
+import random
+
+import pytest
+
+from repro.dram.disturbance import (
+    BitFlip,
+    DisturbanceProfile,
+    DisturbanceTracker,
+)
+from repro.dram.geometry import DdrAddress
+
+
+def make_tracker(geometry, mac=10, blast_radius=1, **kwargs):
+    profile = DisturbanceProfile(mac=mac, blast_radius=blast_radius, **kwargs)
+    return DisturbanceTracker(geometry, profile, random.Random(7))
+
+
+def hammer(tracker, row, times, column=0, domain=None):
+    flips = []
+    address = DdrAddress(0, 0, 0, row, column)
+    for i in range(times):
+        flips.extend(tracker.on_activate(address, time_ns=i, domain=domain))
+    return flips
+
+
+class TestProfile:
+    def test_weight_decay(self):
+        profile = DisturbanceProfile(blast_radius=3, decay_per_row=0.5)
+        assert profile.weight(1) == 1.0
+        assert profile.weight(2) == 0.5
+        assert profile.weight(3) == 0.25
+        assert profile.weight(4) == 0.0
+        assert profile.weight(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DisturbanceProfile(mac=0)
+        with pytest.raises(ValueError):
+            DisturbanceProfile(blast_radius=0)
+        with pytest.raises(ValueError):
+            DisturbanceProfile(decay_per_row=0.0)
+        with pytest.raises(ValueError):
+            DisturbanceProfile(flip_probability=0.0)
+        with pytest.raises(ValueError):
+            DisturbanceProfile(max_bits_per_flip=0)
+
+    def test_scaled(self):
+        profile = DisturbanceProfile(mac=1000)
+        assert profile.scaled(10).mac == 100
+        assert profile.scaled(1) == profile
+
+
+class TestThreshold:
+    def test_no_flip_below_mac(self, tiny_geometry):
+        tracker = make_tracker(tiny_geometry, mac=10)
+        flips = hammer(tracker, row=4, times=9)
+        assert flips == []
+
+    def test_flip_at_mac(self, tiny_geometry):
+        tracker = make_tracker(tiny_geometry, mac=10)
+        flips = hammer(tracker, row=4, times=10)
+        victims = {flip.victim[3] for flip in flips}
+        assert victims == {3, 5}
+
+    def test_flips_once_until_refreshed(self, tiny_geometry):
+        tracker = make_tracker(tiny_geometry, mac=10)
+        flips = hammer(tracker, row=4, times=30)
+        assert len(flips) == 2  # one per victim, not one per extra ACT
+
+    def test_reflips_after_refresh(self, tiny_geometry):
+        tracker = make_tracker(tiny_geometry, mac=10)
+        hammer(tracker, row=4, times=10)
+        tracker.on_refresh((0, 0, 0, 5))
+        flips = hammer(tracker, row=4, times=10)
+        assert any(flip.victim[3] == 5 for flip in flips)
+
+    def test_distance_weighting(self, tiny_geometry):
+        tracker = make_tracker(tiny_geometry, mac=10, blast_radius=2)
+        hammer(tracker, row=4, times=10)
+        # distance-2 victims accumulate at half rate
+        assert tracker.pressure_of((0, 0, 0, 6)) == pytest.approx(5.0)
+        assert tracker.pressure_of((0, 0, 0, 3)) == pytest.approx(10.0)
+
+
+class TestRefreshSemantics:
+    def test_own_act_refreshes_row(self, tiny_geometry):
+        # §2.1: an ACT of a row repairs the row itself
+        tracker = make_tracker(tiny_geometry, mac=10)
+        hammer(tracker, row=4, times=5)  # row 3 pressure 5
+        hammer(tracker, row=3, times=1)  # activating 3 resets it
+        assert tracker.pressure_of((0, 0, 0, 3)) == 0.0
+
+    def test_on_refresh_clears_pressure(self, tiny_geometry):
+        tracker = make_tracker(tiny_geometry, mac=10)
+        hammer(tracker, row=4, times=5)
+        tracker.on_refresh((0, 0, 0, 3))
+        assert tracker.pressure_of((0, 0, 0, 3)) == 0.0
+
+    def test_headroom(self, tiny_geometry):
+        tracker = make_tracker(tiny_geometry, mac=10)
+        hammer(tracker, row=4, times=4)
+        assert tracker.headroom_of((0, 0, 0, 3)) == pytest.approx(6.0)
+
+    def test_subarray_clipping(self, tiny_geometry):
+        # row 8 starts subarray 1; hammering it must not pressure row 7
+        tracker = make_tracker(tiny_geometry, mac=10, blast_radius=2)
+        hammer(tracker, row=8, times=20)
+        assert tracker.pressure_of((0, 0, 0, 7)) == 0.0
+        assert tracker.pressure_of((0, 0, 0, 9)) > 0.0
+
+
+class TestAttribution:
+    def test_cross_domain(self, tiny_geometry):
+        tracker = make_tracker(tiny_geometry, mac=5)
+        tracker.set_domain_lookup(lambda key: frozenset({42}))
+        flips = hammer(tracker, row=4, times=5, domain=1)
+        assert all(flip.cross_domain for flip in flips)
+        assert not any(flip.intra_domain for flip in flips)
+
+    def test_intra_domain(self, tiny_geometry):
+        tracker = make_tracker(tiny_geometry, mac=5)
+        tracker.set_domain_lookup(lambda key: frozenset({1}))
+        flips = hammer(tracker, row=4, times=5, domain=1)
+        assert all(flip.intra_domain for flip in flips)
+        assert not any(flip.cross_domain for flip in flips)
+
+    def test_mixed_row_is_both(self, tiny_geometry):
+        # interleaving puts two domains in one row: the flip is cross
+        # AND intra (§4.1's isolation problem)
+        tracker = make_tracker(tiny_geometry, mac=5)
+        tracker.set_domain_lookup(lambda key: frozenset({1, 2}))
+        flips = hammer(tracker, row=4, times=5, domain=1)
+        assert all(flip.cross_domain and flip.intra_domain for flip in flips)
+
+    def test_unallocated_victim(self, tiny_geometry):
+        tracker = make_tracker(tiny_geometry, mac=5)
+        flips = hammer(tracker, row=4, times=5, domain=1)
+        assert flips
+        assert not any(flip.cross_domain for flip in flips)
+
+    def test_filters(self, tiny_geometry):
+        tracker = make_tracker(tiny_geometry, mac=5)
+        tracker.set_domain_lookup(lambda key: frozenset({9}))
+        hammer(tracker, row=4, times=5, domain=1)
+        assert len(tracker.cross_domain_flips()) == len(tracker.flips)
+        assert tracker.intra_domain_flips() == []
+
+
+class TestProbabilisticTail:
+    def test_probability_filters_flips(self, tiny_geometry):
+        profile = DisturbanceProfile(
+            mac=2, blast_radius=1, flip_probability=0.5
+        )
+        flips = 0
+        trials = 200
+        for seed in range(trials):
+            tracker = DisturbanceTracker(
+                tiny_geometry, profile, random.Random(seed)
+            )
+            flips += len(hammer(tracker, row=4, times=2))
+        # two victim rows per trial, each flipping w.p. 0.5
+        assert 0.3 * 2 * trials < flips < 0.7 * 2 * trials
+
+    def test_bits_bounded(self, tiny_geometry):
+        tracker = make_tracker(tiny_geometry, mac=2, max_bits_per_flip=3)
+        flips = hammer(tracker, row=4, times=2)
+        assert all(1 <= flip.flipped_bits <= 3 for flip in flips)

@@ -1,0 +1,103 @@
+"""Unit tests for the SEC-DED ECC code."""
+
+import random
+
+import pytest
+
+from repro.dram.ecc import (
+    CODEWORD_BITS,
+    DATA_BITS,
+    DecodeResult,
+    EccOutcome,
+    classify_flips,
+    classify_line_flips,
+    decode,
+    encode,
+)
+
+SAMPLE_WORDS = [0, 1, 0xDEADBEEF, (1 << 64) - 1, 0x0123456789ABCDEF]
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("data", SAMPLE_WORDS)
+    def test_clean_roundtrip(self, data):
+        result = decode(encode(data))
+        assert result.outcome is EccOutcome.CLEAN
+        assert result.data == data
+
+    def test_encode_bounds(self):
+        with pytest.raises(ValueError):
+            encode(1 << 64)
+        with pytest.raises(ValueError):
+            encode(-1)
+
+    def test_decode_bounds(self):
+        with pytest.raises(ValueError):
+            decode(1 << CODEWORD_BITS)
+
+
+class TestSingleBit:
+    @pytest.mark.parametrize("data", SAMPLE_WORDS)
+    def test_every_single_bit_corrected(self, data):
+        word = encode(data)
+        for bit in range(CODEWORD_BITS):
+            result = decode(word ^ (1 << bit))
+            assert result.outcome is EccOutcome.CORRECTED, f"bit {bit}"
+            assert result.data == data, f"bit {bit}"
+
+
+class TestDoubleBit:
+    def test_every_double_bit_detected(self):
+        data = 0xDEADBEEF
+        word = encode(data)
+        rng = random.Random(3)
+        for _ in range(300):
+            a, b = rng.sample(range(CODEWORD_BITS), 2)
+            result = decode(word ^ (1 << a) ^ (1 << b))
+            assert result.outcome is EccOutcome.DETECTED, (a, b)
+
+
+class TestTripleBit:
+    def test_triple_bits_can_slip_through(self):
+        """The Cojocar et al. point: >=3 flips in one word can corrupt
+        silently (miscorrection or clean-looking syndrome)."""
+        rng = random.Random(5)
+        silent = 0
+        for _ in range(500):
+            bits = sorted(rng.sample(range(CODEWORD_BITS), 3))
+            if classify_flips(0xDEADBEEF, bits) is EccOutcome.SILENT:
+                silent += 1
+        assert silent > 0
+
+    def test_triple_never_reported_corrected_with_right_data(self):
+        """A triple flip is never actually repaired back to the original
+        data; whatever the syndrome says, the data is wrong or the case
+        was detected."""
+        rng = random.Random(7)
+        for _ in range(300):
+            bits = sorted(rng.sample(range(CODEWORD_BITS), 3))
+            outcome = classify_flips(0xDEADBEEF, bits)
+            assert outcome in (EccOutcome.DETECTED, EccOutcome.SILENT)
+
+
+class TestClassification:
+    def test_no_flip_is_clean(self):
+        assert classify_flips(42, []) is EccOutcome.CLEAN
+
+    def test_single_is_corrected(self):
+        assert classify_flips(42, [10]) is EccOutcome.CORRECTED
+
+    def test_double_is_detected(self):
+        assert classify_flips(42, [10, 20]) is EccOutcome.DETECTED
+
+    def test_bit_bounds(self):
+        with pytest.raises(ValueError):
+            classify_flips(42, [CODEWORD_BITS])
+
+    def test_line_classification_worst_word_wins(self):
+        rng = random.Random(11)
+        line_outcome, words = classify_line_flips([1, 2, 0], rng)
+        assert words[0] is EccOutcome.CORRECTED
+        assert words[1] is EccOutcome.DETECTED
+        assert words[2] is EccOutcome.CLEAN
+        assert line_outcome is EccOutcome.DETECTED

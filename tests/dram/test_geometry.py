@@ -1,0 +1,142 @@
+"""Unit tests for DRAM geometry and address arithmetic."""
+
+import pytest
+
+from repro.dram.geometry import DdrAddress, DramGeometry
+
+
+class TestDerivedSizes:
+    def test_rows_per_bank(self, tiny_geometry):
+        assert tiny_geometry.rows_per_bank == 16
+
+    def test_row_bytes(self, tiny_geometry):
+        assert tiny_geometry.row_bytes == 8 * 64
+
+    def test_banks_total(self, tiny_geometry):
+        assert tiny_geometry.banks_total == 2
+
+    def test_rows_total(self, tiny_geometry):
+        assert tiny_geometry.rows_total == 32
+
+    def test_total_bytes(self, tiny_geometry):
+        assert tiny_geometry.total_bytes == 32 * 8 * 64
+
+    def test_cachelines_total(self, tiny_geometry):
+        assert tiny_geometry.cachelines_total == 32 * 8
+
+    def test_default_geometry_is_consistent(self, default_geometry):
+        g = default_geometry
+        assert g.rows_total == g.banks_total * g.rows_per_bank
+        assert g.total_bytes == g.cachelines_total * g.cacheline_bytes
+
+    def test_paper_row_size(self, default_geometry):
+        # §2.1: "each 8 KB row"
+        assert default_geometry.row_bytes == 8192
+
+
+class TestValidation:
+    def test_rejects_zero_field(self):
+        with pytest.raises(ValueError):
+            DramGeometry(channels=0)
+
+    def test_rejects_negative_field(self):
+        with pytest.raises(ValueError):
+            DramGeometry(rows_per_subarray=-1)
+
+
+class TestSubarrayArithmetic:
+    def test_subarray_of_row(self, tiny_geometry):
+        assert tiny_geometry.subarray_of_row(0) == 0
+        assert tiny_geometry.subarray_of_row(7) == 0
+        assert tiny_geometry.subarray_of_row(8) == 1
+        assert tiny_geometry.subarray_of_row(15) == 1
+
+    def test_subarray_of_row_out_of_range(self, tiny_geometry):
+        with pytest.raises(ValueError):
+            tiny_geometry.subarray_of_row(16)
+
+    def test_rows_in_subarray(self, tiny_geometry):
+        assert list(tiny_geometry.rows_in_subarray(0)) == list(range(8))
+        assert list(tiny_geometry.rows_in_subarray(1)) == list(range(8, 16))
+
+    def test_rows_in_subarray_out_of_range(self, tiny_geometry):
+        with pytest.raises(ValueError):
+            tiny_geometry.rows_in_subarray(2)
+
+    def test_same_subarray(self, tiny_geometry):
+        assert tiny_geometry.same_subarray(0, 7)
+        assert not tiny_geometry.same_subarray(7, 8)
+
+
+class TestNeighbors:
+    def test_radius_one(self, tiny_geometry):
+        assert set(tiny_geometry.neighbors_within(4, 1)) == {3, 5}
+
+    def test_radius_two(self, tiny_geometry):
+        assert set(tiny_geometry.neighbors_within(4, 2)) == {2, 3, 5, 6}
+
+    def test_excludes_self(self, tiny_geometry):
+        assert 4 not in set(tiny_geometry.neighbors_within(4, 2))
+
+    def test_clips_at_subarray_start(self, tiny_geometry):
+        # row 0 is at the bottom edge of subarray 0
+        assert set(tiny_geometry.neighbors_within(0, 2)) == {1, 2}
+
+    def test_clips_at_subarray_boundary(self, tiny_geometry):
+        # row 7 is the last row of subarray 0; row 8 is isolated from it
+        assert set(tiny_geometry.neighbors_within(7, 2)) == {5, 6}
+        assert set(tiny_geometry.neighbors_within(8, 2)) == {9, 10}
+
+    def test_radius_zero_yields_nothing(self, tiny_geometry):
+        assert list(tiny_geometry.neighbors_within(4, 0)) == []
+
+    def test_negative_radius_rejected(self, tiny_geometry):
+        with pytest.raises(ValueError):
+            list(tiny_geometry.neighbors_within(4, -1))
+
+
+class TestBankIndexing:
+    def test_bank_index_roundtrip(self, tiny_geometry):
+        for index in range(tiny_geometry.banks_total):
+            channel, rank, bank = tiny_geometry.bank_from_index(index)
+            address = DdrAddress(channel, rank, bank, 0, 0)
+            assert tiny_geometry.bank_index(address) == index
+
+    def test_bank_from_index_out_of_range(self, tiny_geometry):
+        with pytest.raises(ValueError):
+            tiny_geometry.bank_from_index(tiny_geometry.banks_total)
+
+    def test_iter_banks_covers_all(self, default_geometry):
+        banks = list(default_geometry.iter_banks())
+        assert len(banks) == default_geometry.banks_total
+        assert len(set(banks)) == default_geometry.banks_total
+
+    def test_global_row_index_unique(self, tiny_geometry):
+        seen = set()
+        for channel, rank, bank in tiny_geometry.iter_banks():
+            for row in range(tiny_geometry.rows_per_bank):
+                address = DdrAddress(channel, rank, bank, row, 0)
+                seen.add(tiny_geometry.global_row_index(address))
+        assert len(seen) == tiny_geometry.rows_total
+
+
+class TestDdrAddress:
+    def test_same_bank(self):
+        a = DdrAddress(0, 0, 1, 5, 0)
+        b = DdrAddress(0, 0, 1, 9, 3)
+        c = DdrAddress(0, 0, 2, 5, 0)
+        assert a.same_bank(b)
+        assert not a.same_bank(c)
+
+    def test_keys(self):
+        a = DdrAddress(0, 1, 2, 3, 4)
+        assert a.bank_key() == (0, 1, 2)
+        assert a.row_key() == (0, 1, 2, 3)
+
+    def test_address_validation(self, tiny_geometry):
+        with pytest.raises(ValueError):
+            tiny_geometry._check(DdrAddress(1, 0, 0, 0, 0))
+        with pytest.raises(ValueError):
+            tiny_geometry._check(DdrAddress(0, 0, 0, 99, 0))
+        with pytest.raises(ValueError):
+            tiny_geometry._check(DdrAddress(0, 0, 0, 0, 99))

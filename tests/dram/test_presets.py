@@ -1,0 +1,78 @@
+"""Unit tests for DRAM generation presets."""
+
+import pytest
+
+from repro.dram.presets import (
+    DDR3_OLD,
+    FUTURE,
+    GENERATIONS,
+    by_name,
+    scale_for,
+)
+
+
+class TestTrend:
+    def test_mac_monotonically_falls(self):
+        # §3: successive generations need orders-of-magnitude fewer ACTs
+        macs = [preset.profile.mac for preset in GENERATIONS]
+        assert macs == sorted(macs, reverse=True)
+
+    def test_blast_radius_grows(self):
+        radii = [preset.profile.blast_radius for preset in GENERATIONS]
+        assert radii == sorted(radii)
+
+    def test_endpoints(self):
+        assert DDR3_OLD.profile.mac == 139_200
+        assert FUTURE.profile.mac == 1_000
+        assert FUTURE.profile.blast_radius == 4
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert by_name("ddr4-new").profile.mac == 10_000
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError) as excinfo:
+            by_name("ddr9")
+        assert "known" in str(excinfo.value)
+
+
+class TestScaling:
+    def test_scaled_pairs_window_and_mac(self):
+        preset = by_name("ddr4-new")
+        scaled = preset.scaled(64)
+        assert scaled.profile.mac == preset.profile.mac // 64
+        assert scaled.timings.tREFW == preset.timings.tREFW // 64
+
+    def test_scaled_preserves_race_ratio(self):
+        """MAC / max-ACTs-per-window is the attack feasibility ratio;
+        scaling must keep it within rounding."""
+        preset = by_name("ddr4-new")
+        scaled = preset.scaled(64)
+        original_ratio = preset.profile.mac / preset.timings.max_acts_per_window()
+        scaled_ratio = scaled.profile.mac / scaled.timings.max_acts_per_window()
+        assert scaled_ratio == pytest.approx(original_ratio, rel=0.05)
+
+    def test_scale_one_identity(self):
+        preset = by_name("lpddr4")
+        assert preset.scaled(1) is preset
+
+    def test_scaled_renames(self):
+        assert by_name("lpddr4").scaled(8).name == "lpddr4/scale8"
+
+
+class TestScaleFor:
+    def test_respects_cap(self):
+        assert scale_for(DDR3_OLD, cap=64) == 64
+
+    def test_keeps_mac_above_target(self):
+        for preset in GENERATIONS:
+            factor = scale_for(preset, target_mac=150, cap=64)
+            assert preset.scaled(factor).profile.mac >= 150
+
+    def test_minimum_one(self):
+        assert scale_for(FUTURE, target_mac=10_000) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scale_for(FUTURE, target_mac=0)

@@ -1,0 +1,95 @@
+"""Unit tests for DRAM-internal row remapping."""
+
+import random
+
+import pytest
+
+from repro.dram.remap import RowRemapper
+
+
+class TestIdentity:
+    def test_identity_translation(self, tiny_geometry):
+        remapper = RowRemapper.identity(tiny_geometry)
+        assert remapper.is_identity()
+        assert remapper.to_internal(0, 5) == 5
+        assert remapper.to_logical(0, 5) == 5
+
+
+class TestSwap:
+    def test_swap_translates_both_ways(self, tiny_geometry):
+        remapper = RowRemapper(tiny_geometry)
+        remapper.swap(0, 2, 9)
+        assert remapper.to_internal(0, 2) == 9
+        assert remapper.to_internal(0, 9) == 2
+        assert remapper.to_logical(0, 9) == 2
+        assert remapper.to_logical(0, 2) == 9
+
+    def test_swap_is_per_bank(self, tiny_geometry):
+        remapper = RowRemapper(tiny_geometry)
+        remapper.swap(0, 2, 9)
+        assert remapper.to_internal(1, 2) == 2
+
+    def test_swap_back_restores_identity(self, tiny_geometry):
+        remapper = RowRemapper(tiny_geometry)
+        remapper.swap(0, 2, 9)
+        remapper.swap(0, 2, 9)
+        assert remapper.is_identity()
+
+    def test_chained_swaps_stay_bijective(self, tiny_geometry):
+        remapper = RowRemapper(tiny_geometry)
+        remapper.swap(0, 2, 9)
+        remapper.swap(0, 9, 4)
+        internals = {
+            remapper.to_internal(0, row)
+            for row in range(tiny_geometry.rows_per_bank)
+        }
+        assert internals == set(range(tiny_geometry.rows_per_bank))
+
+    def test_remapped_rows(self, tiny_geometry):
+        remapper = RowRemapper(tiny_geometry)
+        remapper.swap(0, 2, 9)
+        assert set(remapper.remapped_rows(0)) == {2, 9}
+        assert set(remapper.remapped_rows(1)) == set()
+
+
+class TestBreaksSubarray:
+    def test_cross_subarray_swap_flagged(self, tiny_geometry):
+        remapper = RowRemapper(tiny_geometry)
+        remapper.swap(0, 2, 9)  # subarray 0 <-> subarray 1
+        assert set(remapper.breaks_subarray(0)) == {2, 9}
+
+    def test_within_subarray_swap_not_flagged(self, tiny_geometry):
+        remapper = RowRemapper(tiny_geometry)
+        remapper.swap(0, 2, 5)  # both subarray 0
+        assert set(remapper.breaks_subarray(0)) == set()
+
+
+class TestRandomSwaps:
+    def test_bijective(self, tiny_geometry):
+        remapper = RowRemapper.random_swaps(
+            tiny_geometry, fraction=0.5, rng=random.Random(1)
+        )
+        for bank in range(tiny_geometry.banks_total):
+            internals = {
+                remapper.to_internal(bank, row)
+                for row in range(tiny_geometry.rows_per_bank)
+            }
+            assert internals == set(range(tiny_geometry.rows_per_bank))
+
+    def test_within_subarray_constraint(self, tiny_geometry):
+        remapper = RowRemapper.random_swaps(
+            tiny_geometry,
+            fraction=0.5,
+            rng=random.Random(1),
+            within_subarray=True,
+        )
+        for bank in range(tiny_geometry.banks_total):
+            assert list(remapper.breaks_subarray(bank)) == []
+
+    def test_zero_fraction_is_identity(self, tiny_geometry):
+        remapper = RowRemapper.random_swaps(tiny_geometry, fraction=0.0)
+        assert remapper.is_identity()
+
+    def test_fraction_validation(self, tiny_geometry):
+        with pytest.raises(ValueError):
+            RowRemapper.random_swaps(tiny_geometry, fraction=1.5)

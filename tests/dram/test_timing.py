@@ -1,0 +1,66 @@
+"""Unit tests for DDR timing parameters and scaling."""
+
+import pytest
+
+from repro.dram.timing import DramTimings
+
+
+class TestDerived:
+    def test_trc(self, timings):
+        assert timings.tRC == timings.tRAS + timings.tRP
+
+    def test_latency_ordering(self, timings):
+        # §2.1 / Fig. 1: hit < miss (closed) < conflict
+        assert (
+            timings.row_hit_latency
+            < timings.row_closed_latency
+            < timings.row_conflict_latency
+        )
+
+    def test_refs_per_window(self, timings):
+        assert timings.refs_per_window == timings.tREFW // timings.tREFI
+
+    def test_max_acts_per_window(self, timings):
+        assert timings.max_acts_per_window() == timings.tREFW // timings.tRC
+
+
+class TestValidation:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DramTimings(tCL=0)
+
+    def test_rejects_refi_ge_refw(self):
+        with pytest.raises(ValueError):
+            DramTimings(tREFI=100, tREFW=100)
+
+
+class TestScaling:
+    def test_scale_one_is_identity(self, timings):
+        assert timings.scaled(1) is timings
+
+    def test_scale_shrinks_window(self, timings):
+        scaled = timings.scaled(64)
+        assert scaled.tREFW == timings.tREFW // 64
+
+    def test_scale_preserves_command_timings(self, timings):
+        scaled = timings.scaled(64)
+        for field in ("tCL", "tRCD", "tRP", "tRAS", "tBL", "tRFC"):
+            assert getattr(scaled, field) == getattr(timings, field)
+
+    def test_refi_floored_at_4x_trfc(self, timings):
+        scaled = timings.scaled(64)
+        assert scaled.tREFI >= 4 * timings.tRFC
+
+    def test_refi_stays_below_window(self, timings):
+        for factor in (2, 8, 64, 512):
+            scaled = timings.scaled(factor)
+            assert scaled.tREFI < scaled.tREFW
+
+    def test_invalid_factor(self, timings):
+        with pytest.raises(ValueError):
+            timings.scaled(0)
+
+    def test_scaled_object_is_valid(self, timings):
+        # __post_init__ must accept every scaled result
+        for factor in (2, 16, 64, 256):
+            timings.scaled(factor)

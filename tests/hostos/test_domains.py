@@ -1,0 +1,49 @@
+"""Unit tests for trust-domain registry."""
+
+import pytest
+
+from repro.hostos.domains import DomainRegistry, TrustDomain
+
+
+class TestTrustDomain:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrustDomain(asid=-1, name="x")
+        with pytest.raises(ValueError):
+            TrustDomain(asid=1, name="")
+
+
+class TestRegistry:
+    def test_create_assigns_unique_asids(self):
+        registry = DomainRegistry()
+        a = registry.create("vm-a")
+        b = registry.create("vm-b")
+        assert a.asid != b.asid
+        assert a.asid != 0  # 0 reserved for the host
+
+    def test_get(self):
+        registry = DomainRegistry()
+        domain = registry.create("vm-a")
+        assert registry.get(domain.asid) is domain
+        with pytest.raises(KeyError):
+            registry.get(999)
+
+    def test_enclave_flag(self):
+        registry = DomainRegistry()
+        enclave = registry.create("enclave", enclave=True)
+        assert enclave.enclave
+
+    def test_destroy(self):
+        registry = DomainRegistry()
+        domain = registry.create("vm-a")
+        registry.destroy(domain.asid)
+        assert domain.asid not in registry
+        with pytest.raises(KeyError):
+            registry.destroy(domain.asid)
+
+    def test_iteration_and_len(self):
+        registry = DomainRegistry()
+        registry.create("a")
+        registry.create("b")
+        assert len(registry) == 2
+        assert {d.name for d in registry} == {"a", "b"}

@@ -1,0 +1,90 @@
+"""Unit tests for enclave memory semantics (§4.4)."""
+
+import pytest
+
+from repro.dram.disturbance import BitFlip
+from repro.hostos.domains import TrustDomain
+from repro.hostos.enclave import EnclaveRuntime, SystemLockupError
+
+ENCLAVE_DOMAIN = TrustDomain(asid=3, name="enclave", enclave=True)
+ROW = (0, 0, 0, 5)
+
+
+def flip_in(asid, row=ROW):
+    return BitFlip(
+        time_ns=0,
+        victim=row,
+        aggressor=(0, 0, 0, 4),
+        aggressor_domain=9,
+        victim_domains=frozenset({asid}),
+        flipped_bits=1,
+    )
+
+
+class TestConstruction:
+    def test_requires_enclave_domain(self):
+        plain = TrustDomain(asid=1, name="vm")
+        with pytest.raises(ValueError):
+            EnclaveRuntime(plain)
+
+
+class TestIntegrityChecked:
+    def test_clean_access_ok(self):
+        runtime = EnclaveRuntime(ENCLAVE_DOMAIN, integrity_checked=True)
+        assert runtime.access_row(ROW)
+
+    def test_poisoned_access_locks_up(self):
+        runtime = EnclaveRuntime(ENCLAVE_DOMAIN, integrity_checked=True)
+        runtime.observe_flip(flip_in(ENCLAVE_DOMAIN.asid))
+        with pytest.raises(SystemLockupError):
+            runtime.access_row(ROW)
+        assert runtime.locked_up
+
+    def test_lockup_is_terminal(self):
+        runtime = EnclaveRuntime(ENCLAVE_DOMAIN, integrity_checked=True)
+        runtime.observe_flip(flip_in(ENCLAVE_DOMAIN.asid))
+        with pytest.raises(SystemLockupError):
+            runtime.access_row(ROW)
+        with pytest.raises(SystemLockupError):
+            runtime.access_row((0, 0, 0, 9))  # even clean rows fail now
+
+    def test_no_silent_corruption(self):
+        runtime = EnclaveRuntime(ENCLAVE_DOMAIN, integrity_checked=True)
+        runtime.observe_flip(flip_in(ENCLAVE_DOMAIN.asid))
+        with pytest.raises(SystemLockupError):
+            runtime.access_row(ROW)
+        assert runtime.silent_corruptions == 0
+
+
+class TestUnchecked:
+    def test_silent_corruption_counted(self):
+        runtime = EnclaveRuntime(ENCLAVE_DOMAIN, integrity_checked=False)
+        runtime.observe_flip(flip_in(ENCLAVE_DOMAIN.asid))
+        assert runtime.access_row(ROW) is False
+        assert runtime.silent_corruptions == 1
+        assert not runtime.locked_up
+
+    def test_corruption_consumed_once(self):
+        runtime = EnclaveRuntime(ENCLAVE_DOMAIN, integrity_checked=False)
+        runtime.observe_flip(flip_in(ENCLAVE_DOMAIN.asid))
+        runtime.access_row(ROW)
+        assert runtime.access_row(ROW) is True  # read again: data stable
+
+
+class TestFiltering:
+    def test_ignores_foreign_flips(self):
+        runtime = EnclaveRuntime(ENCLAVE_DOMAIN, integrity_checked=True)
+        runtime.observe_flip(flip_in(asid=7))  # someone else's memory
+        assert runtime.access_row(ROW)
+        assert runtime.pending_poisoned_rows == 0
+
+
+class TestActWarnings:
+    def test_evacuation_policy(self):
+        runtime = EnclaveRuntime(ENCLAVE_DOMAIN)
+        for _ in range(3):
+            runtime.on_act_interrupt_forwarded()
+        assert not runtime.should_evacuate(warning_threshold=5)
+        runtime.on_act_interrupt_forwarded()
+        runtime.on_act_interrupt_forwarded()
+        assert runtime.should_evacuate(warning_threshold=5)

@@ -1,0 +1,118 @@
+"""Tests for defense portfolios (defense in depth)."""
+
+import pytest
+
+from repro.analysis.scenarios import build_scenario, run_attack
+from repro.core.primitives import MissingPrimitiveError
+from repro.core.taxonomy import AttackCondition
+from repro.defenses import (
+    AnvilDefense,
+    CriticalRowGuardDefense,
+    SubarrayIsolationDefense,
+    TargetedRefreshDefense,
+    VendorTrr,
+)
+from repro.hostos import DefensePortfolio
+from repro.sim import build_system, legacy_platform, proposed_platform
+
+
+class TestConstruction:
+    def test_needs_members(self):
+        with pytest.raises(ValueError):
+            DefensePortfolio([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            DefensePortfolio([VendorTrr(), VendorTrr()])
+
+    def test_double_attach_rejected(self):
+        portfolio = DefensePortfolio([VendorTrr()])
+        portfolio.attach(build_system(legacy_platform(scale=64)))
+        with pytest.raises(RuntimeError):
+            portfolio.attach(build_system(legacy_platform(scale=64)))
+
+
+class TestPosture:
+    def test_isolation_alone_leaves_intra_gap(self):
+        posture = DefensePortfolio([SubarrayIsolationDefense()]).posture()
+        assert posture.stops_cross_domain
+        assert not posture.stops_intra_domain
+        assert not posture.complete
+
+    def test_isolation_plus_refresh_is_complete(self):
+        posture = DefensePortfolio(
+            [SubarrayIsolationDefense(), TargetedRefreshDefense()]
+        ).posture()
+        assert posture.complete
+        assert set(posture.eliminated_conditions) == {
+            AttackCondition.PROXIMITY, AttackCondition.STALENESS,
+        }
+
+    def test_anvil_alone_not_dma_complete(self):
+        posture = DefensePortfolio([AnvilDefense()]).posture()
+        assert not posture.covers_dma
+        assert not posture.complete
+
+    def test_total_cost_aggregates(self):
+        portfolio = DefensePortfolio([VendorTrr(n_trackers=4)])
+        system = build_system(legacy_platform(scale=64))
+        portfolio.attach(system)
+        assert portfolio.total_cost().sram_bits > 0
+
+
+class TestDefenseInDepth:
+    def test_missing_primitive_surfaces_through_portfolio(self):
+        portfolio = DefensePortfolio([TargetedRefreshDefense()])
+        with pytest.raises(MissingPrimitiveError):
+            portfolio.attach(build_system(legacy_platform(scale=64)))
+
+    def test_isolation_plus_guard_covers_both_threats(self):
+        """The §2.2 caveat, closed: isolation stops cross-domain, the
+        scoped guard covers the intra-domain residual on the asset that
+        matters."""
+        guard = CriticalRowGuardDefense()
+        portfolio = DefensePortfolio([SubarrayIsolationDefense(), guard])
+        scenario = build_scenario(
+            proposed_platform(scale=64),
+            defenses=list(portfolio.defenses),
+            interleaved_allocation=True,
+        )
+        portfolio.attached = True  # attached via build_scenario
+        # the attacker's critical pages are the intra-domain victim here;
+        # protect the attacker's own first pages (self-hammering hazard)
+        guard.protect_frames(scenario.attacker.frames[:16])
+
+        cross = run_attack(scenario, "double-sided")
+        assert cross.cross_domain_flips == 0
+
+        intra = run_attack(scenario, "double-sided", intra_domain=True)
+        protected_rows = {
+            row
+            for frame in scenario.attacker.frames[:16]
+            for row in scenario.system.mapper.rows_of_frame(frame)
+        }
+        flips_in_protected = [
+            flip for flip in scenario.system.all_flips()
+            if any(
+                scenario.system.device.remapper.to_logical(
+                    scenario.system.geometry.bank_index(
+                        __import__("repro.dram.geometry",
+                                   fromlist=["DdrAddress"]).DdrAddress(
+                            *flip.victim[:3], 0, 0
+                        )
+                    ),
+                    flip.victim[3],
+                ) == row[3] and flip.victim[:3] == row[:3]
+                for row in protected_rows
+            )
+        ]
+        assert flips_in_protected == []
+
+    def test_counters_collected(self):
+        portfolio = DefensePortfolio([VendorTrr()])
+        scenario = build_scenario(
+            legacy_platform(scale=64), defenses=list(portfolio.defenses),
+            interleaved_allocation=True,
+        )
+        run_attack(scenario, "double-sided")
+        assert "vendor-trr" in portfolio.counters()

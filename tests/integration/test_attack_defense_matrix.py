@@ -1,0 +1,106 @@
+"""End-to-end integration: the paper's core security claims, each as a
+single focused scenario."""
+
+import pytest
+
+from repro.analysis.scenarios import build_scenario, run_attack
+from repro.core.primitives import PrimitiveSet
+from repro.defenses import (
+    AggressorRemapDefense,
+    AnvilDefense,
+    CacheLineLockingDefense,
+    SubarrayIsolationDefense,
+    TargetedRefreshDefense,
+    VendorTrr,
+)
+from repro.sim import legacy_platform, proposed_platform
+
+LEGACY = legacy_platform(scale=64)
+PRIMS = legacy_platform(scale=64).with_primitives(PrimitiveSet.proposed())
+ISOLATED = proposed_platform(scale=64)
+
+
+class TestUndefendedBaseline:
+    """Without defenses, every attack pattern corrupts a co-tenant."""
+
+    @pytest.mark.parametrize("pattern,kwargs", [
+        ("single-sided", {}),
+        ("double-sided", {}),
+        ("many-sided", {"sides": 8}),
+        ("double-sided", {"use_dma": True}),
+    ])
+    def test_attack_lands(self, pattern, kwargs):
+        scenario = build_scenario(LEGACY, interleaved_allocation=True)
+        result = run_attack(scenario, pattern, **kwargs)
+        assert result.succeeded, f"{pattern} should flip cross-domain"
+
+
+class TestProposedPlatformHolds:
+    """Each paper defense, against the pattern it must stop."""
+
+    @pytest.mark.parametrize("pattern,kwargs", [
+        ("double-sided", {}),
+        ("many-sided", {"sides": 8}),
+        ("double-sided", {"use_dma": True}),
+    ])
+    def test_isolation(self, pattern, kwargs):
+        scenario = build_scenario(
+            ISOLATED, defenses=[SubarrayIsolationDefense()]
+        )
+        result = run_attack(scenario, pattern, **kwargs)
+        assert result.cross_domain_flips == 0
+
+    @pytest.mark.parametrize("use_dma", [False, True])
+    def test_remap(self, use_dma):
+        scenario = build_scenario(
+            PRIMS, defenses=[AggressorRemapDefense()],
+            interleaved_allocation=True,
+        )
+        result = run_attack(scenario, "double-sided", use_dma=use_dma)
+        assert result.cross_domain_flips == 0
+
+    @pytest.mark.parametrize("use_dma", [False, True])
+    def test_targeted_refresh(self, use_dma):
+        scenario = build_scenario(
+            PRIMS, defenses=[TargetedRefreshDefense()],
+            interleaved_allocation=True,
+        )
+        result = run_attack(scenario, "double-sided", use_dma=use_dma)
+        assert result.cross_domain_flips == 0
+
+    def test_locking(self):
+        scenario = build_scenario(
+            PRIMS, defenses=[CacheLineLockingDefense()],
+            interleaved_allocation=True,
+        )
+        result = run_attack(scenario, "double-sided")
+        assert result.cross_domain_flips == 0
+
+
+class TestKnownGaps:
+    """The failure modes the paper predicts must stay reproducible."""
+
+    def test_anvil_dma_blindspot(self):
+        scenario = build_scenario(
+            LEGACY, defenses=[AnvilDefense()], interleaved_allocation=True
+        )
+        result = run_attack(scenario, "double-sided", use_dma=True)
+        assert result.cross_domain_flips > 0
+
+    def test_trr_many_sided_bypass(self):
+        scenario = build_scenario(
+            LEGACY, defenses=[VendorTrr(n_trackers=4)],
+            interleaved_allocation=True,
+            victim_pages=320, attacker_pages=320,
+        )
+        result = run_attack(scenario, "many-sided", sides=12)
+        assert result.cross_domain_flips > 0
+
+    def test_isolation_intra_domain_gap(self):
+        scenario = build_scenario(
+            ISOLATED, defenses=[SubarrayIsolationDefense()],
+            interleaved_allocation=True,
+        )
+        result = run_attack(scenario, "double-sided", intra_domain=True)
+        assert result.intra_domain_flips > 0
+        assert result.cross_domain_flips == 0

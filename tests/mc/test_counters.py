@@ -1,0 +1,109 @@
+"""Unit tests for ACT counters and (im)precise interrupts."""
+
+import random
+
+import pytest
+
+from repro.mc.counters import ActCounter
+
+
+class TestOverflow:
+    def test_fires_at_threshold(self):
+        counter = ActCounter(channel=0, threshold=5)
+        events = [counter.on_act(i, physical_line=i, from_dma=False)
+                  for i in range(5)]
+        assert events[:4] == [None] * 4
+        assert events[4] is not None
+        assert events[4].count_at_overflow == 5
+
+    def test_resets_after_overflow(self):
+        counter = ActCounter(channel=0, threshold=3)
+        fired = [
+            counter.on_act(i, physical_line=i, from_dma=False) is not None
+            for i in range(9)
+        ]
+        assert fired == [False, False, True] * 3
+
+    def test_counts_totals(self):
+        counter = ActCounter(channel=0, threshold=3)
+        for i in range(7):
+            counter.on_act(i, physical_line=i, from_dma=False)
+        assert counter.total_acts == 7
+        assert counter.interrupts_raised == 2
+
+
+class TestPrecision:
+    def test_precise_reports_address(self):
+        counter = ActCounter(channel=0, threshold=2, precise=True)
+        counter.on_act(0, physical_line=111, from_dma=False)
+        event = counter.on_act(1, physical_line=222, from_dma=True)
+        assert event.physical_line == 222
+        assert event.from_dma is True
+
+    def test_imprecise_reports_none(self):
+        """Today's hardware (§4.2): count only, no address."""
+        counter = ActCounter(channel=0, threshold=2, precise=False)
+        counter.on_act(0, physical_line=111, from_dma=False)
+        event = counter.on_act(1, physical_line=222, from_dma=False)
+        assert event.physical_line is None
+
+
+class TestJitter:
+    def test_jitter_fires_early_sometimes(self):
+        counter = ActCounter(
+            channel=0, threshold=100, reset_jitter=50,
+            rng=random.Random(3),
+        )
+        gaps = []
+        count = 0
+        for i in range(2000):
+            count += 1
+            if counter.on_act(i, physical_line=i, from_dma=False):
+                gaps.append(count)
+                count = 0
+        assert gaps
+        assert min(gaps) < 100  # fired early at least once
+        assert max(gaps) <= 100  # never later than the threshold
+
+    def test_no_jitter_is_deterministic(self):
+        counter = ActCounter(channel=0, threshold=10)
+        gaps = []
+        count = 0
+        for i in range(100):
+            count += 1
+            if counter.on_act(i, physical_line=i, from_dma=False):
+                gaps.append(count)
+                count = 0
+        assert set(gaps) == {10}
+
+
+class TestConfiguration:
+    def test_handlers_invoked(self):
+        counter = ActCounter(channel=0, threshold=2)
+        seen = []
+        counter.subscribe(seen.append)
+        counter.on_act(0, physical_line=1, from_dma=False)
+        counter.on_act(1, physical_line=2, from_dma=False)
+        assert len(seen) == 1
+
+    def test_set_threshold_resets(self):
+        counter = ActCounter(channel=0, threshold=10)
+        for i in range(5):
+            counter.on_act(i, physical_line=i, from_dma=False)
+        counter.set_threshold(3)
+        fired = [
+            counter.on_act(i, physical_line=i, from_dma=False) is not None
+            for i in range(3)
+        ]
+        assert fired == [False, False, True]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ActCounter(channel=0, threshold=0)
+        with pytest.raises(ValueError):
+            ActCounter(channel=0, threshold=5, reset_jitter=5)
+        with pytest.raises(ValueError):
+            ActCounter(channel=0, threshold=5, reset_jitter=-1)
+        counter = ActCounter(channel=0, threshold=5)
+        with pytest.raises(ValueError):
+            counter.set_threshold(0)

@@ -1,0 +1,37 @@
+"""Unit tests for controller statistics."""
+
+import pytest
+
+from repro.mc.stats import ControllerStats
+
+
+class TestDerived:
+    def test_requests(self):
+        stats = ControllerStats(reads=3, writes=2)
+        assert stats.requests == 5
+
+    def test_row_hit_rate(self):
+        stats = ControllerStats(row_hits=3, row_misses=1, row_conflicts=0)
+        assert stats.row_hit_rate == pytest.approx(0.75)
+
+    def test_row_hit_rate_empty(self):
+        assert ControllerStats().row_hit_rate == 0.0
+
+    def test_average_latency(self):
+        stats = ControllerStats(reads=2, total_request_latency_ns=100)
+        assert stats.average_latency_ns == pytest.approx(50.0)
+
+    def test_throughput(self):
+        stats = ControllerStats(reads=1000)
+        assert stats.throughput_lines_per_us(1_000_000) == pytest.approx(1.0)
+        assert stats.throughput_lines_per_us(0) == 0.0
+
+    def test_energy_proxy_weights_acts(self):
+        cheap = ControllerStats(reads=100)
+        act_heavy = ControllerStats(reads=100, acts=100)
+        assert act_heavy.energy_proxy() > cheap.energy_proxy()
+
+    def test_snapshot_keys(self):
+        snapshot = ControllerStats().snapshot()
+        for key in ("reads", "acts", "row_hit_rate", "energy_proxy"):
+            assert key in snapshot

@@ -1,0 +1,119 @@
+"""Property-based tests: address mappings are bijections under any
+geometry and access order."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.geometry import DramGeometry
+from repro.mc.address_map import (
+    CachelineInterleaving,
+    LinearMapping,
+    PermutationInterleaving,
+    SubarrayIsolatedInterleaving,
+)
+
+# geometries where banks_total divides 64 (page lines), as the subarray
+# scheme requires; keep sizes small so exhaustive checks stay fast
+geometries = st.builds(
+    DramGeometry,
+    channels=st.sampled_from([1, 2]),
+    ranks_per_channel=st.just(1),
+    banks_per_rank=st.sampled_from([2, 4, 8]),
+    subarrays_per_bank=st.sampled_from([2, 4]),
+    rows_per_subarray=st.sampled_from([8, 16]),
+    columns_per_row=st.sampled_from([16, 32, 64]),
+)
+
+
+def _divides_page(geometry):
+    return 64 % geometry.banks_total == 0
+
+
+@given(geometry=geometries)
+@settings(max_examples=30, deadline=None)
+def test_linear_is_bijective(geometry):
+    mapper = LinearMapping(geometry)
+    seen = set()
+    for line in range(mapper.total_lines):
+        address = mapper.line_to_ddr(line)
+        assert mapper.ddr_to_line(address) == line
+        seen.add((address.channel, address.rank, address.bank,
+                  address.row, address.column))
+    assert len(seen) == mapper.total_lines
+
+
+@given(geometry=geometries)
+@settings(max_examples=30, deadline=None)
+def test_interleave_is_bijective(geometry):
+    mapper = CachelineInterleaving(geometry)
+    for line in range(0, mapper.total_lines, 7):
+        assert mapper.ddr_to_line(mapper.line_to_ddr(line)) == line
+
+
+@given(geometry=geometries)
+@settings(max_examples=30, deadline=None)
+def test_permutation_is_bijective(geometry):
+    mapper = PermutationInterleaving(geometry)
+    seen = set()
+    for line in range(mapper.total_lines):
+        address = mapper.line_to_ddr(line)
+        assert mapper.ddr_to_line(address) == line
+        seen.add((address.channel, address.rank, address.bank,
+                  address.row, address.column))
+    assert len(seen) == mapper.total_lines
+
+
+@given(geometry=geometries, data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_subarray_mapping_bijective_under_any_assignment_order(geometry, data):
+    """Whatever order frames are assigned/touched in, the established
+    map stays injective and round-trips."""
+    if not _divides_page(geometry):
+        return
+    mapper = SubarrayIsolatedInterleaving(geometry)
+    frames = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=mapper.total_frames - 1),
+            min_size=1, max_size=12, unique=True,
+        )
+    )
+    domains = data.draw(
+        st.lists(
+            st.integers(min_value=1, max_value=3),
+            min_size=len(frames), max_size=len(frames),
+        )
+    )
+    for frame, domain in zip(frames, domains):
+        try:
+            mapper.assign_frame(frame, domain)
+        except MemoryError:
+            return  # tiny group filled up: acceptable
+    seen = set()
+    for frame in frames:
+        for line in mapper.lines_of_frame(frame):
+            address = mapper.line_to_ddr(line)
+            assert mapper.ddr_to_line(address) == line
+            key = (address.channel, address.rank, address.bank,
+                   address.row, address.column)
+            assert key not in seen
+            seen.add(key)
+
+
+@given(geometry=geometries, data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_subarray_domains_never_collide(geometry, data):
+    """Two domains' frames never share a subarray group."""
+    if not _divides_page(geometry):
+        return
+    mapper = SubarrayIsolatedInterleaving(geometry)
+    assignments = data.draw(
+        st.lists(st.sampled_from([1, 2]), min_size=2, max_size=10)
+    )
+    placed = {1: set(), 2: set()}
+    for frame, domain in enumerate(assignments):
+        try:
+            mapper.assign_frame(frame, domain)
+        except MemoryError:
+            break
+        placed[domain].update(mapper.subarrays_of_frame(frame))
+    assert placed[1].isdisjoint(placed[2]) or not (placed[1] and placed[2])

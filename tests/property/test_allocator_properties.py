@@ -1,0 +1,139 @@
+"""Property-based tests on allocator invariants across policies."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.geometry import DramGeometry
+from repro.hostos.allocator import (
+    AllocationPolicy,
+    OutOfMemoryError,
+    PageAllocator,
+)
+from repro.mc.address_map import (
+    CachelineInterleaving,
+    LinearMapping,
+    SubarrayIsolatedInterleaving,
+)
+
+GEOMETRY = DramGeometry(
+    banks_per_rank=4, subarrays_per_bank=2,
+    rows_per_subarray=16, columns_per_row=64,
+)
+
+# (domain, allocate?) — False frees this domain's most recent frame
+actions = st.lists(
+    st.tuples(st.sampled_from([1, 2, 3]), st.booleans()),
+    max_size=60,
+)
+
+
+def drive(allocator, script):
+    held = {1: [], 2: [], 3: []}
+    for domain, is_alloc in script:
+        if is_alloc:
+            try:
+                held[domain].extend(allocator.allocate(domain, 1))
+            except OutOfMemoryError:
+                pass
+        elif held[domain]:
+            allocator.free(held[domain].pop())
+    return held
+
+
+@given(script=actions)
+@settings(max_examples=60, deadline=None)
+def test_no_frame_double_owned_default(script):
+    allocator = PageAllocator(CachelineInterleaving(GEOMETRY))
+    held = drive(allocator, script)
+    all_frames = [f for frames in held.values() for f in frames]
+    assert len(all_frames) == len(set(all_frames))
+    assert allocator.allocated_frames == len(all_frames)
+
+
+@given(script=actions)
+@settings(max_examples=60, deadline=None)
+def test_accounting_conserved(script):
+    allocator = PageAllocator(LinearMapping(GEOMETRY))
+    drive(allocator, script)
+    assert (
+        allocator.free_frames + allocator.allocated_frames
+        == allocator.mapper.total_frames
+    )
+
+
+@given(script=actions)
+@settings(max_examples=40, deadline=None)
+def test_bank_partition_exclusive_under_churn(script):
+    mapper = LinearMapping(GEOMETRY)
+    allocator = PageAllocator(mapper, policy=AllocationPolicy.BANK_PARTITION)
+    held = drive(allocator, script)
+    bank_owners = {}
+    for domain, frames in held.items():
+        for frame in frames:
+            for bank in mapper.banks_of_frame(frame):
+                assert bank_owners.setdefault(bank, domain) == domain
+
+
+@given(script=actions)
+@settings(max_examples=40, deadline=None)
+def test_guard_rows_distance_under_churn(script):
+    mapper = LinearMapping(GEOMETRY)
+    allocator = PageAllocator(
+        mapper, policy=AllocationPolicy.GUARD_ROWS, guard_radius=1
+    )
+    held = drive(allocator, script)
+    rows_by_domain = {
+        domain: {row for f in frames for row in mapper.rows_of_frame(f)}
+        for domain, frames in held.items()
+    }
+    domains = [d for d, rows in rows_by_domain.items() if rows]
+    for i, a in enumerate(domains):
+        for b in domains[i + 1:]:
+            for (ca, ra, ba, rowa) in rows_by_domain[a]:
+                for (cb, rb, bb, rowb) in rows_by_domain[b]:
+                    if (ca, ra, ba) == (cb, rb, bb) and GEOMETRY.same_subarray(
+                        rowa, rowb
+                    ):
+                        assert abs(rowa - rowb) > 1
+
+
+@given(script=actions)
+@settings(max_examples=40, deadline=None)
+def test_subarray_groups_disjoint_under_churn(script):
+    mapper = SubarrayIsolatedInterleaving(GEOMETRY)
+    allocator = PageAllocator(mapper, policy=AllocationPolicy.SUBARRAY_AWARE)
+    # Track the peak number of simultaneously bound domains: sharing is
+    # only legitimate if at some binding moment every group was taken.
+    peak_bound = 0
+    held = {1: [], 2: [], 3: []}
+    for domain, is_alloc in script:
+        if is_alloc:
+            try:
+                held[domain].extend(allocator.allocate(domain, 1))
+            except OutOfMemoryError:
+                pass
+            peak_bound = max(peak_bound, len(mapper._domain_group))
+        elif held[domain]:
+            allocator.free(held[domain].pop())
+    groups = {
+        domain: {
+            group for f in frames for group in mapper.subarrays_of_frame(f)
+        }
+        for domain, frames in held.items()
+    }
+    # Each domain stays inside ONE group...
+    for domain, group_set in groups.items():
+        assert len(group_set) <= 1
+    # ...and groups are exclusive unless, at some binding moment, every
+    # group was already taken (the documented §4.1 capacity fallback —
+    # bindings are not migrated when groups later free up).
+    active = [d for d, g in groups.items() if g]
+    shared = {}
+    collisions = 0
+    for domain in active:
+        (group,) = groups[domain]
+        if group in shared:
+            collisions += 1
+        shared[group] = domain
+    allowed = max(0, peak_bound - GEOMETRY.subarrays_per_bank)
+    assert collisions <= allowed

@@ -1,0 +1,76 @@
+"""Property-based tests on bank timing invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.bank import BankState
+from repro.dram.timing import DramTimings
+
+accesses = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=7),     # row
+        st.integers(min_value=0, max_value=50),    # arrival gap, ns
+    ),
+    min_size=1,
+    max_size=100,
+)
+
+
+@given(script=accesses)
+@settings(max_examples=100, deadline=None)
+def test_busy_until_never_regresses(script):
+    bank = BankState(DramTimings())
+    now = 0
+    previous_busy = 0
+    for row, gap in script:
+        now += gap
+        bank.access(row, now)
+        assert bank.busy_until >= previous_busy
+        previous_busy = bank.busy_until
+
+
+@given(script=accesses)
+@settings(max_examples=100, deadline=None)
+def test_trc_between_all_acts(script):
+    """No two ACTs of one bank are ever closer than tRC — the physical
+    limit a hammer runs into (§2.1)."""
+    timings = DramTimings()
+    bank = BankState(timings)
+    act_times = []
+    original = bank._activate
+
+    def recording(row, at):
+        act_times.append(at)
+        original(row, at)
+
+    bank._activate = recording
+    now = 0
+    for row, gap in script:
+        now += gap
+        bank.access(row, now)
+    for earlier, later in zip(act_times, act_times[1:]):
+        assert later - earlier >= timings.tRC
+
+
+@given(script=accesses)
+@settings(max_examples=100, deadline=None)
+def test_data_ready_after_arrival(script):
+    bank = BankState(DramTimings())
+    now = 0
+    for row, gap in script:
+        now += gap
+        ready = bank.access(row, now)
+        assert ready > now
+
+
+@given(script=accesses)
+@settings(max_examples=100, deadline=None)
+def test_stat_totals_consistent(script):
+    bank = BankState(DramTimings())
+    now = 0
+    for row, gap in script:
+        now += gap
+        bank.access(row, now)
+    assert bank.accesses == len(script)
+    assert bank.row_hits + bank.row_misses + bank.row_conflicts == len(script)
+    assert bank.acts == bank.row_misses + bank.row_conflicts

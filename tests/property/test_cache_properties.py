@@ -1,0 +1,77 @@
+"""Property-based tests on LLC invariants under arbitrary access mixes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.cache import LockError, SetAssociativeCache
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["access", "write", "flush", "lock", "unlock"]),
+        st.integers(min_value=0, max_value=63),
+    ),
+    max_size=300,
+)
+
+
+def apply_ops(cache, ops):
+    for op, line in ops:
+        try:
+            if op == "access":
+                cache.access(line)
+            elif op == "write":
+                cache.access(line, is_write=True)
+            elif op == "flush":
+                cache.flush(line)
+            elif op == "lock":
+                cache.lock(line)
+            else:
+                cache.unlock(line)
+        except LockError:
+            pass  # budget exhausted / locked flush: legal refusals
+
+
+@given(ops=operations)
+@settings(max_examples=80, deadline=None)
+def test_sets_never_exceed_ways(ops):
+    cache = SetAssociativeCache(sets=4, ways=3, max_locked_ways=1)
+    apply_ops(cache, ops)
+    for cache_set in cache._sets:
+        assert len(cache_set) <= cache.ways
+
+
+@given(ops=operations)
+@settings(max_examples=80, deadline=None)
+def test_locked_budget_respected(ops):
+    cache = SetAssociativeCache(sets=4, ways=3, max_locked_ways=2)
+    apply_ops(cache, ops)
+    for index in range(cache.sets):
+        assert cache.locked_ways_in_set(index) <= cache.max_locked_ways
+
+
+@given(ops=operations)
+@settings(max_examples=80, deadline=None)
+def test_locked_lines_always_resident(ops):
+    cache = SetAssociativeCache(sets=4, ways=3, max_locked_ways=1)
+    apply_ops(cache, ops)
+    for line in cache.locked_lines():
+        assert cache.contains(line)
+
+
+@given(ops=operations)
+@settings(max_examples=80, deadline=None)
+def test_lines_live_in_their_set(ops):
+    cache = SetAssociativeCache(sets=4, ways=3, max_locked_ways=1)
+    apply_ops(cache, ops)
+    for index, cache_set in enumerate(cache._sets):
+        for line in cache_set:
+            assert cache.set_of(line) == index
+
+
+@given(ops=operations)
+@settings(max_examples=80, deadline=None)
+def test_hit_miss_accounting_consistent(ops):
+    cache = SetAssociativeCache(sets=4, ways=3, max_locked_ways=1)
+    accesses = sum(1 for op, _ in ops if op in ("access", "write"))
+    apply_ops(cache, ops)
+    assert cache.hits + cache.misses == accesses

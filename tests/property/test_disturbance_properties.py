@@ -1,0 +1,84 @@
+"""Property-based tests on the disturbance oracle's invariants."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.disturbance import DisturbanceProfile, DisturbanceTracker
+from repro.dram.geometry import DdrAddress, DramGeometry
+
+GEOMETRY = DramGeometry(
+    banks_per_rank=2, subarrays_per_bank=2,
+    rows_per_subarray=8, columns_per_row=8,
+)
+
+acts = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=GEOMETRY.rows_per_bank - 1),
+        st.booleans(),  # bank 0 or 1
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+@given(sequence=acts, mac=st.integers(min_value=1, max_value=50))
+@settings(max_examples=60, deadline=None)
+def test_pressure_never_negative_and_bounded(sequence, mac):
+    profile = DisturbanceProfile(mac=mac, blast_radius=2)
+    tracker = DisturbanceTracker(GEOMETRY, profile, random.Random(0))
+    for t, (row, bank) in enumerate(sequence):
+        tracker.on_activate(DdrAddress(0, 0, int(bank), row, 0), t)
+    for key, pressure in tracker._pressure.items():
+        assert pressure >= 0.0
+        # a tripped row stops at <= mac + one act's worth of weight
+        assert pressure <= mac + len(sequence)
+
+
+@given(sequence=acts)
+@settings(max_examples=60, deadline=None)
+def test_flips_only_at_or_above_mac(sequence):
+    """Every flip's victim must have accumulated >= MAC weighted ACTs."""
+    profile = DisturbanceProfile(mac=10, blast_radius=2)
+    tracker = DisturbanceTracker(GEOMETRY, profile, random.Random(0))
+    for t, (row, bank) in enumerate(sequence):
+        flips = tracker.on_activate(DdrAddress(0, 0, int(bank), row, 0), t)
+        for flip in flips:
+            assert tracker.pressure_of(flip.victim) >= profile.mac
+
+
+@given(sequence=acts)
+@settings(max_examples=60, deadline=None)
+def test_refresh_everything_clears_everything(sequence):
+    profile = DisturbanceProfile(mac=1000, blast_radius=2)
+    tracker = DisturbanceTracker(GEOMETRY, profile, random.Random(0))
+    for t, (row, bank) in enumerate(sequence):
+        tracker.on_activate(DdrAddress(0, 0, int(bank), row, 0), t)
+    for bank in range(GEOMETRY.banks_per_rank):
+        for row in range(GEOMETRY.rows_per_bank):
+            tracker.on_refresh((0, 0, bank, row))
+    assert all(p == 0.0 for p in tracker._pressure.values()) or not tracker._pressure
+
+
+@given(sequence=acts)
+@settings(max_examples=60, deadline=None)
+def test_disturbance_never_crosses_subarrays(sequence):
+    """No victim is ever in a different subarray than its aggressor."""
+    profile = DisturbanceProfile(mac=3, blast_radius=2)
+    tracker = DisturbanceTracker(GEOMETRY, profile, random.Random(0))
+    for t, (row, bank) in enumerate(sequence):
+        tracker.on_activate(DdrAddress(0, 0, int(bank), row, 0), t)
+    for flip in tracker.flips:
+        assert GEOMETRY.same_subarray(flip.victim[3], flip.aggressor[3])
+        assert flip.victim[:3] == flip.aggressor[:3]  # same bank too
+
+
+@given(sequence=acts)
+@settings(max_examples=40, deadline=None)
+def test_total_acts_counted(sequence):
+    profile = DisturbanceProfile(mac=1000, blast_radius=1)
+    tracker = DisturbanceTracker(GEOMETRY, profile, random.Random(0))
+    for t, (row, bank) in enumerate(sequence):
+        tracker.on_activate(DdrAddress(0, 0, int(bank), row, 0), t)
+    assert tracker.total_acts == len(sequence)

@@ -1,0 +1,60 @@
+"""Property-based tests for the SEC-DED code."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.ecc import (
+    CODEWORD_BITS,
+    EccOutcome,
+    classify_flips,
+    decode,
+    encode,
+)
+
+words = st.integers(min_value=0, max_value=(1 << 64) - 1)
+bits = st.integers(min_value=0, max_value=CODEWORD_BITS - 1)
+
+
+@given(data=words)
+@settings(max_examples=200, deadline=None)
+def test_roundtrip_clean(data):
+    result = decode(encode(data))
+    assert result.outcome is EccOutcome.CLEAN
+    assert result.data == data
+
+
+@given(data=words, bit=bits)
+@settings(max_examples=200, deadline=None)
+def test_any_single_bit_corrected(data, bit):
+    result = decode(encode(data) ^ (1 << bit))
+    assert result.outcome is EccOutcome.CORRECTED
+    assert result.data == data
+
+
+@given(data=words, pair=st.sets(bits, min_size=2, max_size=2))
+@settings(max_examples=200, deadline=None)
+def test_any_double_bit_detected(data, pair):
+    word = encode(data)
+    for bit in pair:
+        word ^= 1 << bit
+    assert decode(word).outcome is EccOutcome.DETECTED
+
+
+@given(data=words, flips=st.sets(bits, min_size=0, max_size=5))
+@settings(max_examples=150, deadline=None)
+def test_classification_never_lies_about_correction(data, flips):
+    """Whenever classify says CLEAN/CORRECTED, the decoded data really
+    equals the original."""
+    outcome = classify_flips(data, sorted(flips))
+    if outcome in (EccOutcome.CLEAN, EccOutcome.CORRECTED):
+        word = encode(data)
+        for bit in flips:
+            word ^= 1 << bit
+        assert decode(word).data == data
+
+
+@given(data=words, flips=st.sets(bits, min_size=3, max_size=3))
+@settings(max_examples=150, deadline=None)
+def test_triple_flips_never_classified_corrected(data, flips):
+    outcome = classify_flips(data, sorted(flips))
+    assert outcome in (EccOutcome.DETECTED, EccOutcome.SILENT)

@@ -1,0 +1,68 @@
+"""Property-based tests on the cooperative engine's scheduling."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Engine, build_system, legacy_platform
+
+
+class RecordingActor:
+    """Advances its clock by a fixed stride, recording step times."""
+
+    def __init__(self, stride):
+        self.stride = stride
+        self.step_times = []
+
+    def step(self, now):
+        self.step_times.append(now)
+        return now + self.stride
+
+
+strides = st.lists(
+    st.integers(min_value=1, max_value=500), min_size=1, max_size=5
+)
+
+
+@given(stride_list=strides, horizon=st.integers(min_value=100, max_value=5000))
+@settings(max_examples=50, deadline=None)
+def test_each_actor_clock_is_monotonic(stride_list, horizon):
+    system = build_system(legacy_platform(scale=64))
+    actors = [RecordingActor(stride) for stride in stride_list]
+    Engine(system, actors).run(horizon_ns=horizon)
+    for actor in actors:
+        assert actor.step_times == sorted(actor.step_times)
+
+
+@given(stride_list=strides, horizon=st.integers(min_value=100, max_value=5000))
+@settings(max_examples=50, deadline=None)
+def test_every_actor_reaches_the_horizon(stride_list, horizon):
+    """No actor is starved: each one's final clock passes the deadline."""
+    system = build_system(legacy_platform(scale=64))
+    actors = [RecordingActor(stride) for stride in stride_list]
+    Engine(system, actors).run(horizon_ns=horizon)
+    for actor in actors:
+        last = actor.step_times[-1] + actor.stride
+        assert last >= horizon
+
+
+@given(stride_list=strides, horizon=st.integers(min_value=500, max_value=5000))
+@settings(max_examples=50, deadline=None)
+def test_step_counts_proportional_to_speed(stride_list, horizon):
+    """Actors get steps roughly inversely proportional to their stride
+    (the min-clock policy is fair in virtual time)."""
+    system = build_system(legacy_platform(scale=64))
+    actors = [RecordingActor(stride) for stride in stride_list]
+    result = Engine(system, actors).run(horizon_ns=horizon)
+    for index, actor in enumerate(actors):
+        expected = horizon / actor.stride
+        assert abs(result.steps_per_actor[index] - expected) <= expected * 0.5 + 2
+
+
+@given(stride_list=strides)
+@settings(max_examples=30, deadline=None)
+def test_total_steps_accounted(stride_list):
+    system = build_system(legacy_platform(scale=64))
+    actors = [RecordingActor(stride) for stride in stride_list]
+    result = Engine(system, actors).run(horizon_ns=1000)
+    assert result.steps == sum(result.steps_per_actor.values())
+    assert result.steps == sum(len(a.step_times) for a in actors)

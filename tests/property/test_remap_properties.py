@@ -1,0 +1,66 @@
+"""Property-based tests: the row remapper stays a bijection under any
+swap sequence."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.geometry import DramGeometry
+from repro.dram.remap import RowRemapper
+
+GEOMETRY = DramGeometry(
+    banks_per_rank=2, subarrays_per_bank=2,
+    rows_per_subarray=8, columns_per_row=8,
+)
+
+swaps = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1),  # bank
+        st.integers(min_value=0, max_value=15),  # row a
+        st.integers(min_value=0, max_value=15),  # row b
+    ),
+    max_size=40,
+)
+
+
+@given(script=swaps)
+@settings(max_examples=80, deadline=None)
+def test_bijection_under_arbitrary_swaps(script):
+    remapper = RowRemapper(GEOMETRY)
+    for bank, a, b in script:
+        if a != b:
+            remapper.swap(bank, a, b)
+    for bank in range(GEOMETRY.banks_total):
+        internals = [
+            remapper.to_internal(bank, row)
+            for row in range(GEOMETRY.rows_per_bank)
+        ]
+        assert sorted(internals) == list(range(GEOMETRY.rows_per_bank))
+
+
+@given(script=swaps)
+@settings(max_examples=80, deadline=None)
+def test_inverse_consistency(script):
+    remapper = RowRemapper(GEOMETRY)
+    for bank, a, b in script:
+        if a != b:
+            remapper.swap(bank, a, b)
+    for bank in range(GEOMETRY.banks_total):
+        for row in range(GEOMETRY.rows_per_bank):
+            assert remapper.to_logical(bank, remapper.to_internal(bank, row)) == row
+            assert remapper.to_internal(bank, remapper.to_logical(bank, row)) == row
+
+
+@given(script=swaps)
+@settings(max_examples=60, deadline=None)
+def test_remapped_rows_reports_exactly_nonidentity(script):
+    remapper = RowRemapper(GEOMETRY)
+    for bank, a, b in script:
+        if a != b:
+            remapper.swap(bank, a, b)
+    for bank in range(GEOMETRY.banks_total):
+        reported = set(remapper.remapped_rows(bank))
+        actual = {
+            row for row in range(GEOMETRY.rows_per_bank)
+            if remapper.to_internal(bank, row) != row
+        }
+        assert reported == actual

@@ -1,0 +1,74 @@
+"""Tests for the cooperative engine."""
+
+import pytest
+
+from repro.analysis.scenarios import build_scenario
+from repro.attacks import Attacker, AttackPlanner
+from repro.sim import Engine, legacy_platform
+from repro.workloads import WorkloadRunner
+
+
+class _FixedStepActor:
+    """Advances its clock by a fixed stride per step."""
+
+    def __init__(self, stride):
+        self.stride = stride
+        self.steps = 0
+
+    def step(self, now):
+        self.steps += 1
+        return now + self.stride
+
+
+class TestScheduling:
+    def test_min_clock_fairness(self):
+        scenario = build_scenario(legacy_platform(scale=64))
+        fast = _FixedStepActor(10)
+        slow = _FixedStepActor(100)
+        engine = Engine(scenario.system, [fast, slow])
+        result = engine.run(horizon_ns=1000)
+        # the fast actor gets ~10x the steps of the slow one
+        assert fast.steps > 5 * slow.steps
+        assert result.steps == fast.steps + slow.steps
+
+    def test_stuck_actor_cannot_stall(self):
+        scenario = build_scenario(legacy_platform(scale=64))
+
+        class Stuck:
+            def step(self, now):
+                return now  # never advances on its own
+
+        engine = Engine(scenario.system, [Stuck()])
+        result = engine.run(horizon_ns=100)
+        assert result.steps == 100  # forced +1ns per step
+
+    def test_refreshes_retired_to_deadline(self):
+        scenario = build_scenario(legacy_platform(scale=64))
+        engine = Engine(scenario.system, [_FixedStepActor(10**9)])
+        horizon = scenario.system.timings.tREFI * 10
+        engine.run(horizon_ns=horizon)
+        assert scenario.system.controller.stats.ref_bursts >= 10
+
+    def test_validation(self):
+        scenario = build_scenario(legacy_platform(scale=64))
+        with pytest.raises(ValueError):
+            Engine(scenario.system, [])
+        engine = Engine(scenario.system, [_FixedStepActor(1)])
+        with pytest.raises(ValueError):
+            engine.run(horizon_ns=0)
+
+
+class TestMixedActors:
+    def test_attack_under_noise(self):
+        scenario = build_scenario(legacy_platform(scale=64))
+        planner = AttackPlanner(scenario.system, scenario.attacker)
+        plan = planner.plan(scenario.victim, "double-sided")
+        attacker = Attacker(scenario.system, scenario.attacker, plan)
+        noise = WorkloadRunner(
+            scenario.system, scenario.victim, name="random", mlp=2
+        )
+        engine = Engine(scenario.system, [attacker, noise])
+        result = engine.run(horizon_ns=scenario.system.timings.tREFW)
+        assert result.steps_per_actor[0] > 0
+        assert result.steps_per_actor[1] > 0
+        assert result.flips_seen > 0  # the attack still lands under noise

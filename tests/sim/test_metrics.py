@@ -1,0 +1,55 @@
+"""Tests for run metrics collection."""
+
+import pytest
+
+from repro.analysis.scenarios import build_scenario, run_attack
+from repro.sim import collect_metrics, legacy_platform
+
+
+class TestCollect:
+    def test_snapshot_after_attack(self):
+        scenario = build_scenario(legacy_platform(scale=64))
+        run_attack(scenario, "double-sided")
+        metrics = collect_metrics(scenario.system, "attack")
+        assert metrics.cross_domain_flips > 0
+        assert not metrics.secure
+        assert metrics.requests > 0
+        assert metrics.acts > 0
+        assert metrics.elapsed_ns > 0
+
+    def test_secure_when_clean(self):
+        scenario = build_scenario(legacy_platform(scale=64))
+        metrics = collect_metrics(scenario.system, "idle")
+        assert metrics.secure
+
+    def test_defense_counters_included(self):
+        from repro.defenses import VendorTrr
+
+        scenario = build_scenario(
+            legacy_platform(scale=64), defenses=[VendorTrr()]
+        )
+        run_attack(scenario, "double-sided")
+        metrics = collect_metrics(
+            scenario.system, "trr", defenses=scenario.defenses
+        )
+        assert "vendor-trr" in metrics.defense_counters
+        assert metrics.defense_sram_bits > 0
+
+    def test_slowdown_vs(self):
+        scenario = build_scenario(legacy_platform(scale=64))
+        run_attack(scenario, "double-sided", windows=0.25)
+        base = collect_metrics(scenario.system, "base", elapsed_ns=100)
+        slow = collect_metrics(scenario.system, "slow", elapsed_ns=150)
+        assert slow.slowdown_vs(base) == pytest.approx(1.5)
+
+    def test_as_row_keys(self):
+        scenario = build_scenario(legacy_platform(scale=64))
+        row = collect_metrics(scenario.system, "x").as_row()
+        for key in ("label", "cross_flips", "acts", "row_hit"):
+            assert key in row
+
+    def test_throughput(self):
+        scenario = build_scenario(legacy_platform(scale=64))
+        run_attack(scenario, "double-sided", windows=0.25)
+        metrics = collect_metrics(scenario.system, "x")
+        assert metrics.throughput_lines_per_us() > 0

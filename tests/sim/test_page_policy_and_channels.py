@@ -1,0 +1,105 @@
+"""Tests for the row-buffer page policy and multi-channel configs."""
+
+import pytest
+
+from repro.analysis.scenarios import build_scenario, run_attack
+from repro.mc.controller import MemoryRequest
+from repro.sim import SystemConfig, build_system, legacy_platform
+from repro.workloads import WorkloadRunner
+
+
+class TestClosedPagePolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystemConfig(page_policy="sideways")
+
+    def test_closed_policy_never_hits_row_buffer(self):
+        system = build_system(legacy_platform(scale=64, page_policy="closed"))
+        now = 0
+        for _ in range(5):
+            completed = system.controller.submit(
+                MemoryRequest(now, physical_line=0)
+            )
+            now = completed.ready_at_ns
+            assert completed.buffer_outcome != "conflict"
+        assert system.controller.stats.row_hits == 0
+
+    def test_open_policy_hits(self):
+        system = build_system(legacy_platform(scale=64, page_policy="open"))
+        first = system.controller.submit(MemoryRequest(0, physical_line=0))
+        # under cache-line interleaving, line 0 and line banks_total are
+        # consecutive columns of the same bank's row 0
+        same_row_line = system.geometry.banks_total
+        second = system.controller.submit(
+            MemoryRequest(first.ready_at_ns, physical_line=same_row_line)
+        )
+        assert second.buffer_outcome == "hit"
+
+    def test_one_location_hammers_faster_under_closed_page(self):
+        """One-location hammering re-activates on every access under a
+        closed-page policy; under open-page it only re-activates when a
+        REF burst closed the row."""
+        acts = {}
+        for policy in ("open", "closed"):
+            scenario = build_scenario(
+                legacy_platform(scale=64, page_policy=policy)
+            )
+            run_attack(scenario, "one-location")
+            acts[policy] = scenario.system.device.total_acts()
+        assert acts["closed"] > 10 * acts["open"]
+
+    def test_closed_page_hurts_local_workloads(self):
+        elapsed = {}
+        for policy in ("open", "closed"):
+            system = build_system(legacy_platform(scale=64, page_policy=policy))
+            tenant = system.create_domain("t", pages=16)
+            result = WorkloadRunner(
+                system, tenant, name="sequential", mlp=4
+            ).run(800)
+            elapsed[policy] = result.duration_ns
+        assert elapsed["closed"] > elapsed["open"]
+
+
+class TestChannels:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystemConfig(channels=0)
+
+    def test_channel_override_applied(self):
+        system = build_system(legacy_platform(scale=64, channels=2))
+        assert system.geometry.channels == 2
+        assert len(system.controller.counters) == 2
+
+    def test_two_channels_increase_throughput(self):
+        elapsed = {}
+        for channels in (1, 2):
+            system = build_system(legacy_platform(scale=64, channels=channels))
+            tenant = system.create_domain("t", pages=32)
+            result = WorkloadRunner(
+                system, tenant, name="random", mlp=16, seed=4
+            ).run(2000)
+            elapsed[channels] = result.duration_ns
+        assert elapsed[2] < elapsed[1]
+
+    def test_subarray_mapping_works_with_two_channels(self):
+        from repro.sim import proposed_platform
+
+        system = build_system(proposed_platform(scale=64, channels=2))
+        tenant = system.create_domain("t", pages=8)
+        # pages still confined to one subarray group, now over 16 banks
+        groups = {
+            system.geometry.subarray_of_row(row[3]) for row in tenant.rows()
+        }
+        assert len(groups) == 1
+        banks = {
+            system.geometry.bank_index(
+                system.mapper.line_to_ddr(tenant.physical_line(line))
+            )
+            for line in range(tenant.lines_per_page)
+        }
+        assert len(banks) == 16
+
+    def test_attack_still_lands_on_two_channels(self):
+        scenario = build_scenario(legacy_platform(scale=64, channels=2))
+        result = run_attack(scenario, "double-sided")
+        assert result.cross_domain_flips > 0

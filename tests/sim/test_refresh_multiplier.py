@@ -1,0 +1,80 @@
+"""Tests for the refresh-rate-increase countermeasure model."""
+
+import pytest
+
+from repro.analysis.scenarios import build_scenario, run_attack
+from repro.dram.device import DramDevice
+from repro.dram.geometry import DramGeometry
+from repro.sim import SystemConfig, build_system, legacy_platform
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystemConfig(refresh_multiplier=0)
+
+    def test_window_unchanged(self):
+        base = build_system(legacy_platform(scale=64))
+        doubled = build_system(legacy_platform(scale=64, refresh_multiplier=2))
+        # the retention window is physics; only the REF cadence changes
+        assert doubled.timings.tREFW == base.timings.tREFW
+        assert doubled.timings.tREFI <= base.timings.tREFI
+
+
+class TestSweepMultiplier:
+    def test_device_validation(self):
+        with pytest.raises(ValueError):
+            DramDevice(sweep_multiplier=0)
+
+    def test_each_row_refreshed_m_times(self, tiny_geometry):
+        device = DramDevice(geometry=tiny_geometry, sweep_multiplier=3)
+        timings = device.timings
+        refreshes = 0
+        original = device.tracker.on_refresh
+        target = (0, 0, 0, 5)
+
+        def counting(row_key):
+            nonlocal refreshes
+            if row_key == target:
+                refreshes += 1
+            original(row_key)
+
+        device.tracker.on_refresh = counting
+        now = 0
+        while now <= timings.tREFW:
+            device.refresh_burst(now)
+            now += timings.tREFI
+        assert refreshes >= 3
+
+
+class TestEffectOnAttacks:
+    def test_moderate_multiplier_does_not_protect(self):
+        scenario = build_scenario(
+            legacy_platform(scale=64, refresh_multiplier=2),
+            interleaved_allocation=True,
+        )
+        result = run_attack(scenario, "double-sided")
+        assert result.cross_domain_flips > 0
+
+    def test_saturating_multiplier_protects_at_bus_cost(self):
+        scenario = build_scenario(
+            legacy_platform(scale=64, refresh_multiplier=8),
+            interleaved_allocation=True,
+        )
+        result = run_attack(scenario, "double-sided")
+        assert result.cross_domain_flips == 0
+        system = scenario.system
+        duty = (
+            system.controller.stats.ref_bursts
+            * system.timings.tRFC
+            / system.timings.tREFW
+        )
+        assert duty > 0.5  # protection arrived via bus saturation
+
+
+class TestE14Smoke:
+    def test_e14_reproduces(self):
+        from repro.analysis import run_e14
+
+        outcome = run_e14()
+        assert outcome.verdict, outcome.render()

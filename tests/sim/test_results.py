@@ -1,0 +1,114 @@
+"""Tests for result persistence and regression comparison."""
+
+import pytest
+
+from repro.analysis.scenarios import build_scenario, run_attack
+from repro.sim import (
+    collect_metrics,
+    compare,
+    legacy_platform,
+    load_metrics,
+    regression_check,
+    save_metrics,
+)
+from repro.sim.results import metrics_from_dict, metrics_to_dict
+
+
+@pytest.fixture
+def metrics():
+    scenario = build_scenario(legacy_platform(scale=64))
+    run_attack(scenario, "double-sided", windows=0.25)
+    return collect_metrics(scenario.system, "attack-quarter-window")
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self, metrics):
+        assert metrics_from_dict(metrics_to_dict(metrics)) == metrics
+
+    def test_unknown_field_rejected(self, metrics):
+        payload = metrics_to_dict(metrics)
+        payload["bogus"] = 1
+        with pytest.raises(ValueError):
+            metrics_from_dict(payload)
+
+    def test_file_roundtrip(self, metrics, tmp_path):
+        path = tmp_path / "metrics.json"
+        save_metrics(metrics, path)
+        (loaded,) = load_metrics(path)
+        assert loaded == metrics
+
+    def test_multi_record_file(self, metrics, tmp_path):
+        path = tmp_path / "metrics.json"
+        save_metrics([metrics, metrics], path)
+        assert len(load_metrics(path)) == 2
+
+    def test_non_list_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError):
+            load_metrics(path)
+
+
+class TestCompare:
+    def test_identical_within_tolerance(self, metrics):
+        deltas = compare(metrics, metrics)
+        assert all(delta.within_tolerance for delta in deltas)
+
+    def test_security_field_exact(self, metrics):
+        import dataclasses
+
+        changed = dataclasses.replace(
+            metrics, cross_domain_flips=metrics.cross_domain_flips + 1
+        )
+        deltas = {d.field: d for d in compare(metrics, changed)}
+        assert not deltas["cross_domain_flips"].within_tolerance
+
+    def test_performance_field_tolerant(self, metrics):
+        import dataclasses
+
+        changed = dataclasses.replace(
+            metrics, elapsed_ns=int(metrics.elapsed_ns * 1.05)
+        )
+        deltas = {d.field: d for d in compare(metrics, changed, tolerance=0.10)}
+        assert deltas["elapsed_ns"].within_tolerance
+        tight = {d.field: d for d in compare(metrics, changed, tolerance=0.01)}
+        assert not tight["elapsed_ns"].within_tolerance
+
+    def test_relative_change(self, metrics):
+        import dataclasses
+
+        changed = dataclasses.replace(
+            metrics, elapsed_ns=metrics.elapsed_ns * 2
+        )
+        deltas = {d.field: d for d in compare(metrics, changed)}
+        assert deltas["elapsed_ns"].relative_change == pytest.approx(1.0)
+
+
+class TestRegressionCheck:
+    def test_passes_against_itself(self, metrics, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_metrics([metrics], path)
+        passed, problems = regression_check(path, [metrics])
+        assert passed and problems == []
+
+    def test_flags_security_drift(self, metrics, tmp_path):
+        import dataclasses
+
+        path = tmp_path / "baseline.json"
+        save_metrics([metrics], path)
+        drifted = dataclasses.replace(
+            metrics, cross_domain_flips=metrics.cross_domain_flips + 5
+        )
+        passed, problems = regression_check(path, [drifted])
+        assert not passed
+        assert any("cross_domain_flips" in problem for problem in problems)
+
+    def test_flags_missing_label(self, metrics, tmp_path):
+        import dataclasses
+
+        path = tmp_path / "baseline.json"
+        save_metrics([metrics], path)
+        other = dataclasses.replace(metrics, label="different-run")
+        passed, problems = regression_check(path, [other])
+        assert not passed
+        assert len(problems) == 2  # one label on each side only

@@ -1,0 +1,92 @@
+"""Tests for benign workload generators and the runner."""
+
+import random
+
+import pytest
+
+from repro.analysis.scenarios import build_scenario
+from repro.sim import legacy_platform
+from repro.workloads import GENERATOR_NAMES, WorkloadRunner, make_generator
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", GENERATOR_NAMES)
+    def test_yields_valid_accesses(self, name):
+        generator = make_generator(name, 1000, random.Random(1))
+        for _ in range(500):
+            line, is_write = next(generator)
+            assert 0 <= line < 1000
+            assert isinstance(is_write, bool)
+
+    def test_sequential_is_sequential(self):
+        generator = make_generator("sequential", 10, random.Random(1))
+        lines = [next(generator)[0] for _ in range(12)]
+        assert lines == list(range(10)) + [0, 1]
+
+    def test_pointer_chase_visits_hot_set(self):
+        generator = make_generator("pointer_chase", 10_000, random.Random(1))
+        lines = {next(generator)[0] for _ in range(2000)}
+        assert max(lines) < 512  # confined to the hot buffer
+        assert len(lines) == 512  # full permutation cycle
+
+    def test_zipfian_is_skewed(self):
+        generator = make_generator("zipfian", 10_000, random.Random(1))
+        lines = [next(generator)[0] for _ in range(4000)]
+        head = sum(1 for line in lines if line < 2000)
+        assert head / len(lines) > 0.5  # heavy head
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_generator("bogus", 100, random.Random(1))
+
+    def test_zero_lines_rejected(self):
+        with pytest.raises(ValueError):
+            make_generator("sequential", 0, random.Random(1))
+
+
+class TestRunner:
+    @pytest.fixture
+    def scenario(self):
+        return build_scenario(legacy_platform(scale=64))
+
+    def test_run_counts_accesses(self, scenario):
+        runner = WorkloadRunner(
+            scenario.system, scenario.victim, name="random", mlp=4
+        )
+        result = runner.run(200)
+        assert result.accesses == 200
+        assert result.finished_ns > 0
+        assert 0.0 <= result.cache_hit_rate <= 1.0
+
+    def test_sequential_warm_cache_hits(self, scenario):
+        runner = WorkloadRunner(
+            scenario.system, scenario.victim, name="pointer_chase", mlp=4
+        )
+        first = runner.run(512)
+        second = runner.run(512, start_ns=first.finished_ns)
+        assert second.cache_hit_rate > first.cache_hit_rate
+
+    def test_step_interface(self, scenario):
+        runner = WorkloadRunner(
+            scenario.system, scenario.victim, name="random", mlp=8
+        )
+        finished = runner.step(0)
+        assert finished > 0
+        assert runner.stepped_accesses == 8
+
+    def test_mlp_improves_throughput(self, scenario):
+        low = WorkloadRunner(
+            scenario.system, scenario.victim, name="random", mlp=1, seed=5
+        ).run(400)
+        scenario2 = build_scenario(legacy_platform(scale=64))
+        high = WorkloadRunner(
+            scenario2.system, scenario2.victim, name="random", mlp=8, seed=5
+        ).run(400)
+        assert high.lines_per_us > low.lines_per_us
+
+    def test_validation(self, scenario):
+        with pytest.raises(ValueError):
+            WorkloadRunner(scenario.system, scenario.victim, mlp=0)
+        runner = WorkloadRunner(scenario.system, scenario.victim)
+        with pytest.raises(ValueError):
+            runner.run(0)

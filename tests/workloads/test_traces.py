@@ -1,0 +1,83 @@
+"""Tests for trace record/replay."""
+
+import io
+
+import pytest
+
+from repro.analysis.scenarios import build_scenario
+from repro.sim import legacy_platform
+from repro.workloads import TraceRecord, TraceReplayer, read_trace, write_trace
+
+
+class TestRecordFormat:
+    def test_roundtrip_line(self):
+        record = TraceRecord(100, 1, 42, "R")
+        assert TraceRecord.from_line(record.to_line()) == record
+
+    def test_kinds(self):
+        for kind in ("R", "W", "D"):
+            TraceRecord(0, 1, 0, kind)
+        with pytest.raises(ValueError):
+            TraceRecord(0, 1, 0, "X")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord(-1, 1, 0, "R")
+
+    def test_malformed_line(self):
+        with pytest.raises(ValueError):
+            TraceRecord.from_line("1 2 3")
+
+
+class TestStreamIO:
+    def test_write_read_roundtrip(self):
+        records = [
+            TraceRecord(0, 1, 5, "R"),
+            TraceRecord(10, 1, 6, "W"),
+            TraceRecord(20, 2, 7, "D"),
+        ]
+        buffer = io.StringIO()
+        assert write_trace(records, buffer) == 3
+        buffer.seek(0)
+        assert list(read_trace(buffer)) == records
+
+    def test_comments_and_blanks_skipped(self):
+        buffer = io.StringIO("# header\n\n0 1 5 R\n")
+        assert len(list(read_trace(buffer))) == 1
+
+
+class TestReplay:
+    def test_replay_executes(self):
+        scenario = build_scenario(legacy_platform(scale=64))
+        replayer = TraceReplayer(
+            scenario.system,
+            {scenario.victim.asid: scenario.victim,
+             scenario.attacker.asid: scenario.attacker},
+        )
+        records = [
+            TraceRecord(0, scenario.victim.asid, 0, "R"),
+            TraceRecord(50, scenario.victim.asid, 1, "W"),
+            TraceRecord(100, scenario.attacker.asid, 0, "D"),
+        ]
+        finished = replayer.replay(records)
+        assert finished >= 100
+        assert replayer.replayed == 3
+        assert scenario.system.controller.stats.dma_requests == 1
+
+    def test_unknown_asid(self):
+        scenario = build_scenario(legacy_platform(scale=64))
+        replayer = TraceReplayer(scenario.system, {})
+        with pytest.raises(KeyError):
+            replayer.replay([TraceRecord(0, 99, 0, "R")])
+
+    def test_timestamps_are_lower_bounds(self):
+        scenario = build_scenario(legacy_platform(scale=64))
+        replayer = TraceReplayer(
+            scenario.system, {scenario.victim.asid: scenario.victim}
+        )
+        records = [
+            TraceRecord(1000, scenario.victim.asid, 0, "R"),
+            TraceRecord(0, scenario.victim.asid, 1, "R"),  # out of order
+        ]
+        finished = replayer.replay(records)
+        assert finished >= 1000
