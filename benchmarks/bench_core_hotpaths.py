@@ -1,0 +1,29 @@
+"""Benchmark the simulator's core hot paths.
+
+Usage (from the repository root)::
+
+    python benchmarks/bench_core_hotpaths.py            # full run, appends
+    python benchmarks/bench_core_hotpaths.py --quick    # smoke, no write
+
+The full run appends one entry to ``benchmarks/BENCH_core.json`` so the
+throughput trajectory is tracked across PRs; see
+:mod:`repro.analysis.bench` for the shape definitions.
+"""
+
+import sys
+from pathlib import Path
+
+# Runnable without an installed package or PYTHONPATH.
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def main(argv=None) -> int:
+    from repro.analysis.bench import main as bench_main
+
+    return bench_main(argv)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,7 +4,19 @@ and ASCII table/series rendering."""
 from repro.analysis.ablations import ABLATIONS
 from repro.analysis.validation import VALIDATIONS, run_v1, run_v2
 from repro.analysis.report import generate_report
-from repro.analysis.stats import Aggregate, aggregate, replicate
+from repro.analysis.stats import (
+    Aggregate,
+    aggregate,
+    merge_replications,
+    replicate,
+)
+from repro.analysis.parallel import (
+    AttackReplicationSpec,
+    BenignReplicationSpec,
+    EvasionReplicationSpec,
+    replicate_parallel,
+    run_replications,
+)
 from repro.analysis.experiments import (
     EXPERIMENTS,
     ExperimentOutcome,
@@ -43,7 +55,13 @@ __all__ = [
     "generate_report",
     "Aggregate",
     "aggregate",
+    "merge_replications",
     "replicate",
+    "replicate_parallel",
+    "run_replications",
+    "AttackReplicationSpec",
+    "BenignReplicationSpec",
+    "EvasionReplicationSpec",
     "ExperimentOutcome",
     "Scenario",
     "Table",

@@ -1,0 +1,250 @@
+"""Core hot-path benchmark: requests/sec and ACTs/sec per traffic shape.
+
+Three shapes cover the simulator's hot paths end to end:
+
+* ``streaming``     — one tenant streaming through the core/cache path
+  (``MemoryController.submit`` dominated);
+* ``attack``        — a double-sided hammer via ``hammer_access``
+  (``DisturbanceTracker.on_activate`` dominated);
+* ``multi_tenant``  — four tenants through the shared FR-FCFS queue
+  (``submit_batch`` and the scheduler).
+
+A fourth section times the seeded-replication runner serially vs. via
+:mod:`repro.analysis.parallel` and checks the results are identical.
+
+Results append to ``benchmarks/BENCH_core.json`` — a *trajectory* file:
+one entry per recorded run, so future PRs can track regressions.  The
+``--quick`` mode shrinks the workloads and skips the JSON write; it
+exists so a tier-1 smoke test can exercise the harness cheaply.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform as _platform
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+#: default trajectory file, relative to the repository root
+DEFAULT_OUTPUT = Path("benchmarks") / "BENCH_core.json"
+
+#: seeds used for the replication timing section
+REPLICATION_SEEDS = tuple(range(101, 109))
+
+
+@dataclass
+class ShapeResult:
+    """Throughput of one traffic shape."""
+
+    name: str
+    wall_s: float
+    requests: int
+    acts: int
+
+    @property
+    def requests_per_s(self) -> float:
+        return self.requests / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def acts_per_s(self) -> float:
+        return self.acts / self.wall_s if self.wall_s > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "wall_s": round(self.wall_s, 4),
+            "requests": self.requests,
+            "acts": self.acts,
+            "requests_per_s": round(self.requests_per_s, 1),
+            "acts_per_s": round(self.acts_per_s, 1),
+        }
+
+
+def _measure(name: str, system, work) -> ShapeResult:
+    """Run ``work()`` and report the controller-stat deltas per second."""
+    stats = system.controller.stats
+    requests_before = stats.requests
+    acts_before = stats.acts
+    start = time.perf_counter()
+    work()
+    wall = time.perf_counter() - start
+    return ShapeResult(
+        name=name,
+        wall_s=wall,
+        requests=stats.requests - requests_before,
+        acts=stats.acts - acts_before,
+    )
+
+
+def bench_streaming(accesses: int = 60_000) -> ShapeResult:
+    """One tenant streaming reads through core + cache into the MC."""
+    from repro.sim import build_system, legacy_platform
+    from repro.workloads import WorkloadRunner
+
+    system = build_system(legacy_platform(scale=8))
+    tenant = system.create_domain("tenant", pages=128)
+    runner = WorkloadRunner(system, tenant, name="sequential", mlp=8, seed=5)
+    return _measure("streaming", system, lambda: runner.run(accesses))
+
+
+def bench_attack(rounds: int = 12_000) -> ShapeResult:
+    """A double-sided hammer: the flush+load ACT path plus the
+    disturbance oracle."""
+    from repro.analysis.scenarios import build_scenario
+    from repro.attacks import Attacker, AttackPlanner
+    from repro.sim import legacy_platform
+
+    scenario = build_scenario(
+        legacy_platform(scale=8), interleaved_allocation=True
+    )
+    system = scenario.system
+    planner = AttackPlanner(system, scenario.attacker)
+    plan = planner.plan(scenario.victim, "double-sided")
+    attacker = Attacker(system, scenario.attacker, plan)
+    return _measure("attack", system, lambda: attacker.run_rounds(rounds))
+
+
+def bench_multi_tenant(accesses: int = 40_000) -> ShapeResult:
+    """Four tenants feeding one FR-FCFS queue (the batch-submit path)."""
+    from repro.sim import build_system, legacy_platform
+    from repro.workloads import SharedQueueRunner, WorkloadRunner
+
+    system = build_system(legacy_platform(scale=8))
+    sources = []
+    for index, workload in enumerate(
+        ("zipfian", "random", "sequential", "stride")
+    ):
+        handle = system.create_domain(f"tenant{index}", pages=64)
+        sources.append(
+            WorkloadRunner(
+                system, handle, name=workload, mlp=4, seed=20 + index
+            )
+        )
+    shared = SharedQueueRunner(system, sources, window=16, policy="fr-fcfs")
+    return _measure("multi_tenant", system, lambda: shared.run(accesses))
+
+
+def bench_replication(
+    seeds: Sequence[int] = REPLICATION_SEEDS,
+    jobs: Optional[int] = None,
+    accesses: int = 4_000,
+) -> Dict[str, object]:
+    """Time an E13-representative replication set serially vs. through
+    the process pool, and verify the merged results are identical."""
+    from repro.analysis.parallel import (
+        BenignReplicationSpec,
+        resolve_jobs,
+        run_replications,
+    )
+
+    spec = BenignReplicationSpec(accesses=accesses, scale=8)
+    workers = resolve_jobs(jobs)
+
+    start = time.perf_counter()
+    serial = run_replications(spec, seeds, jobs=1)
+    serial_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_replications(spec, seeds, jobs=workers)
+    parallel_wall = time.perf_counter() - start
+
+    return {
+        "seeds": len(seeds),
+        "jobs": workers,
+        "serial_wall_s": round(serial_wall, 4),
+        "parallel_wall_s": round(parallel_wall, 4),
+        "speedup": round(serial_wall / parallel_wall, 3)
+        if parallel_wall > 0 else 0.0,
+        "identical": serial == parallel,
+    }
+
+
+def run_bench(
+    quick: bool = False,
+    jobs: Optional[int] = None,
+    label: str = "",
+) -> Dict[str, object]:
+    """Run every section and return one trajectory entry."""
+    if quick:
+        shapes = [
+            bench_streaming(accesses=2_000),
+            bench_attack(rounds=400),
+            bench_multi_tenant(accesses=2_000),
+        ]
+        replication = bench_replication(
+            seeds=(101, 102), jobs=jobs if jobs is not None else 2,
+            accesses=500,
+        )
+    else:
+        shapes = [bench_streaming(), bench_attack(), bench_multi_tenant()]
+        replication = bench_replication(jobs=jobs)
+    return {
+        "label": label or ("quick" if quick else "full"),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "host": {
+            "python": _platform.python_version(),
+            "cpus": os.cpu_count() or 1,
+            "platform": sys.platform,
+        },
+        "shapes": {shape.name: shape.as_dict() for shape in shapes},
+        "replication": replication,
+    }
+
+
+def append_entry(entry: Dict[str, object], output: Path) -> None:
+    """Append one entry to the trajectory file (a JSON list)."""
+    trajectory: List[Dict[str, object]] = []
+    if output.exists():
+        trajectory = json.loads(output.read_text())
+        if not isinstance(trajectory, list):
+            raise ValueError(f"{output} is not a JSON list")
+    trajectory.append(entry)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shared flags for the script and the ``repro bench`` subcommand."""
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="few iterations, no JSON write (smoke-test mode)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the replication section "
+             "(default: REPRO_JOBS env or host CPU count)",
+    )
+    parser.add_argument(
+        "--label", default="",
+        help="label recorded with the trajectory entry",
+    )
+    parser.add_argument(
+        "-o", "--output", default=str(DEFAULT_OUTPUT),
+        help="trajectory JSON to append to (ignored with --quick)",
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    entry = run_bench(quick=args.quick, jobs=args.jobs, label=args.label)
+    print(json.dumps(entry, indent=2))
+    if not args.quick:
+        output = Path(args.output)
+        append_entry(entry, output)
+        print(f"appended entry to {output}", file=sys.stderr)
+    if not entry["replication"]["identical"]:
+        print("ERROR: parallel replication diverged from serial",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark the simulator's core hot paths",
+    )
+    add_bench_arguments(parser)
+    return run_from_args(parser.parse_args(argv))

@@ -192,7 +192,8 @@ def run_benign(
         )
         clocks[index] = runners[index].step(clocks[index])
         issued[index] += runners[index].mlp
-        system.drain_flips()
+        if system.has_pending_flips():
+            system.drain_flips()
     elapsed = max(clocks)
     system.controller.advance_to(elapsed)
     metrics = collect_metrics(

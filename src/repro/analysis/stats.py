@@ -68,18 +68,22 @@ def aggregate(name: str, values: Sequence[Number]) -> Aggregate:
     )
 
 
-def replicate(
-    scenario: ScenarioFn, seeds: Sequence[int]
+def merge_replications(
+    runs: Sequence[Mapping[str, Number]]
 ) -> Dict[str, Aggregate]:
-    """Run ``scenario`` once per seed and aggregate every observable.
+    """Aggregate per-seed observation maps (in replication order) into
+    one :class:`Aggregate` per observable.
+
+    The merge is deterministic in the order of ``runs``, so serial and
+    process-parallel replication paths produce bit-identical aggregates
+    as long as they present results in the same seed order.
 
     All replications must report the same observable names — a missing
     key usually means the scenario silently failed for one seed, which
     should be an error, not a NaN.
     """
-    if not seeds:
-        raise ValueError("need at least one seed")
-    runs: List[Mapping[str, Number]] = [scenario(seed) for seed in seeds]
+    if not runs:
+        raise ValueError("need at least one replication")
     names = set(runs[0])
     for index, run in enumerate(runs[1:], start=1):
         if set(run) != names:
@@ -91,6 +95,21 @@ def replicate(
         name: aggregate(name, [run[name] for run in runs])
         for name in sorted(names)
     }
+
+
+def replicate(
+    scenario: ScenarioFn, seeds: Sequence[int]
+) -> Dict[str, Aggregate]:
+    """Run ``scenario`` once per seed and aggregate every observable.
+
+    This is the serial reference path; :mod:`repro.analysis.parallel`
+    fans the same per-seed runs across worker processes and merges them
+    through the same :func:`merge_replications` fold.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    runs: List[Mapping[str, Number]] = [scenario(seed) for seed in seeds]
+    return merge_replications(runs)
 
 
 def attack_observables(config_factory, pattern: str = "double-sided",

@@ -80,7 +80,8 @@ class Attacker:
         while now < deadline and self.plan.viable:
             now = self._hammer_round(now)
             iterations += 1
-            flips.extend(self.system.drain_flips())
+            if self.system.has_pending_flips():
+                flips.extend(self.system.drain_flips())
         return AttackResult(
             plan=self.plan,
             hammer_iterations=iterations,
@@ -103,7 +104,8 @@ class Attacker:
                 break
             now = self._hammer_round(now)
             done += 1
-            flips.extend(self.system.drain_flips())
+            if self.system.has_pending_flips():
+                flips.extend(self.system.drain_flips())
         return AttackResult(
             plan=self.plan,
             hammer_iterations=done,

@@ -167,6 +167,42 @@ def _cmd_attack(args) -> int:
                  or (result.cross_domain_flips > 0) == args.expect_flips) else 1
 
 
+def _cmd_bench(args) -> int:
+    from repro.analysis.bench import run_from_args
+
+    try:
+        return run_from_args(args)
+    except ValueError as error:
+        print(f"repro bench: error: {error}", file=sys.stderr)
+        return 2
+
+
+def _cmd_replicate(args) -> int:
+    import dataclasses
+
+    from repro.analysis.parallel import (
+        REPLICATION_SPECS,
+        replicate_parallel,
+        resolve_jobs,
+    )
+
+    spec = dataclasses.replace(
+        REPLICATION_SPECS[args.experiment.upper()], scale=args.scale
+    )
+    seeds = [args.seed_base + i for i in range(args.seeds)]
+    try:
+        jobs = resolve_jobs(args.jobs)
+    except ValueError as error:
+        print(f"repro replicate: error: {error}", file=sys.stderr)
+        return 2
+    aggregates = replicate_parallel(spec, seeds, jobs=jobs)
+    print(f"{args.experiment.upper()} x {len(seeds)} seeds "
+          f"({jobs} worker{'s' if jobs != 1 else ''}):")
+    for aggregate in aggregates.values():
+        print(f"  {aggregate.describe()}")
+    return 0
+
+
 def _cmd_report(args) -> int:
     markdown = generate_report(
         scale=args.scale,
@@ -224,6 +260,35 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--scale", type=int, default=64)
     report_parser.add_argument("-o", "--output", default=None)
 
+    bench_parser = sub.add_parser(
+        "bench", help="benchmark the simulator's core hot paths",
+    )
+    from repro.analysis.bench import add_bench_arguments
+
+    add_bench_arguments(bench_parser)
+
+    replicate_parser = sub.add_parser(
+        "replicate",
+        help="run seeded replications of an experiment scenario, "
+             "optionally across processes",
+    )
+    replicate_parser.add_argument(
+        "experiment", choices=("E4", "E10", "E13", "e4", "e10", "e13"),
+        help="representative scenario to replicate",
+    )
+    replicate_parser.add_argument(
+        "--seeds", type=int, default=8, help="number of replications",
+    )
+    replicate_parser.add_argument(
+        "--seed-base", type=int, default=101,
+        help="first seed (replication i uses seed-base + i)",
+    )
+    replicate_parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: REPRO_JOBS env or CPU count)",
+    )
+    replicate_parser.add_argument("--scale", type=int, default=64)
+
     return parser
 
 
@@ -234,6 +299,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "attack": _cmd_attack,
         "report": _cmd_report,
+        "bench": _cmd_bench,
+        "replicate": _cmd_replicate,
     }
     return handlers[args.command](args)
 

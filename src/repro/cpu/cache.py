@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CacheAccessResult:
     """Outcome of one cache access."""
 
@@ -32,6 +32,14 @@ class CacheAccessResult:
     writeback_line: Optional[int]
     #: the access was absorbed by a *locked* line
     served_by_locked: bool = False
+
+
+# Hit outcomes carry no per-access data, so the two possible values are
+# shared singletons — the hit path allocates nothing.
+_HIT = CacheAccessResult(hit=True, fill_line=None, writeback_line=None)
+_LOCKED_HIT = CacheAccessResult(
+    hit=True, fill_line=None, writeback_line=None, served_by_locked=True
+)
 
 
 class LockError(Exception):
@@ -77,18 +85,16 @@ class SetAssociativeCache:
         and any writeback the caller must perform."""
         if line < 0:
             raise ValueError("line must be >= 0")
-        cache_set = self._sets[self.set_of(line)]
+        cache_set = self._sets[line % self.sets]
         if line in cache_set:
             self.hits += 1
-            dirty = cache_set.pop(line) or is_write
-            cache_set[line] = dirty  # move to MRU
-            locked = line in self._locked
-            if locked:
+            if is_write and not cache_set[line]:
+                cache_set[line] = True
+            cache_set.move_to_end(line)  # MRU
+            if line in self._locked:
                 self.locked_hits += 1
-            return CacheAccessResult(
-                hit=True, fill_line=None, writeback_line=None,
-                served_by_locked=locked,
-            )
+                return _LOCKED_HIT
+            return _HIT
         self.misses += 1
         writeback = self._make_room(cache_set)
         cache_set[line] = is_write

@@ -21,7 +21,7 @@ from repro.mc.controller import CompletedRequest, MemoryController, MemoryReques
 LLC_HIT_LATENCY_NS = 12
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AccessOutcome:
     """Result of one core load/store."""
 

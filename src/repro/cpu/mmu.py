@@ -135,13 +135,22 @@ class Mmu:
 
     def translate_line(self, asid: int, virtual_line: int) -> int:
         """Translate a virtual cache-line index to a physical one."""
-        virtual_page, offset = divmod(virtual_line, self.lines_per_page)
-        frame = self.tlb.lookup(asid, virtual_page)
+        lines_per_page = self.lines_per_page
+        virtual_page = virtual_line // lines_per_page
+        offset = virtual_line - virtual_page * lines_per_page
+        # Inlined TLB hit path (this is the hottest translation route).
+        tlb = self.tlb
+        key = (asid, virtual_page)
+        frame = tlb._entries.get(key)
         if frame is None:
+            tlb.misses += 1
             mapping = self.table(asid).translate(virtual_page)
             frame = mapping.frame
-            self.tlb.fill(asid, virtual_page, frame)
-        return frame * self.lines_per_page + offset
+            tlb.fill(asid, virtual_page, frame)
+        else:
+            tlb.hits += 1
+            tlb._entries.move_to_end(key)
+        return frame * lines_per_page + offset
 
     def remap_page(self, asid: int, virtual_page: int, new_frame: int) -> int:
         """Move a page to a new frame and shoot down the stale TLB entry.

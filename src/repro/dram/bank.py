@@ -50,26 +50,30 @@ class BankState:
         where consecutive CAS commands overlap.  ACTs remain serialized by
         tRC, which is the physical rate limit hammering runs into.
         """
-        start = max(now, self.busy_until)
-        kind = self.classify_access(row)
-        if kind == "hit":
+        timings = self.timings
+        busy = self.busy_until
+        start = now if now >= busy else busy
+        open_row = self.open_row
+        if open_row == row:  # hit
             self.row_hits += 1
-            data_ready = start + self.timings.tCL
-            self.busy_until = start + self.timings.tBL
-        elif kind == "miss":
+            self.busy_until = start + timings.tBL
+            return start + timings.tCL
+        if open_row is None:  # miss
             self.row_misses += 1
-            act_at = self._respect_trc(start)
-            self._activate(row, act_at)
-            data_ready = act_at + self.timings.tRCD + self.timings.tCL
-            self.busy_until = act_at + self.timings.tRCD + self.timings.tBL
-        else:
+            act_at = start
+        else:  # conflict
             self.row_conflicts += 1
             self.precharges += 1
-            act_at = self._respect_trc(start + self.timings.tRP)
-            self._activate(row, act_at)
-            data_ready = act_at + self.timings.tRCD + self.timings.tCL
-            self.busy_until = act_at + self.timings.tRCD + self.timings.tBL
-        return data_ready
+            act_at = start + timings.tRP
+        earliest = self.last_act_at + timings.tRC
+        if act_at < earliest:
+            act_at = earliest
+        self.open_row = row
+        self.acts += 1
+        self.last_act_at = act_at
+        tRCD = timings.tRCD
+        self.busy_until = act_at + tRCD + timings.tBL
+        return act_at + tRCD + timings.tCL
 
     def activate(self, row: int, now: int) -> int:
         """Explicit ACT (used by targeted refresh); returns completion time."""

@@ -138,12 +138,23 @@ class DramDevice:
         """
         self.geometry._check(address)
         bank = self.banks[address.bank_key()]
-        needs_act = bank.classify_access(address.row) != "hit"
-        ready = bank.access(address.row, now)
-        flips: List[BitFlip] = []
-        if needs_act:
-            flips = self._physical_activate(address, ready, domain)
-        return ready, flips
+        return self.access_mapped(bank, address, now, domain)
+
+    def access_mapped(
+        self,
+        bank: "BankState",
+        address: DdrAddress,
+        now: int,
+        domain: Optional[int] = None,
+    ) -> Tuple[int, List[BitFlip]]:
+        """Hot-path variant of :meth:`access` for mapper-produced
+        addresses: the caller already resolved ``bank``, and the address
+        mapper only emits coordinates that are valid by construction, so
+        the per-request range check is skipped."""
+        if bank.open_row != address.row:
+            ready = bank.access(address.row, now)
+            return ready, self._physical_activate(address, ready, domain)
+        return bank.access(address.row, now), []
 
     def activate(
         self,

@@ -26,7 +26,7 @@ from repro.dram.geometry import DdrAddress, DramGeometry
 RowKey = Tuple[int, int, int, int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BitFlip:
     """One disturbance event: a victim row crossed its MAC.
 
@@ -86,6 +86,11 @@ class DisturbanceProfile:
     decay_per_row: float = 0.5
     flip_probability: float = 1.0
     max_bits_per_flip: int = 4
+    # weight-by-distance lookup (index d = distance; [0] unused), derived
+    # in __post_init__ so the per-ACT hot loop never exponentiates
+    _weights: Tuple[float, ...] = field(
+        init=False, repr=False, compare=False, default=()
+    )
 
     def __post_init__(self) -> None:
         if self.mac < 1:
@@ -98,12 +103,20 @@ class DisturbanceProfile:
             raise ValueError("flip_probability must be in (0, 1]")
         if self.max_bits_per_flip < 1:
             raise ValueError("max_bits_per_flip must be >= 1")
+        object.__setattr__(
+            self,
+            "_weights",
+            (0.0,) + tuple(
+                self.decay_per_row ** (distance - 1)
+                for distance in range(1, self.blast_radius + 1)
+            ),
+        )
 
     def weight(self, distance: int) -> float:
         """Disturbance contribution of one ACT at ``distance`` rows."""
         if distance < 1 or distance > self.blast_radius:
             return 0.0
-        return self.decay_per_row ** (distance - 1)
+        return self._weights[distance]
 
     def scaled(self, factor: int) -> "DisturbanceProfile":
         """MAC divided by ``factor`` for fast simulation (pair with
@@ -171,18 +184,36 @@ class DisturbanceTracker:
         (clipped at the subarray boundary) accumulates weighted pressure.
         """
         self.total_acts += 1
-        aggressor_key = address.row_key()
-        self._reset(aggressor_key)
+        channel, rank, bank, row = (
+            address.channel, address.rank, address.bank, address.row,
+        )
+        aggressor_key = (channel, rank, bank, row)
+        pressure_map = self._pressure
+        tripped = self._tripped
+        pressure_map.pop(aggressor_key, None)
+        tripped.pop(aggressor_key, None)
 
+        # Inlined subarray-clipped neighbourhood (geometry.neighbors_within
+        # semantics) with the precomputed distance-weight table: this loop
+        # runs once per ACT and dominates attack-shape profiles.
+        profile = self.profile
+        rows_per_subarray = self.geometry.rows_per_subarray
+        subarray_start = (row // rows_per_subarray) * rows_per_subarray
+        low = max(subarray_start, row - profile.blast_radius)
+        high = min(subarray_start + rows_per_subarray - 1,
+                   row + profile.blast_radius)
+        weights = profile._weights
+        mac = profile.mac
         flips: List[BitFlip] = []
-        for victim_row in self.geometry.neighbors_within(
-            address.row, self.profile.blast_radius
-        ):
-            victim_key = (address.channel, address.rank, address.bank, victim_row)
-            distance = abs(victim_row - address.row)
-            pressure = self._pressure.get(victim_key, 0.0) + self.profile.weight(distance)
-            self._pressure[victim_key] = pressure
-            if pressure >= self.profile.mac and not self._tripped.get(victim_key):
+        for victim_row in range(low, high + 1):
+            if victim_row == row:
+                continue
+            victim_key = (channel, rank, bank, victim_row)
+            pressure = pressure_map.get(victim_key, 0.0) + weights[
+                victim_row - row if victim_row > row else row - victim_row
+            ]
+            pressure_map[victim_key] = pressure
+            if pressure >= mac and not tripped.get(victim_key):
                 flip = self._maybe_flip(victim_key, aggressor_key, time_ns, domain)
                 if flip is not None:
                     flips.append(flip)

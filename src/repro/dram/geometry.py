@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Iterator, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DdrAddress:
     """A DDR *logical* address: the coordinates the memory controller
     speaks to the module (§2.1), as opposed to a CPU physical address.

@@ -52,6 +52,9 @@ class AddressMapper:
     #: whether the scheme can confine a trust domain's pages
     isolates_domains: bool = False
 
+    #: bound on the per-mapper ``line_to_ddr`` memo (entries)
+    CACHE_CAPACITY = 1 << 16
+
     def __init__(self, geometry: DramGeometry, page_bytes: int = 4096) -> None:
         if page_bytes % geometry.cacheline_bytes != 0:
             raise ValueError("page size must be a multiple of the cache-line size")
@@ -60,14 +63,37 @@ class AddressMapper:
         self.lines_per_page = page_bytes // geometry.cacheline_bytes
         self.total_lines = geometry.cachelines_total
         self.total_frames = self.total_lines // self.lines_per_page
+        self._ddr_cache: Dict[int, DdrAddress] = {}
 
     # -- abstract -------------------------------------------------------
 
-    def line_to_ddr(self, line: int) -> DdrAddress:
+    def _line_to_ddr_uncached(self, line: int) -> DdrAddress:
         raise NotImplementedError
 
     def ddr_to_line(self, address: DdrAddress) -> int:
         raise NotImplementedError
+
+    # -- the memoised hot path -------------------------------------------
+
+    def line_to_ddr(self, line: int) -> DdrAddress:
+        """Map one cache-line index; results are memoised per mapper in a
+        bounded LRU (a mapping is fixed once established, so entries only
+        need invalidation on explicit remapping events such as
+        :meth:`SubarrayIsolatedInterleaving.release_frame`)."""
+        cache = self._ddr_cache
+        address = cache.pop(line, None)
+        if address is None:
+            address = self._line_to_ddr_uncached(line)
+            if len(cache) >= self.CACHE_CAPACITY:
+                del cache[next(iter(cache))]
+        cache[line] = address  # (re)insert at the young end
+        return address
+
+    def _invalidate_lines(self, lines) -> None:
+        """Drop memoised entries (used when part of the map changes)."""
+        cache = self._ddr_cache
+        for line in lines:
+            cache.pop(line, None)
 
     # -- shared helpers ---------------------------------------------------
 
@@ -122,7 +148,7 @@ class LinearMapping(AddressMapper):
     interleaves = False
     isolates_domains = False
 
-    def line_to_ddr(self, line: int) -> DdrAddress:
+    def _line_to_ddr_uncached(self, line: int) -> DdrAddress:
         self._check_line(line)
         cols = self.geometry.columns_per_row
         column = line % cols
@@ -145,7 +171,7 @@ class CachelineInterleaving(AddressMapper):
     interleaves = True
     isolates_domains = False
 
-    def line_to_ddr(self, line: int) -> DdrAddress:
+    def _line_to_ddr_uncached(self, line: int) -> DdrAddress:
         self._check_line(line)
         banks = self.geometry.banks_total
         bank_flat = line % banks
@@ -168,8 +194,8 @@ class PermutationInterleaving(CachelineInterleaving):
 
     name = "permutation-interleave"
 
-    def line_to_ddr(self, line: int) -> DdrAddress:
-        base = super().line_to_ddr(line)
+    def _line_to_ddr_uncached(self, line: int) -> DdrAddress:
+        base = super()._line_to_ddr_uncached(line)
         bank_flat = self.geometry.bank_index(base)
         permuted = self._permute(bank_flat, base.row)
         channel, rank, bank = self.geometry.bank_from_index(permuted)
@@ -298,6 +324,8 @@ class SubarrayIsolatedInterleaving(AddressMapper):
         slot = self._frame_slot.pop(frame)
         del self._slot_frame[(group, slot)]
         self._group_slots_free[group].append(slot)
+        # The slot may be re-placed for another frame; drop stale memos.
+        self._invalidate_lines(self.lines_of_frame(frame))
 
     def group_of_frame(self, frame: int) -> int:
         assigned = self._frame_group.get(frame)
@@ -321,7 +349,7 @@ class SubarrayIsolatedInterleaving(AddressMapper):
 
     # -- the bijection ---------------------------------------------------
 
-    def line_to_ddr(self, line: int) -> DdrAddress:
+    def _line_to_ddr_uncached(self, line: int) -> DdrAddress:
         self._check_line(line)
         frame = self.frame_of_line(line)
         offset = line - frame * self.lines_per_page

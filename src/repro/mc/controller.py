@@ -27,7 +27,7 @@ from repro.mc.counters import ActCounter, ActInterrupt, InterruptHandler
 from repro.mc.stats import ControllerStats
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemoryRequest:
     """One cache-line request reaching the controller (an LLC miss,
     writeback, or DMA transfer)."""
@@ -45,7 +45,7 @@ class MemoryRequest:
             raise ValueError("physical_line must be >= 0")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CompletedRequest:
     """Outcome of one serviced request."""
 
@@ -90,9 +90,12 @@ class MemoryController:
         buffer hits); "closed" auto-precharges after every access
         (conflict-free for random traffic — and it turns *one-location*
         hammering into a real attack, since every access re-activates)."""
-        if mapper.geometry is not device.geometry:
-            if mapper.geometry != device.geometry:
-                raise ValueError("mapper and device geometries differ")
+        if mapper.geometry != device.geometry:
+            raise ValueError(
+                "mapper and device geometries differ: the mapper was built "
+                f"for {mapper.geometry!r} but the device has "
+                f"{device.geometry!r}"
+            )
         if page_policy not in ("open", "closed"):
             raise ValueError(f"unknown page policy {page_policy!r}")
         self.device = device
@@ -158,13 +161,24 @@ class MemoryController:
         executed first; ACT counters/observers/gates fire if the request
         activates a row.
         """
-        self.advance_to(request.time_ns)
+        time_ns = request.time_ns
+        if self.refresh_enabled and self._next_ref_at <= time_ns:
+            self.advance_to(time_ns)
+        device = self.device
         address = self.mapper.line_to_ddr(request.physical_line)
-        bank = self.device.banks[address.bank_key()]
-        outcome = bank.classify_access(address.row)
-        will_act = outcome != "hit"
+        bank = device.banks[(address.channel, address.rank, address.bank)]
+        open_row = bank.open_row
+        if open_row == address.row:
+            outcome = "hit"
+            will_act = False
+        elif open_row is None:
+            outcome = "miss"
+            will_act = True
+        else:
+            outcome = "conflict"
+            will_act = True
 
-        now = request.time_ns
+        now = time_ns
         throttled = 0
         if will_act:
             for gate in self._act_gates:
@@ -173,10 +187,14 @@ class MemoryController:
                 now += throttled
                 self.stats.throttle_stalls_ns += throttled
 
-        data_at_bank, flips = self.device.access(address, now, request.domain)
-        transfer_start = max(data_at_bank, self._bus_busy_until[address.channel])
-        done = transfer_start + self.device.timings.tBL
-        self._bus_busy_until[address.channel] = done
+        data_at_bank, flips = device.access_mapped(
+            bank, address, now, request.domain
+        )
+        bus = self._bus_busy_until
+        bus_free = bus[address.channel]
+        transfer_start = data_at_bank if data_at_bank > bus_free else bus_free
+        done = transfer_start + device.timings.tBL
+        bus[address.channel] = done
         if self.page_policy == "closed":
             bank.precharge(data_at_bank)
 
@@ -194,14 +212,130 @@ class MemoryController:
             flips=flips,
         )
 
+    def submit_batch(
+        self, requests: List[MemoryRequest]
+    ) -> List[CompletedRequest]:
+        """Service a burst of requests in order.
+
+        Result-identical to calling :meth:`submit` once per request: the
+        per-request refresh guard is preserved so REF bursts land at
+        exactly the same points.  What the batch amortises is the Python
+        overhead — attribute lookups are hoisted, and the throughput
+        counters accumulate in locals and flush into :attr:`stats` once
+        after the burst (so mid-burst readers of those counters see the
+        pre-burst values; ACT-side effects still fire per request).
+        """
+        if not requests:
+            return []
+        device = self.device
+        banks = device.banks
+        tBL = device.timings.tBL
+        line_to_ddr = self.mapper.line_to_ddr
+        bus = self._bus_busy_until
+        gates = self._act_gates
+        closed = self.page_policy == "closed"
+        refresh_enabled = self.refresh_enabled
+        stats = self.stats
+
+        reads = writes = dma = hits = misses = conflicts = 0
+        latency_ns = 0
+        busy_until = stats.busy_until_ns
+        completions: List[CompletedRequest] = []
+
+        for request in requests:
+            time_ns = request.time_ns
+            if refresh_enabled and self._next_ref_at <= time_ns:
+                self.advance_to(time_ns)
+            address = line_to_ddr(request.physical_line)
+            bank = banks[(address.channel, address.rank, address.bank)]
+            open_row = bank.open_row
+            if open_row == address.row:
+                outcome = "hit"
+                will_act = False
+            elif open_row is None:
+                outcome = "miss"
+                will_act = True
+            else:
+                outcome = "conflict"
+                will_act = True
+
+            now = time_ns
+            throttled = 0
+            if will_act and gates:
+                for gate in gates:
+                    throttled += gate(address, now, request.domain)
+                if throttled:
+                    now += throttled
+                    stats.throttle_stalls_ns += throttled
+
+            data_at_bank, flips = device.access_mapped(
+                bank, address, now, request.domain
+            )
+            bus_free = bus[address.channel]
+            transfer_start = (
+                data_at_bank if data_at_bank > bus_free else bus_free
+            )
+            done = transfer_start + tBL
+            bus[address.channel] = done
+            if closed:
+                bank.precharge(data_at_bank)
+
+            if will_act:
+                self._note_act(address, done, request)
+
+            if request.is_write:
+                writes += 1
+            else:
+                reads += 1
+            if request.is_dma:
+                dma += 1
+            if outcome == "hit":
+                hits += 1
+            elif outcome == "miss":
+                misses += 1
+            else:
+                conflicts += 1
+            latency_ns += done - time_ns
+            if done > busy_until:
+                busy_until = done
+            completions.append(
+                CompletedRequest(
+                    request=request,
+                    address=address,
+                    ready_at_ns=done,
+                    caused_act=will_act,
+                    buffer_outcome=outcome,
+                    throttled_ns=throttled,
+                    flips=flips,
+                )
+            )
+
+        stats.reads += reads
+        stats.writes += writes
+        stats.dma_requests += dma
+        stats.row_hits += hits
+        stats.row_misses += misses
+        stats.row_conflicts += conflicts
+        stats.total_request_latency_ns += latency_ns
+        stats.busy_until_ns = busy_until
+        return completions
+
     def advance_to(self, now: int) -> None:
         """Execute all periodic REF bursts scheduled before ``now``."""
         if not self.refresh_enabled:
             return
-        while self._next_ref_at <= now:
-            self.device.refresh_burst(self._next_ref_at)
-            self.stats.ref_bursts += 1
-            self._next_ref_at += self.device.timings.tREFI
+        next_ref = self._next_ref_at
+        if next_ref > now:
+            return
+        device = self.device
+        tREFI = device.timings.tREFI
+        bursts = 0
+        while next_ref <= now:
+            device.refresh_burst(next_ref)
+            bursts += 1
+            next_ref += tREFI
+        self._next_ref_at = next_ref
+        self.stats.ref_bursts += bursts
 
     # ------------------------------------------------------------------
     # Primitive back-ends (§4.1–4.3)

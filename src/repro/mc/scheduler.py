@@ -44,26 +44,24 @@ class BatchScheduler:
         first; when none would, the oldest request is issued (which
         opens a row that may turn later requests into hits).
         """
+        controller = self.controller
         if self.policy == "fcfs":
-            return [self.controller.submit(request) for request in requests]
+            return controller.submit_batch(list(requests))
+        line_to_ddr = controller.mapper.line_to_ddr
+        banks = controller.device.banks
         pending = list(requests)
         completed: List[CompletedRequest] = []
-        position = 0
         while pending:
             chosen_index = None
             for index, request in enumerate(pending):
-                address = self.controller.mapper.line_to_ddr(
-                    request.physical_line
-                )
-                bank = self.controller.device.banks[address.bank_key()]
-                if bank.classify_access(address.row) == "hit":
+                address = line_to_ddr(request.physical_line)
+                bank = banks[(address.channel, address.rank, address.bank)]
+                if bank.open_row == address.row:  # would be a row hit
                     chosen_index = index
                     break
             if chosen_index is None:
                 chosen_index = 0
             if chosen_index != 0:
                 self.reordered += 1
-            request = pending.pop(chosen_index)
-            completed.append(self.controller.submit(request))
-            position += 1
+            completed.append(controller.submit(pending.pop(chosen_index)))
         return completed

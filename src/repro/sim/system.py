@@ -250,6 +250,12 @@ class System:
             self._apply_flip_to_data(flip)
         return fresh
 
+    def has_pending_flips(self) -> bool:
+        """True when ACTs since the last drain produced new flips — a
+        cheap guard so hot loops only pay for :meth:`drain_flips` when
+        there is something to drain."""
+        return len(self.device.tracker.flips) > self._flip_cursor
+
     def all_flips(self) -> List[BitFlip]:
         return list(self.device.tracker.flips)
 

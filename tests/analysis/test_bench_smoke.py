@@ -1,0 +1,43 @@
+"""Tier-1 smoke test for the perf harness: the benchmark script must
+always run end-to-end in quick mode and produce a well-formed entry with
+a bit-identical parallel replication check."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SCRIPT = REPO_ROOT / "benchmarks" / "bench_core_hotpaths.py"
+
+
+def test_bench_quick_smoke():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    result = subprocess.run(
+        [sys.executable, str(SCRIPT), "--quick", "--jobs", "2"],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    entry = json.loads(result.stdout)
+    assert set(entry["shapes"]) == {"streaming", "attack", "multi_tenant"}
+    for shape in entry["shapes"].values():
+        assert shape["requests"] > 0
+        assert shape["requests_per_s"] > 0
+        assert shape["acts"] > 0
+    replication = entry["replication"]
+    assert replication["identical"] is True
+    assert replication["jobs"] == 2
+
+
+def test_committed_trajectory_is_valid_json():
+    trajectory = json.loads((REPO_ROOT / "benchmarks" / "BENCH_core.json").read_text())
+    assert isinstance(trajectory, list) and trajectory
+    labels = [entry["label"] for entry in trajectory]
+    assert "before: seed hot paths" in labels
+    for entry in trajectory:
+        assert entry["replication"]["identical"] is True

@@ -85,6 +85,30 @@ class TestFactories:
         assert defense.name
 
 
+class TestBenchCommand:
+    def test_quick_bench_runs(self, capsys):
+        import json
+
+        assert main(["bench", "--quick", "--jobs", "2"]) == 0
+        entry = json.loads(capsys.readouterr().out)
+        assert set(entry["shapes"]) == {"streaming", "attack", "multi_tenant"}
+        assert entry["replication"]["identical"] is True
+
+
+class TestReplicateCommand:
+    def test_replicate_e13(self, capsys):
+        code = main([
+            "replicate", "E13", "--seeds", "2", "--jobs", "2", "--scale", "8",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "E13 x 2 seeds" in out
+        assert "requests" in out
+
+    def test_lowercase_experiment(self, capsys):
+        assert main(["replicate", "e13", "--seeds", "1", "--scale", "8"]) == 0
+
+
 class TestReportHelpers:
     def test_generate_report_subset(self):
         from repro.analysis.report import generate_report

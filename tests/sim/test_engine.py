@@ -72,3 +72,32 @@ class TestMixedActors:
         assert result.steps_per_actor[0] > 0
         assert result.steps_per_actor[1] > 0
         assert result.flips_seen > 0  # the attack still lands under noise
+
+
+class TestGatedFlipDrain:
+    """`Engine.run` only drains flips when a step produced some; the
+    gating must never lose a flip."""
+
+    def _attack_engine(self):
+        scenario = build_scenario(legacy_platform(scale=64))
+        planner = AttackPlanner(scenario.system, scenario.attacker)
+        plan = planner.plan(scenario.victim, "double-sided")
+        attacker = Attacker(scenario.system, scenario.attacker, plan)
+        return scenario, Engine(scenario.system, [attacker])
+
+    def test_flips_seen_matches_tracker(self):
+        scenario, engine = self._attack_engine()
+        result = engine.run(horizon_ns=scenario.system.timings.tREFW)
+        assert result.flips_seen > 0
+        # Every flip the device tracker recorded was seen by the engine.
+        assert result.flips_seen == len(scenario.system.all_flips())
+
+    def test_flips_seen_zero_without_flips(self):
+        scenario = build_scenario(legacy_platform(scale=64))
+        runner = WorkloadRunner(
+            scenario.system, scenario.victim, name="sequential", mlp=2
+        )
+        engine = Engine(scenario.system, [runner])
+        result = engine.run(horizon_ns=10_000)
+        assert result.flips_seen == 0
+        assert scenario.system.all_flips() == []
