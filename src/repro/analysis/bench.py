@@ -30,6 +30,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
+from repro.obs.profiler import PhaseProfiler
+
 #: default trajectory file, relative to the repository root
 DEFAULT_OUTPUT = Path("benchmarks") / "BENCH_core.json"
 
@@ -45,6 +47,8 @@ class ShapeResult:
     wall_s: float
     requests: int
     acts: int
+    #: per-phase wall-clock split (``--profile`` only)
+    phases: Optional[Dict[str, float]] = None
 
     @property
     def requests_per_s(self) -> float:
@@ -55,43 +59,64 @@ class ShapeResult:
         return self.acts / self.wall_s if self.wall_s > 0 else 0.0
 
     def as_dict(self) -> Dict[str, float]:
-        return {
+        row: Dict[str, float] = {
             "wall_s": round(self.wall_s, 4),
             "requests": self.requests,
             "acts": self.acts,
             "requests_per_s": round(self.requests_per_s, 1),
             "acts_per_s": round(self.acts_per_s, 1),
         }
+        if self.phases is not None:
+            row["phases_s"] = {
+                phase: round(seconds, 4)
+                for phase, seconds in sorted(self.phases.items())
+            }
+        return row
 
 
-def _measure(name: str, system, work) -> ShapeResult:
-    """Run ``work()`` and report the controller-stat deltas per second."""
+def _measure(
+    name: str, system, work, profiler: Optional[PhaseProfiler] = None
+) -> ShapeResult:
+    """Run ``work()`` and report the controller-stat deltas per second.
+
+    Wall time goes through a :class:`PhaseProfiler` (one phase per
+    shape) — the same clockwork the in-simulator hooks use — instead of
+    ad-hoc ``perf_counter()`` pairs.
+    """
     stats = system.controller.stats
     requests_before = stats.requests
     acts_before = stats.acts
-    start = time.perf_counter()
-    work()
-    wall = time.perf_counter() - start
+    wall_timer = PhaseProfiler()
+    with wall_timer.measure(name):
+        work()
     return ShapeResult(
         name=name,
-        wall_s=wall,
+        wall_s=wall_timer.seconds(name),
         requests=stats.requests - requests_before,
         acts=stats.acts - acts_before,
+        phases=(
+            dict(profiler.seconds_by_phase) if profiler is not None else None
+        ),
     )
 
 
-def bench_streaming(accesses: int = 60_000) -> ShapeResult:
+def bench_streaming(
+    accesses: int = 60_000, profile: bool = False
+) -> ShapeResult:
     """One tenant streaming reads through core + cache into the MC."""
     from repro.sim import build_system, legacy_platform
     from repro.workloads import WorkloadRunner
 
     system = build_system(legacy_platform(scale=8))
+    profiler = system.enable_profiling() if profile else None
     tenant = system.create_domain("tenant", pages=128)
     runner = WorkloadRunner(system, tenant, name="sequential", mlp=8, seed=5)
-    return _measure("streaming", system, lambda: runner.run(accesses))
+    return _measure(
+        "streaming", system, lambda: runner.run(accesses), profiler
+    )
 
 
-def bench_attack(rounds: int = 12_000) -> ShapeResult:
+def bench_attack(rounds: int = 12_000, profile: bool = False) -> ShapeResult:
     """A double-sided hammer: the flush+load ACT path plus the
     disturbance oracle."""
     from repro.analysis.scenarios import build_scenario
@@ -102,18 +127,24 @@ def bench_attack(rounds: int = 12_000) -> ShapeResult:
         legacy_platform(scale=8), interleaved_allocation=True
     )
     system = scenario.system
+    profiler = system.enable_profiling() if profile else None
     planner = AttackPlanner(system, scenario.attacker)
     plan = planner.plan(scenario.victim, "double-sided")
     attacker = Attacker(system, scenario.attacker, plan)
-    return _measure("attack", system, lambda: attacker.run_rounds(rounds))
+    return _measure(
+        "attack", system, lambda: attacker.run_rounds(rounds), profiler
+    )
 
 
-def bench_multi_tenant(accesses: int = 40_000) -> ShapeResult:
+def bench_multi_tenant(
+    accesses: int = 40_000, profile: bool = False
+) -> ShapeResult:
     """Four tenants feeding one FR-FCFS queue (the batch-submit path)."""
     from repro.sim import build_system, legacy_platform
     from repro.workloads import SharedQueueRunner, WorkloadRunner
 
     system = build_system(legacy_platform(scale=8))
+    profiler = system.enable_profiling() if profile else None
     sources = []
     for index, workload in enumerate(
         ("zipfian", "random", "sequential", "stride")
@@ -125,7 +156,9 @@ def bench_multi_tenant(accesses: int = 40_000) -> ShapeResult:
             )
         )
     shared = SharedQueueRunner(system, sources, window=16, policy="fr-fcfs")
-    return _measure("multi_tenant", system, lambda: shared.run(accesses))
+    return _measure(
+        "multi_tenant", system, lambda: shared.run(accesses), profiler
+    )
 
 
 def bench_replication(
@@ -143,15 +176,15 @@ def bench_replication(
 
     spec = BenignReplicationSpec(accesses=accesses, scale=8)
     workers = resolve_jobs(jobs)
+    timer = PhaseProfiler()
 
-    start = time.perf_counter()
-    serial = run_replications(spec, seeds, jobs=1)
-    serial_wall = time.perf_counter() - start
+    with timer.measure("serial"):
+        serial = run_replications(spec, seeds, jobs=1)
+    with timer.measure("parallel"):
+        parallel = run_replications(spec, seeds, jobs=workers)
 
-    start = time.perf_counter()
-    parallel = run_replications(spec, seeds, jobs=workers)
-    parallel_wall = time.perf_counter() - start
-
+    serial_wall = timer.seconds("serial")
+    parallel_wall = timer.seconds("parallel")
     return {
         "seeds": len(seeds),
         "jobs": workers,
@@ -167,20 +200,25 @@ def run_bench(
     quick: bool = False,
     jobs: Optional[int] = None,
     label: str = "",
+    profile: bool = False,
 ) -> Dict[str, object]:
     """Run every section and return one trajectory entry."""
     if quick:
         shapes = [
-            bench_streaming(accesses=2_000),
-            bench_attack(rounds=400),
-            bench_multi_tenant(accesses=2_000),
+            bench_streaming(accesses=2_000, profile=profile),
+            bench_attack(rounds=400, profile=profile),
+            bench_multi_tenant(accesses=2_000, profile=profile),
         ]
         replication = bench_replication(
             seeds=(101, 102), jobs=jobs if jobs is not None else 2,
             accesses=500,
         )
     else:
-        shapes = [bench_streaming(), bench_attack(), bench_multi_tenant()]
+        shapes = [
+            bench_streaming(profile=profile),
+            bench_attack(profile=profile),
+            bench_multi_tenant(profile=profile),
+        ]
         replication = bench_replication(jobs=jobs)
     return {
         "label": label or ("quick" if quick else "full"),
@@ -207,6 +245,45 @@ def append_entry(entry: Dict[str, object], output: Path) -> None:
     output.write_text(json.dumps(trajectory, indent=2) + "\n")
 
 
+def find_baseline(
+    trajectory: Sequence[Dict[str, object]], label: str
+) -> Optional[Dict[str, object]]:
+    """Most recent trajectory entry with the given label, if any."""
+    for entry in reversed(trajectory):
+        if entry.get("label") == label:
+            return entry
+    return None
+
+
+def check_against_baseline(
+    entry: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float = 0.05,
+) -> List[str]:
+    """Compare per-shape requests/s against a baseline entry.
+
+    Returns one message per shape that fell more than ``tolerance``
+    (fractional) below the baseline — the guard that keeps the
+    instrumented-off hot path within noise of the pre-observability
+    numbers.
+    """
+    failures: List[str] = []
+    baseline_shapes = baseline.get("shapes", {})
+    for name, shape in entry.get("shapes", {}).items():
+        reference = baseline_shapes.get(name)
+        if not reference:
+            continue
+        base_rate = float(reference["requests_per_s"])
+        rate = float(shape["requests_per_s"])
+        floor = base_rate * (1.0 - tolerance)
+        if rate < floor:
+            failures.append(
+                f"{name}: {rate:.1f} req/s < {floor:.1f}"
+                f" (baseline {base_rate:.1f} - {tolerance:.0%})"
+            )
+    return failures
+
+
 def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     """Shared flags for the script and the ``repro bench`` subcommand."""
     parser.add_argument(
@@ -226,20 +303,66 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         "-o", "--output", default=str(DEFAULT_OUTPUT),
         help="trajectory JSON to append to (ignored with --quick)",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="record per-phase wall-clock splits "
+             "(translate/schedule/access/disturbance/drain) per shape",
+    )
+    parser.add_argument(
+        "--baseline-label", default=None,
+        help="compare requests/s per shape against the most recent "
+             "trajectory entry with this label; exit non-zero on "
+             "regression",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="allowed fractional requests/s drop vs. the baseline "
+             "(default: 0.05)",
+    )
 
 
 def run_from_args(args: argparse.Namespace) -> int:
-    entry = run_bench(quick=args.quick, jobs=args.jobs, label=args.label)
+    entry = run_bench(
+        quick=args.quick, jobs=args.jobs, label=args.label,
+        profile=getattr(args, "profile", False),
+    )
     print(json.dumps(entry, indent=2))
     if not args.quick:
         output = Path(args.output)
         append_entry(entry, output)
         print(f"appended entry to {output}", file=sys.stderr)
+    status = 0
     if not entry["replication"]["identical"]:
         print("ERROR: parallel replication diverged from serial",
               file=sys.stderr)
-        return 1
-    return 0
+        status = 1
+    baseline_label = getattr(args, "baseline_label", None)
+    if baseline_label:
+        output = Path(args.output)
+        trajectory = (
+            json.loads(output.read_text()) if output.exists() else []
+        )
+        baseline = find_baseline(trajectory, baseline_label)
+        if baseline is None:
+            print(
+                f"ERROR: no trajectory entry labelled {baseline_label!r} "
+                f"in {output}", file=sys.stderr,
+            )
+            status = 1
+        else:
+            failures = check_against_baseline(
+                entry, baseline, tolerance=args.tolerance
+            )
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            if failures:
+                status = 1
+            else:
+                print(
+                    f"bench within {args.tolerance:.0%} of baseline "
+                    f"{baseline_label!r}", file=sys.stderr,
+                )
+    return status
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

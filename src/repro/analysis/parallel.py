@@ -109,6 +109,11 @@ class AttackReplicationSpec:
     sides: int = 8
     use_dma: bool = False
     scale: int = 64
+    #: optional ACT-counter arming (None keeps the platform default);
+    #: the trace CLI uses these so an E4 trace has a live interrupt
+    #: timeline even on platforms that ship with counters "off"
+    act_threshold: Optional[int] = None
+    precise_interrupts: Optional[bool] = None
 
     def __call__(self, seed: int) -> Dict[str, Number]:
         from repro.analysis.scenarios import build_scenario, run_attack
@@ -118,6 +123,12 @@ class AttackReplicationSpec:
             _platform_config(self.platform, self.scale, self.defense),
             seed=seed,
         )
+        if self.act_threshold is not None:
+            config = replace(config, act_threshold=self.act_threshold)
+        if self.precise_interrupts is not None:
+            config = replace(
+                config, precise_act_interrupts=self.precise_interrupts
+            )
         defenses = [DEFENSE_FACTORIES[self.defense]()] if self.defense else []
         scenario = build_scenario(
             config, defenses=defenses, interleaved_allocation=True
@@ -212,6 +223,34 @@ class BenignReplicationSpec:
             "requests": metrics.requests,
             "acts": metrics.acts,
         }
+
+
+@dataclass(frozen=True)
+class TracedSpec:
+    """Picklable wrapper: run ``spec(seed)`` with event tracing on.
+
+    Each seed writes its own ``seed-<seed>.jsonl`` under ``trace_dir``,
+    so a :class:`~concurrent.futures.ProcessPoolExecutor` fan-out yields
+    one non-interleaved trace file per replication — workers share no
+    file handles, only a directory name.  The ambient ``observe``
+    context attaches the sink to every system the spec builds.
+    """
+
+    spec: ScenarioFn
+    trace_dir: str
+    sample_interval_ns: Optional[int] = None
+
+    def __call__(self, seed: int) -> Dict[str, Number]:
+        from pathlib import Path
+
+        from repro.obs import JsonlSink, observe
+
+        path = Path(self.trace_dir) / f"seed-{seed}.jsonl"
+        with observe(
+            sink_factory=lambda: JsonlSink(path),
+            sample_interval_ns=self.sample_interval_ns,
+        ):
+            return self.spec(seed)
 
 
 #: replicate-subcommand name -> representative spec

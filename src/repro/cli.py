@@ -203,6 +203,70 @@ def _cmd_replicate(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    import dataclasses
+    from pathlib import Path
+
+    from repro.analysis.parallel import (
+        REPLICATION_SPECS,
+        AttackReplicationSpec,
+    )
+    from repro.dram.presets import by_name
+    from repro.obs import JsonlSink, observe
+
+    spec = dataclasses.replace(
+        REPLICATION_SPECS[args.experiment.upper()], scale=args.scale
+    )
+    if isinstance(spec, AttackReplicationSpec) and not args.no_arm:
+        # Platforms ship with ACT counters effectively off (threshold
+        # 1<<20); a trace whose interrupt timeline is empty by
+        # construction is useless, so arm the §4.2 reporting primitive
+        # at an eighth of the (scaled) MAC with precise line capture.
+        config = _platform_config(spec.platform, spec.scale, spec.defense)
+        mac = by_name(config.generation).scaled(config.scale).profile.mac
+        spec = dataclasses.replace(
+            spec,
+            act_threshold=max(2, mac // 8),
+            precise_interrupts=True,
+        )
+    path = Path(args.output)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    sink_holder: List[JsonlSink] = []
+
+    def make_sink() -> JsonlSink:
+        sink = JsonlSink(path)
+        sink_holder.append(sink)
+        return sink
+
+    with observe(
+        sink_factory=make_sink, sample_interval_ns=args.sample_ns
+    ):
+        observables = spec(args.seed)
+    written = sum(sink.events_written for sink in sink_holder)
+    print(f"{args.experiment.upper()} seed={args.seed}: "
+          f"{written} events -> {path}")
+    for key in sorted(observables):
+        print(f"  {key} = {observables[key]}")
+    if written == 0:
+        print("warning: trace is empty", file=sys.stderr)
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from repro.obs import read_jsonl, render_summary, summarize_events
+
+    try:
+        events = read_jsonl(args.trace)
+    except (OSError, ValueError) as error:
+        print(f"repro inspect: error: {error}", file=sys.stderr)
+        return 2
+    summary = summarize_events(events)
+    print(render_summary(
+        summary, top=args.top, timeline_limit=args.timeline,
+    ))
+    return 0
+
+
 def _cmd_report(args) -> int:
     markdown = generate_report(
         scale=args.scale,
@@ -289,6 +353,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replicate_parser.add_argument("--scale", type=int, default=64)
 
+    trace_parser = sub.add_parser(
+        "trace",
+        help="record one replication run as a JSONL event trace",
+    )
+    trace_parser.add_argument(
+        "experiment", choices=("E4", "E10", "E13", "e4", "e10", "e13"),
+        help="representative scenario to trace",
+    )
+    trace_parser.add_argument(
+        "-o", "--output", default="trace.jsonl",
+        help="JSONL file to write (default: trace.jsonl)",
+    )
+    trace_parser.add_argument("--seed", type=int, default=101)
+    trace_parser.add_argument("--scale", type=int, default=64)
+    trace_parser.add_argument(
+        "--sample-ns", type=int, default=None,
+        help="also sample the counter registry every N sim-ns",
+    )
+    trace_parser.add_argument(
+        "--no-arm", action="store_true",
+        help="keep the platform's default ACT-counter threshold instead "
+             "of arming interrupts at MAC/8 (attack traces only)",
+    )
+
+    inspect_parser = sub.add_parser(
+        "inspect",
+        help="summarize a JSONL event trace (aggressors, interrupts, flips)",
+    )
+    inspect_parser.add_argument("trace", help="trace.jsonl to read")
+    inspect_parser.add_argument(
+        "--top", type=int, default=10,
+        help="aggressor rows to show (default: 10)",
+    )
+    inspect_parser.add_argument(
+        "--timeline", type=int, default=20,
+        help="interrupt/flip timeline entries to show (default: 20)",
+    )
+
     return parser
 
 
@@ -301,6 +403,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "report": _cmd_report,
         "bench": _cmd_bench,
         "replicate": _cmd_replicate,
+        "trace": _cmd_trace,
+        "inspect": _cmd_inspect,
     }
     return handlers[args.command](args)
 

@@ -76,6 +76,11 @@ class Defense(abc.ABC):
         self.system = system
         self._wire(system)
         self.attached = True
+        obs = getattr(system, "obs", None)
+        if obs is not None:
+            # live reference: counters bumped after attach still appear
+            # in registry snapshots under ``defense.<name>.*``
+            obs.metrics.register_group(f"defense.{self.name}", self.counters)
 
     @abc.abstractmethod
     def _wire(self, system: "System") -> None:

@@ -16,6 +16,7 @@ without a cycle-accurate pipeline.
 from __future__ import annotations
 
 import random
+import time as _time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -25,6 +26,9 @@ from repro.dram.geometry import DdrAddress
 from repro.mc.address_map import AddressMapper
 from repro.mc.counters import ActCounter, ActInterrupt, InterruptHandler
 from repro.mc.stats import ControllerStats
+from repro.obs import events as _ev
+from repro.obs.profiler import PhaseProfiler
+from repro.obs.trace import TraceBus
 
 
 @dataclass(frozen=True, slots=True)
@@ -84,6 +88,7 @@ class MemoryController:
         reset_jitter: int = 0,
         page_policy: str = "open",
         rng: Optional[random.Random] = None,
+        trace: Optional[TraceBus] = None,
     ) -> None:
         """``page_policy``: "open" keeps rows in the buffer after an
         access (locality-friendly; a lone hammered row self-absorbs into
@@ -102,6 +107,8 @@ class MemoryController:
         self.mapper = mapper
         self.page_policy = page_policy
         self.stats = ControllerStats()
+        self.trace = trace if trace is not None else TraceBus()
+        self.profiler: Optional[PhaseProfiler] = None
         self._rng = rng or random.Random(0)
         self.counters: Dict[int, ActCounter] = {
             channel: ActCounter(
@@ -151,6 +158,15 @@ class MemoryController:
         self._act_observers.append(observer)
 
     # ------------------------------------------------------------------
+    # Observability wiring
+    # ------------------------------------------------------------------
+
+    def enable_profiling(self, profiler: PhaseProfiler) -> None:
+        """Route subsequent requests through the per-phase timed path.
+        Results are identical to the fast path; only wall clocks differ."""
+        self.profiler = profiler
+
+    # ------------------------------------------------------------------
     # The request path
     # ------------------------------------------------------------------
 
@@ -161,6 +177,8 @@ class MemoryController:
         executed first; ACT counters/observers/gates fire if the request
         activates a row.
         """
+        if self.profiler is not None:
+            return self._submit_profiled(request)
         time_ns = request.time_ns
         if self.refresh_enabled and self._next_ref_at <= time_ns:
             self.advance_to(time_ns)
@@ -198,6 +216,12 @@ class MemoryController:
         if self.page_policy == "closed":
             bank.precharge(data_at_bank)
 
+        trace = self.trace
+        if trace.enabled:
+            self._trace_access(
+                trace, address, request, outcome, open_row, will_act,
+                throttled, now, flips,
+            )
         if will_act:
             self._note_act(address, done, request)
 
@@ -227,6 +251,10 @@ class MemoryController:
         """
         if not requests:
             return []
+        if self.profiler is not None:
+            # The profiled path services per request; the final stats are
+            # identical, only the locals-accumulation trick is skipped.
+            return [self._submit_profiled(request) for request in requests]
         device = self.device
         banks = device.banks
         tBL = device.timings.tBL
@@ -236,6 +264,8 @@ class MemoryController:
         closed = self.page_policy == "closed"
         refresh_enabled = self.refresh_enabled
         stats = self.stats
+        trace = self.trace
+        tracing = trace.enabled
 
         reads = writes = dma = hits = misses = conflicts = 0
         latency_ns = 0
@@ -280,6 +310,11 @@ class MemoryController:
             if closed:
                 bank.precharge(data_at_bank)
 
+            if tracing:
+                self._trace_access(
+                    trace, address, request, outcome, open_row, will_act,
+                    throttled, now, flips,
+                )
             if will_act:
                 self._note_act(address, done, request)
 
@@ -357,6 +392,11 @@ class MemoryController:
         )
         self.stats.targeted_refreshes += 1
         self.stats.acts += 1
+        if self.trace.enabled:
+            self.trace.emit(
+                _ev.TARGETED_REFRESH, now, line=physical_line,
+                row=[address.channel, address.rank, address.bank, address.row],
+            )
         for observer in self._act_observers:
             observer(address, ready, None, False)
         return ready
@@ -369,6 +409,12 @@ class MemoryController:
         address = self.mapper.line_to_ddr(physical_line)
         done = self.device.ref_neighbors(address, blast_radius, now)
         self.stats.neighbor_refresh_commands += 1
+        if self.trace.enabled:
+            self.trace.emit(
+                _ev.NEIGHBOR_REFRESH, now, line=physical_line,
+                radius=blast_radius,
+                row=[address.channel, address.rank, address.bank, address.row],
+            )
         return done
 
     def uncore_move(self, src_line: int, dst_line: int, now: int) -> int:
@@ -384,6 +430,10 @@ class MemoryController:
             )
         ).ready_at_ns
         self.stats.uncore_moves += 1
+        if self.trace.enabled:
+            self.trace.emit(
+                _ev.UNCORE_MOVE, now, src_line=src_line, dst_line=dst_line,
+            )
         return write_done
 
     # ------------------------------------------------------------------
@@ -392,11 +442,139 @@ class MemoryController:
 
     def _note_act(self, address: DdrAddress, time_ns: int, request: MemoryRequest) -> None:
         self.stats.acts += 1
-        self.counters[address.channel].on_act(
+        interrupt = self.counters[address.channel].on_act(
             time_ns, request.physical_line, request.is_dma
         )
+        if interrupt is not None and self.trace.enabled:
+            self.trace.emit(
+                _ev.ACT_INTERRUPT, interrupt.time_ns,
+                channel=interrupt.channel,
+                count=interrupt.count_at_overflow,
+                line=interrupt.physical_line,
+                dma=interrupt.from_dma,
+            )
         for observer in self._act_observers:
             observer(address, time_ns, request.domain, request.is_dma)
+
+    def _trace_access(
+        self,
+        trace: TraceBus,
+        address: DdrAddress,
+        request: MemoryRequest,
+        outcome: str,
+        open_row: Optional[int],
+        will_act: bool,
+        throttled: int,
+        now: int,
+        flips: List[BitFlip],
+    ) -> None:
+        """Emit the events of one serviced request (tracing only)."""
+        if will_act:
+            trace.emit(
+                _ev.ACT, now,
+                channel=address.channel, rank=address.rank,
+                bank=address.bank, row=address.row,
+                line=request.physical_line, domain=request.domain,
+                dma=request.is_dma,
+            )
+        if outcome == "conflict":
+            trace.emit(
+                _ev.ROW_CONFLICT, now,
+                channel=address.channel, rank=address.rank,
+                bank=address.bank, row=address.row, closed_row=open_row,
+                line=request.physical_line, domain=request.domain,
+            )
+        if throttled:
+            trace.emit(
+                _ev.THROTTLE_STALL, request.time_ns,
+                channel=address.channel, rank=address.rank,
+                bank=address.bank, row=address.row,
+                stall_ns=throttled, domain=request.domain,
+            )
+        for flip in flips:
+            trace.emit(
+                _ev.BIT_FLIP, flip.time_ns,
+                victim=list(flip.victim), aggressor=list(flip.aggressor),
+                aggressor_domain=flip.aggressor_domain,
+                victim_domains=sorted(flip.victim_domains),
+                bits=flip.flipped_bits,
+            )
+
+    def _submit_profiled(self, request: MemoryRequest) -> CompletedRequest:
+        """Result-identical twin of :meth:`submit` with per-phase
+        wall-clock accounting (``translate`` / ``schedule`` / ``access``;
+        the oracle's ``disturbance`` sub-span is timed by the wrapper
+        ``System.enable_profiling`` installs on the tracker)."""
+        profiler = self.profiler
+        assert profiler is not None
+        perf = _time.perf_counter
+        time_ns = request.time_ns
+
+        t0 = perf()
+        if self.refresh_enabled and self._next_ref_at <= time_ns:
+            self.advance_to(time_ns)
+        t1 = perf()
+        device = self.device
+        address = self.mapper.line_to_ddr(request.physical_line)
+        t2 = perf()
+        bank = device.banks[(address.channel, address.rank, address.bank)]
+        open_row = bank.open_row
+        if open_row == address.row:
+            outcome = "hit"
+            will_act = False
+        elif open_row is None:
+            outcome = "miss"
+            will_act = True
+        else:
+            outcome = "conflict"
+            will_act = True
+
+        now = time_ns
+        throttled = 0
+        t3 = perf()
+        if will_act:
+            for gate in self._act_gates:
+                throttled += gate(address, now, request.domain)
+            if throttled:
+                now += throttled
+                self.stats.throttle_stalls_ns += throttled
+        t4 = perf()
+
+        data_at_bank, flips = device.access_mapped(
+            bank, address, now, request.domain
+        )
+        bus = self._bus_busy_until
+        bus_free = bus[address.channel]
+        transfer_start = data_at_bank if data_at_bank > bus_free else bus_free
+        done = transfer_start + device.timings.tBL
+        bus[address.channel] = done
+        if self.page_policy == "closed":
+            bank.precharge(data_at_bank)
+        t5 = perf()
+
+        profiler.add("schedule", (t1 - t0) + (t4 - t3))
+        profiler.add("translate", t2 - t1, calls=1)
+        profiler.add("access", t5 - t4)
+
+        trace = self.trace
+        if trace.enabled:
+            self._trace_access(
+                trace, address, request, outcome, open_row, will_act,
+                throttled, now, flips,
+            )
+        if will_act:
+            self._note_act(address, done, request)
+
+        self._account(request, outcome, done)
+        return CompletedRequest(
+            request=request,
+            address=address,
+            ready_at_ns=done,
+            caused_act=will_act,
+            buffer_outcome=outcome,
+            throttled_ns=throttled,
+            flips=flips,
+        )
 
     def _account(self, request: MemoryRequest, outcome: str, done: int) -> None:
         if request.is_write:

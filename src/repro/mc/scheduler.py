@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import List, Sequence
 
 from repro.mc.controller import CompletedRequest, MemoryController, MemoryRequest
+from repro.obs.events import SCHED_BATCH
 
 POLICIES = ("fcfs", "fr-fcfs")
 
@@ -45,6 +46,12 @@ class BatchScheduler:
         opens a row that may turn later requests into hits).
         """
         controller = self.controller
+        trace = controller.trace
+        if trace.enabled and requests:
+            trace.emit(
+                SCHED_BATCH, min(r.time_ns for r in requests),
+                size=len(requests), policy=self.policy,
+            )
         if self.policy == "fcfs":
             return controller.submit_batch(list(requests))
         line_to_ddr = controller.mapper.line_to_ddr

@@ -1,0 +1,71 @@
+"""Observability: structured event tracing, time-series metrics, and
+profiling for the simulator.
+
+The paper's §4.2 primitive is itself an observability argument — a
+defense can only act on what the MC *reports*.  This package gives the
+simulator the same courtesy: hot paths emit typed events onto a
+:class:`~repro.obs.trace.TraceBus` (disabled by default and free when
+disabled), counters live in a :class:`~repro.obs.registry.MetricsRegistry`
+that a :class:`~repro.obs.sampler.TimeSeriesSampler` snapshots on a
+sim-time cadence, and a :class:`~repro.obs.profiler.PhaseProfiler`
+attributes wall-clock time to the request path's phases.
+
+``repro.obs.runtime.observe`` is the one-stop entry point: systems built
+inside the context pick up the configured sink and sampler automatically,
+which is how ``python -m repro trace`` and the parallel replication
+runner record without threading arguments through every call site.
+"""
+
+from repro.obs.events import (
+    ACT,
+    ACT_INTERRUPT,
+    BIT_FLIP,
+    EVENT_KINDS,
+    NEIGHBOR_REFRESH,
+    ROW_CONFLICT,
+    SCHED_BATCH,
+    TARGETED_REFRESH,
+    THROTTLE_STALL,
+    TraceEvent,
+    UNCORE_MOVE,
+)
+from repro.obs.inspect import TraceSummary, render_summary, summarize_events
+from repro.obs.profiler import PhaseProfiler
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sampler import TimeSeries, TimeSeriesSampler
+from repro.obs.trace import (
+    JsonlSink,
+    NullSink,
+    RingBufferSink,
+    TraceBus,
+    read_jsonl,
+)
+from repro.obs.runtime import Observability, observe
+
+__all__ = [
+    "ACT",
+    "ACT_INTERRUPT",
+    "BIT_FLIP",
+    "EVENT_KINDS",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NEIGHBOR_REFRESH",
+    "NullSink",
+    "Observability",
+    "PhaseProfiler",
+    "ROW_CONFLICT",
+    "RingBufferSink",
+    "SCHED_BATCH",
+    "TARGETED_REFRESH",
+    "THROTTLE_STALL",
+    "TimeSeries",
+    "TimeSeriesSampler",
+    "TraceBus",
+    "TraceEvent",
+    "TraceSummary",
+    "UNCORE_MOVE",
+    "observe",
+    "read_jsonl",
+    "render_summary",
+    "summarize_events",
+]

@@ -1,0 +1,185 @@
+"""Trace inspection: turn an event stream into a run summary.
+
+``python -m repro inspect <trace.jsonl>`` renders, deterministically for
+a fixed-seed trace:
+
+* event counts per kind and the covered time span;
+* the top aggressor rows by ACT count (the heavy hitters a Graphene
+  table would have caught);
+* the ACT_COUNT interrupt timeline (§4.2's reporting primitive at work);
+* the bit-flip timeline with victim/aggressor attribution;
+* per-domain ACT histograms (who drove the command bus).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.events import (
+    ACT,
+    ACT_INTERRUPT,
+    BIT_FLIP,
+    THROTTLE_STALL,
+    TraceEvent,
+)
+
+RowLabel = str
+
+
+def _row_label(parts: Sequence[object]) -> RowLabel:
+    """``[channel, rank, bank, row]`` -> ``"ch0/rk0/bk3/row512"``."""
+    channel, rank, bank, row = parts
+    return f"ch{channel}/rk{rank}/bk{bank}/row{row}"
+
+
+@dataclass
+class TraceSummary:
+    """Aggregated view of one event stream."""
+
+    total_events: int = 0
+    first_ns: Optional[int] = None
+    last_ns: Optional[int] = None
+    counts_by_kind: Dict[str, int] = field(default_factory=dict)
+    acts_by_row: Dict[RowLabel, int] = field(default_factory=dict)
+    acts_by_domain: Dict[str, int] = field(default_factory=dict)
+    dma_acts: int = 0
+    interrupts: List[TraceEvent] = field(default_factory=list)
+    flips: List[TraceEvent] = field(default_factory=list)
+    throttle_stall_ns: int = 0
+
+    @property
+    def span_ns(self) -> int:
+        if self.first_ns is None or self.last_ns is None:
+            return 0
+        return self.last_ns - self.first_ns
+
+    def top_aggressors(self, limit: int = 10) -> List[Tuple[RowLabel, int]]:
+        """Rows by descending ACT count (label breaks ties, so the
+        ordering is deterministic)."""
+        return sorted(
+            self.acts_by_row.items(), key=lambda item: (-item[1], item[0])
+        )[:limit]
+
+
+def summarize_events(events: Sequence[TraceEvent]) -> TraceSummary:
+    """One pass over the stream; order-insensitive except timelines."""
+    summary = TraceSummary()
+    for event in events:
+        summary.total_events += 1
+        if summary.first_ns is None or event.time_ns < summary.first_ns:
+            summary.first_ns = event.time_ns
+        if summary.last_ns is None or event.time_ns > summary.last_ns:
+            summary.last_ns = event.time_ns
+        counts = summary.counts_by_kind
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+        data = event.data
+        if event.kind == ACT:
+            label = _row_label(
+                (data["channel"], data["rank"], data["bank"], data["row"])
+            )
+            summary.acts_by_row[label] = summary.acts_by_row.get(label, 0) + 1
+            domain = data.get("domain")
+            key = "host" if domain is None else f"domain{domain}"
+            summary.acts_by_domain[key] = (
+                summary.acts_by_domain.get(key, 0) + 1
+            )
+            if data.get("dma"):
+                summary.dma_acts += 1
+        elif event.kind == ACT_INTERRUPT:
+            summary.interrupts.append(event)
+        elif event.kind == BIT_FLIP:
+            summary.flips.append(event)
+        elif event.kind == THROTTLE_STALL:
+            summary.throttle_stall_ns += int(data.get("stall_ns", 0))
+    summary.interrupts.sort(key=lambda e: e.time_ns)
+    summary.flips.sort(key=lambda e: e.time_ns)
+    return summary
+
+
+def _histogram_bar(value: int, peak: int, width: int = 30) -> str:
+    filled = round(width * value / peak) if peak else 0
+    return "#" * max(filled, 1 if value else 0)
+
+
+def render_summary(
+    summary: TraceSummary,
+    top: int = 10,
+    timeline_limit: int = 20,
+) -> str:
+    """Human-readable report; deterministic for a fixed-seed trace."""
+    lines: List[str] = []
+    lines.append(
+        f"events: {summary.total_events} over "
+        f"{summary.span_ns} ns"
+        + (
+            f" [{summary.first_ns}..{summary.last_ns}]"
+            if summary.total_events
+            else ""
+        )
+    )
+    lines.append("")
+    lines.append("counts by kind:")
+    for kind in sorted(summary.counts_by_kind):
+        lines.append(f"  {kind:18s} {summary.counts_by_kind[kind]}")
+
+    aggressors = summary.top_aggressors(top)
+    if aggressors:
+        lines.append("")
+        lines.append(f"top aggressor rows (by ACTs, top {top}):")
+        peak = aggressors[0][1]
+        for label, count in aggressors:
+            lines.append(
+                f"  {label:28s} {count:8d} {_histogram_bar(count, peak)}"
+            )
+
+    if summary.acts_by_domain:
+        lines.append("")
+        lines.append("ACTs by domain:")
+        peak = max(summary.acts_by_domain.values())
+        for key in sorted(summary.acts_by_domain):
+            count = summary.acts_by_domain[key]
+            lines.append(
+                f"  {key:12s} {count:8d} {_histogram_bar(count, peak)}"
+            )
+        if summary.dma_acts:
+            lines.append(f"  (of which via DMA: {summary.dma_acts})")
+
+    if summary.interrupts:
+        lines.append("")
+        lines.append(
+            f"ACT_COUNT interrupt timeline "
+            f"({len(summary.interrupts)} total, first {timeline_limit}):"
+        )
+        for event in summary.interrupts[:timeline_limit]:
+            line = event.data.get("line")
+            where = f"line={line}" if line is not None else "imprecise"
+            lines.append(
+                f"  t={event.time_ns:>12d}  ch{event.data.get('channel')}"
+                f"  count={event.data.get('count')}  {where}"
+                + ("  [dma]" if event.data.get("dma") else "")
+            )
+
+    if summary.flips:
+        lines.append("")
+        lines.append(
+            f"bit-flip timeline "
+            f"({len(summary.flips)} total, first {timeline_limit}):"
+        )
+        for event in summary.flips[:timeline_limit]:
+            victim = _row_label(event.data["victim"])
+            aggressor = _row_label(event.data["aggressor"])
+            domains = event.data.get("victim_domains") or []
+            lines.append(
+                f"  t={event.time_ns:>12d}  victim={victim}"
+                f"  aggressor={aggressor}"
+                f"  bits={event.data.get('bits')}"
+                f"  victim_domains={sorted(domains)}"
+            )
+
+    if summary.throttle_stall_ns:
+        lines.append("")
+        lines.append(
+            f"throttle stalls: {summary.throttle_stall_ns} ns total"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Opt-in wall-clock accounting per simulation phase.
+
+The request path decomposes into phases future perf work wants to
+attribute wins to:
+
+* ``translate``    — physical line → DDR coordinates (the memoised map);
+* ``schedule``     — REF-burst catch-up plus ACT-gate evaluation;
+* ``access``       — bank/bus timing in the DRAM device (includes
+  ``disturbance`` as a sub-span);
+* ``disturbance``  — the oracle's neighbour-pressure loop;
+* ``drain``        — flip draining/forwarding in the engine loop.
+
+Nothing here runs unless profiling is enabled
+(``System.enable_profiling``): the controller checks one ``is not None``
+per request, the engine only when a drain happens, and the benchmark
+harness uses :meth:`PhaseProfiler.measure` for its shape-level timing so
+every stopwatch in the repo goes through one mechanism.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class PhaseProfiler:
+    """Accumulated wall-clock seconds and call counts per phase."""
+
+    __slots__ = ("seconds_by_phase", "calls_by_phase")
+
+    def __init__(self) -> None:
+        self.seconds_by_phase: Dict[str, float] = {}
+        self.calls_by_phase: Dict[str, int] = {}
+
+    def add(self, phase: str, seconds: float, calls: int = 1) -> None:
+        """Credit ``seconds`` of wall time (and ``calls`` entries) to a
+        phase.  Hot instrumentation calls this directly rather than
+        paying the :meth:`measure` context-manager overhead."""
+        self.seconds_by_phase[phase] = (
+            self.seconds_by_phase.get(phase, 0.0) + seconds
+        )
+        self.calls_by_phase[phase] = self.calls_by_phase.get(phase, 0) + calls
+
+    @contextmanager
+    def measure(self, phase: str) -> Iterator[None]:
+        """Time a block of work under ``phase``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(phase, time.perf_counter() - start)
+
+    def seconds(self, phase: str) -> float:
+        return self.seconds_by_phase.get(phase, 0.0)
+
+    def calls(self, phase: str) -> int:
+        return self.calls_by_phase.get(phase, 0)
+
+    def report(self) -> Dict[str, Dict[str, float]]:
+        """Per-phase ``{seconds, calls}`` rows, sorted by cost."""
+        return {
+            phase: {
+                "seconds": round(self.seconds_by_phase[phase], 6),
+                "calls": self.calls_by_phase.get(phase, 0),
+            }
+            for phase in sorted(
+                self.seconds_by_phase,
+                key=lambda p: -self.seconds_by_phase[p],
+            )
+        }
+
+    def merge(self, other: "PhaseProfiler") -> None:
+        """Fold another profiler's totals into this one."""
+        for phase, seconds in other.seconds_by_phase.items():
+            self.add(phase, seconds, other.calls_by_phase.get(phase, 0))

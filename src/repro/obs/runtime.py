@@ -1,0 +1,112 @@
+"""Observation wiring: the per-system bundle and the ambient context.
+
+Every :class:`~repro.sim.system.System` owns an :class:`Observability`
+bundle (trace bus + metrics registry, plus optional sampler/profiler).
+The bundle always exists — registration is cheap — but tracing, sampling
+and profiling are off unless something turns them on.
+
+:func:`observe` is the ambient switch: systems *built inside* the
+context pick up a freshly made sink and/or a sampler automatically.
+That indirection is what lets ``python -m repro trace`` and the
+process-parallel replication runner record runs whose system
+construction is buried inside a scenario spec, without plumbing a sink
+argument through every builder.  The state is per-process, so each
+worker of a process pool opens its own trace file and lines never
+interleave.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, TYPE_CHECKING
+from contextlib import contextmanager
+
+from repro.obs.profiler import PhaseProfiler
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sampler import TimeSeriesSampler
+from repro.obs.trace import TraceBus, TraceSink
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.system import System
+
+
+class Observability:
+    """The observation surface of one simulated platform."""
+
+    __slots__ = ("trace", "metrics", "sampler", "profiler")
+
+    def __init__(self) -> None:
+        self.trace = TraceBus()
+        self.metrics = MetricsRegistry()
+        self.sampler: Optional[TimeSeriesSampler] = None
+        self.profiler: Optional[PhaseProfiler] = None
+
+    def enable_sampling(self, interval_ns: int) -> TimeSeriesSampler:
+        """Install a time-series sampler (engine loops drive it)."""
+        self.sampler = TimeSeriesSampler(self.metrics, interval_ns)
+        return self.sampler
+
+
+class ObservationSession:
+    """What one :func:`observe` context created: the sinks (so callers
+    can read counts or ring buffers afterwards) and the systems that
+    attached."""
+
+    def __init__(self) -> None:
+        self.sinks: List[TraceSink] = []
+        self.systems: List["System"] = []
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+class _ObservationPlan:
+    __slots__ = ("sink_factory", "sample_interval_ns", "session")
+
+    def __init__(
+        self,
+        sink_factory: Optional[Callable[[], TraceSink]],
+        sample_interval_ns: Optional[int],
+        session: ObservationSession,
+    ) -> None:
+        self.sink_factory = sink_factory
+        self.sample_interval_ns = sample_interval_ns
+        self.session = session
+
+
+#: innermost-wins stack of active observation plans (per process)
+_ACTIVE: List[_ObservationPlan] = []
+
+
+@contextmanager
+def observe(
+    sink_factory: Optional[Callable[[], TraceSink]] = None,
+    sample_interval_ns: Optional[int] = None,
+) -> Iterator[ObservationSession]:
+    """Ambient observation: every system built inside the block gets a
+    sink from ``sink_factory`` (one per system) and, when
+    ``sample_interval_ns`` is set, a time-series sampler.  Sinks are
+    closed when the block exits."""
+    session = ObservationSession()
+    plan = _ObservationPlan(sink_factory, sample_interval_ns, session)
+    _ACTIVE.append(plan)
+    try:
+        yield session
+    finally:
+        _ACTIVE.remove(plan)
+        session.close()
+
+
+def attach_ambient(system: "System") -> None:
+    """Hook called from ``System.__init__``: apply the innermost active
+    observation plan, if any."""
+    if not _ACTIVE:
+        return
+    plan = _ACTIVE[-1]
+    if plan.sink_factory is not None:
+        sink = plan.sink_factory()
+        system.obs.trace.set_sink(sink)
+        plan.session.sinks.append(sink)
+    if plan.sample_interval_ns is not None:
+        system.obs.enable_sampling(plan.sample_interval_ns)
+    plan.session.systems.append(system)

@@ -1,0 +1,84 @@
+"""Periodic time-series sampling of the metrics registry.
+
+The engine's heap loop calls :meth:`TimeSeriesSampler.sample` whenever
+the simulated clock crosses the next sampling boundary (emitters hoist
+``next_at`` so the disabled state costs one integer compare per step).
+Each sample snapshots the whole registry — controller, cache, and
+defense counters — into a compact column-oriented series: one shared
+time axis plus one value list per key.
+
+Keys can appear mid-run (a defense ``bump``\\ s a counter it had never
+touched); late keys are backfilled with zeros so every column has the
+same length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Union
+
+from repro.obs.registry import MetricsRegistry
+
+Number = Union[int, float]
+
+
+@dataclass
+class TimeSeries:
+    """Column-oriented sample store attached to run metrics."""
+
+    interval_ns: int
+    times: List[int] = field(default_factory=list)
+    series: Dict[str, List[Number]] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def column(self, key: str) -> List[Number]:
+        return self.series[key]
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form (also what ``RunMetrics.timeseries`` holds)."""
+        return {
+            "interval_ns": self.interval_ns,
+            "times": list(self.times),
+            "series": {key: list(col) for key, col in self.series.items()},
+        }
+
+
+class TimeSeriesSampler:
+    """Snapshot a :class:`MetricsRegistry` every ``interval_ns`` sim-ns."""
+
+    def __init__(self, registry: MetricsRegistry, interval_ns: int) -> None:
+        if interval_ns < 1:
+            raise ValueError("interval_ns must be >= 1")
+        self.registry = registry
+        self.interval_ns = interval_ns
+        self.timeseries = TimeSeries(interval_ns=interval_ns)
+        self.next_at = interval_ns
+
+    def sample(self, now: int) -> int:
+        """Record one sample at ``now``; returns the next boundary.
+
+        One sample is taken per crossing no matter how far the clock
+        jumped (event-driven time advances unevenly); the boundary then
+        moves past ``now`` so quiet stretches are not backfilled.
+        """
+        timeseries = self.timeseries
+        width = len(timeseries.times)
+        timeseries.times.append(now)
+        snap = self.registry.snapshot()
+        series = timeseries.series
+        for key, value in snap.items():
+            column = series.get(key)
+            if column is None:
+                # late-appearing key: zero-fill the samples it missed
+                column = series[key] = [0] * width
+            column.append(value)
+        for key, column in series.items():
+            if key not in snap:  # producer vanished; hold at zero
+                column.append(0)
+        next_at = self.next_at
+        while next_at <= now:
+            next_at += self.interval_ns
+        self.next_at = next_at
+        return next_at

@@ -1,0 +1,159 @@
+"""The trace bus and its sinks.
+
+``TraceBus`` is the single object hot paths talk to.  The contract that
+keeps the instrumented-off request path inside benchmark noise: emitters
+*must* guard with the bus's ``enabled`` flag (one attribute load and a
+bool check) and only then build the event.  With the default
+:class:`NullSink` nothing is ever constructed.
+
+Three sinks cover the use cases:
+
+* :class:`NullSink`       — the default; tracing disabled;
+* :class:`RingBufferSink` — bounded in-memory buffer for tests and
+  interactive inspection;
+* :class:`JsonlSink`      — one JSON object per line on disk, the format
+  ``python -m repro inspect`` consumes and :func:`read_jsonl` loads
+  losslessly.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Deque, Dict, Iterable, List, Optional, Union
+
+from repro.obs.events import TraceEvent
+
+
+class NullSink:
+    """Discard everything (the disabled state; emitters never reach it)."""
+
+    def write(self, event: TraceEvent) -> None:  # pragma: no cover - unused
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class RingBufferSink:
+    """Keep the last ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 1 << 16) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._buffer: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.events_written = 0
+        self.dropped = 0
+
+    def write(self, event: TraceEvent) -> None:
+        if len(self._buffer) == self.capacity:
+            self.dropped += 1
+        self._buffer.append(event)
+        self.events_written += 1
+
+    def close(self) -> None:
+        pass
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._buffer)
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self._buffer:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+
+class JsonlSink:
+    """Append events to a JSONL file, one event per line.
+
+    Lines are written with sorted keys so a fixed-seed run produces a
+    byte-identical trace file.  The file is opened lazily on the first
+    event and must be :meth:`close`\\ d (the ``observe`` context manager
+    does this) before another process reads it.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._stream = None
+        self.events_written = 0
+        self._counts: Dict[str, int] = {}
+
+    def write(self, event: TraceEvent) -> None:
+        if self._stream is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = self.path.open("w")
+        self._stream.write(json.dumps(event.as_json_dict(), sort_keys=True))
+        self._stream.write("\n")
+        self.events_written += 1
+        self._counts[event.kind] = self._counts.get(event.kind, 0) + 1
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+
+#: anything with write(event) + close()
+TraceSink = Union[NullSink, RingBufferSink, JsonlSink]
+
+
+class TraceBus:
+    """Event fan-in point shared by one simulated platform.
+
+    ``enabled`` is a plain attribute, not a property, so hot loops can
+    hoist ``trace = self.trace`` and pay one bool check per request.
+    """
+
+    __slots__ = ("sink", "enabled", "emitted")
+
+    def __init__(self, sink: Optional[TraceSink] = None) -> None:
+        self.sink: TraceSink = NullSink()
+        self.enabled = False
+        self.emitted = 0
+        if sink is not None:
+            self.set_sink(sink)
+
+    def set_sink(self, sink: Optional[TraceSink]) -> None:
+        """Install (or, with ``None``/:class:`NullSink`, remove) a sink."""
+        self.sink = sink if sink is not None else NullSink()
+        self.enabled = not isinstance(self.sink, NullSink)
+
+    def emit(self, kind: str, time_ns: int, **data: object) -> None:
+        """Write one event.  Callers must have checked ``enabled``; an
+        unguarded call on a disabled bus is harmless but wasteful."""
+        self.sink.write(TraceEvent(kind=kind, time_ns=time_ns, data=data))
+        self.emitted += 1
+
+
+def read_jsonl(path: Union[str, Path]) -> List[TraceEvent]:
+    """Load a JSONL trace back into events (inverse of :class:`JsonlSink`)."""
+    events: List[TraceEvent] = []
+    with Path(path).open() as stream:
+        for line_number, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: not valid JSON: {error}"
+                ) from None
+            events.append(TraceEvent.from_json_dict(payload))
+    return events
+
+
+def iter_jsonl(path: Union[str, Path]) -> Iterable[TraceEvent]:
+    """Streaming variant of :func:`read_jsonl` for very large traces."""
+    with Path(path).open() as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                yield TraceEvent.from_json_dict(json.loads(line))

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import TYPE_CHECKING, Dict, List, Protocol, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -53,6 +54,13 @@ class Engine:
         deadline = start_ns + horizon_ns
         actors = self.actors
         system = self.system
+        obs = getattr(system, "obs", None)
+        sampler = obs.sampler if obs is not None else None
+        profiler = obs.profiler if obs is not None else None
+        # With sampling off the sentinel keeps the per-step cost at one
+        # integer-vs-inf compare; with it on, `next_sample` hoists the
+        # sampler's boundary out of the object.
+        next_sample = sampler.next_at if sampler is not None else float("inf")
         # (clock, index) heap: pops the smallest clock, then the lowest
         # index — the same order the previous O(actors) min-scan chose.
         heap: List[tuple] = [(start_ns, i) for i in range(len(actors))]
@@ -63,6 +71,8 @@ class Engine:
             now, index = heap[0]
             if now >= deadline:
                 break
+            if now >= next_sample:
+                next_sample = sampler.sample(now)
             finished = actors[index].step(now)
             # A stuck actor (e.g. non-viable attack plan) must still
             # advance or the loop would spin forever.
@@ -72,11 +82,19 @@ class Engine:
             steps += 1
             per_actor[index] += 1
             if system.has_pending_flips():
-                flips_seen += len(system.drain_flips())
+                if profiler is not None:
+                    start = perf_counter()
+                    flips_seen += len(system.drain_flips())
+                    profiler.add("drain", perf_counter() - start)
+                else:
+                    flips_seen += len(system.drain_flips())
         # let the controller retire refreshes up to the deadline
         system.controller.advance_to(deadline)
         if system.has_pending_flips():
             flips_seen += len(system.drain_flips())
+        if sampler is not None:
+            # closing sample so even sub-interval runs yield a series
+            sampler.sample(deadline)
         return EngineResult(
             horizon_ns=horizon_ns,
             finished_ns=max(clock for clock, _ in heap),

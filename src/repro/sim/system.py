@@ -33,6 +33,8 @@ from repro.hostos.domains import DomainRegistry, TrustDomain
 from repro.hostos.enclave import EnclaveRuntime
 from repro.mc.address_map import make_mapper
 from repro.mc.controller import MemoryController
+from repro.obs.profiler import PhaseProfiler
+from repro.obs.runtime import Observability, attach_ambient
 from repro.sim.config import SystemConfig
 
 RowKey = Tuple[int, int, int, int]
@@ -111,6 +113,7 @@ class System:
 
     def __init__(self, config: SystemConfig) -> None:
         self.config = config
+        self.obs = Observability()
         self.rng = random.Random(config.seed)
         self.preset = by_name(config.generation).scaled(config.scale)
         geometry = self.preset.geometry
@@ -166,6 +169,7 @@ class System:
             reset_jitter=config.act_reset_jitter,
             page_policy=config.page_policy,
             rng=random.Random(config.seed ^ 0xC0DE),
+            trace=self.obs.trace,
         )
         self.cache = SetAssociativeCache(
             sets=config.cache_sets,
@@ -191,6 +195,20 @@ class System:
         self._flip_cursor = 0
         # attribution: internal row -> logical row -> owning domains
         self.device.tracker.set_domain_lookup(self._domains_of_internal_row)
+        # every architecturally visible counter registers here; snapshots
+        # (and the time-series sampler) read the registry, never fields
+        self.obs.metrics.register_gauges("mc", self.controller.stats.snapshot)
+        self.obs.metrics.register_gauges(
+            "cache",
+            lambda: {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "hit_rate": self.cache.hit_rate,
+            },
+        )
+        # pick up an ambient `repro.obs.runtime.observe(...)` context, if
+        # one is active (the trace CLI and replication runners use this)
+        attach_ambient(self)
 
     @property
     def primitives(self) -> PrimitiveSet:
@@ -207,6 +225,34 @@ class System:
     @property
     def profile(self):
         return self.device.profile
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def enable_profiling(
+        self, profiler: Optional[PhaseProfiler] = None
+    ) -> PhaseProfiler:
+        """Opt into per-phase wall-clock accounting: routes the request
+        path through the controller's timed twin and wraps the
+        disturbance oracle so its share is attributed separately.
+        Results are identical; only host-side clocks are read."""
+        profiler = profiler if profiler is not None else PhaseProfiler()
+        self.obs.profiler = profiler
+        self.controller.enable_profiling(profiler)
+        tracker = self.device.tracker
+        original = tracker.on_activate
+        import time as _time
+
+        def timed_on_activate(address, time_ns, domain=None):
+            start = _time.perf_counter()
+            try:
+                return original(address, time_ns, domain)
+            finally:
+                profiler.add("disturbance", _time.perf_counter() - start)
+
+        tracker.on_activate = timed_on_activate  # type: ignore[method-assign]
+        return profiler
 
     # ------------------------------------------------------------------
     # Tenants

@@ -1,0 +1,76 @@
+"""Tracing must never perturb the simulation (satellite c).
+
+A traced run and an untraced run of the same seed must agree bit for
+bit: same ``RunMetrics``, same flip outcome.  And a JSONL trace must be
+a lossless transport — loading it back and summarizing gives exactly
+what an in-memory ring buffer of the same run gives.
+"""
+
+import dataclasses
+import json
+
+from repro.analysis.parallel import AttackReplicationSpec
+from repro.analysis.scenarios import run_benign
+from repro.obs import (
+    JsonlSink,
+    RingBufferSink,
+    observe,
+    read_jsonl,
+    render_summary,
+    summarize_events,
+)
+from repro.sim import legacy_platform
+
+SPEC = AttackReplicationSpec(scale=64)
+SEED = 101
+
+
+def test_null_vs_ring_buffer_observables_identical():
+    plain = SPEC(SEED)
+    with observe(sink_factory=RingBufferSink) as session:
+        traced = SPEC(SEED)
+    assert traced == plain
+    (sink,) = session.sinks
+    assert sink.events_written > 0
+
+
+def test_null_vs_jsonl_run_metrics_identical(tmp_path):
+    config = dataclasses.replace(legacy_platform(scale=8), seed=7)
+    plain_metrics, plain_elapsed = run_benign(config, accesses=2_000)
+    with observe(
+        sink_factory=lambda: JsonlSink(tmp_path / "benign.jsonl")
+    ):
+        traced_metrics, traced_elapsed = run_benign(config, accesses=2_000)
+    assert traced_metrics == plain_metrics
+    assert traced_elapsed == plain_elapsed
+
+
+def test_jsonl_round_trips_through_inspect_losslessly(tmp_path):
+    path = tmp_path / "e4.jsonl"
+    with observe(sink_factory=RingBufferSink) as ring_session:
+        SPEC(SEED)
+    with observe(sink_factory=lambda: JsonlSink(path)):
+        SPEC(SEED)
+
+    (ring,) = ring_session.sinks
+    loaded = read_jsonl(path)
+    assert loaded == ring.events
+
+    # the rendered summaries agree exactly
+    from_ring = render_summary(summarize_events(ring.events))
+    from_disk = render_summary(summarize_events(loaded))
+    assert from_disk == from_ring
+
+    # and re-serializing reproduces the file byte for byte
+    rebuilt = "".join(
+        json.dumps(e.as_json_dict(), sort_keys=True) + "\n" for e in loaded
+    )
+    assert rebuilt == path.read_text()
+
+
+def test_fixed_seed_trace_is_reproducible(tmp_path):
+    first, second = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    for path in (first, second):
+        with observe(sink_factory=lambda path=path: JsonlSink(path)):
+            SPEC(SEED)
+    assert first.read_bytes() == second.read_bytes()

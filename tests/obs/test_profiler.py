@@ -1,0 +1,64 @@
+"""Phase profiler accounting and the result-identical profiled path."""
+
+from repro.obs import PhaseProfiler
+from repro.sim import build_system, legacy_platform
+from repro.workloads import WorkloadRunner
+
+
+def test_add_and_measure_accumulate():
+    profiler = PhaseProfiler()
+    profiler.add("translate", 0.25)
+    profiler.add("translate", 0.25, calls=3)
+    with profiler.measure("access"):
+        pass
+    assert profiler.seconds("translate") == 0.5
+    assert profiler.calls("translate") == 4
+    assert profiler.calls("access") == 1
+    assert profiler.seconds("access") >= 0.0
+    assert profiler.seconds("missing") == 0.0
+
+
+def test_report_sorted_by_cost():
+    profiler = PhaseProfiler()
+    profiler.add("cheap", 0.1)
+    profiler.add("dear", 0.9)
+    assert list(profiler.report()) == ["dear", "cheap"]
+    assert profiler.report()["dear"] == {"seconds": 0.9, "calls": 1}
+
+
+def test_merge_folds_totals():
+    left, right = PhaseProfiler(), PhaseProfiler()
+    left.add("access", 1.0, calls=2)
+    right.add("access", 0.5)
+    right.add("drain", 0.25)
+    left.merge(right)
+    assert left.seconds("access") == 1.5
+    assert left.calls("access") == 3
+    assert left.seconds("drain") == 0.25
+
+
+def _run_workload(system, accesses=1_500):
+    tenant = system.create_domain("tenant", pages=64)
+    runner = WorkloadRunner(system, tenant, name="zipfian", mlp=8, seed=9)
+    runner.run(accesses)
+    return system.controller.stats.snapshot()
+
+
+def test_profiled_submit_is_result_identical():
+    plain = build_system(legacy_platform(scale=8))
+    profiled = build_system(legacy_platform(scale=8))
+    profiler = profiled.enable_profiling()
+
+    assert _run_workload(plain) == _run_workload(profiled)
+    # the request path was attributed to its phases
+    for phase in ("translate", "schedule", "access"):
+        assert profiler.calls(phase) > 0
+    # ACTs happened, so the disturbance sub-span was timed too
+    assert profiler.calls("disturbance") > 0
+
+
+def test_enable_profiling_accepts_shared_profiler():
+    shared = PhaseProfiler()
+    system = build_system(legacy_platform(scale=8))
+    assert system.enable_profiling(shared) is shared
+    assert system.obs.profiler is shared

@@ -1,0 +1,63 @@
+"""Counter/gauge registry semantics and the coverage guard."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+def test_owned_counter_accumulates():
+    registry = MetricsRegistry()
+    counter = registry.counter("widgets")
+    counter.add()
+    counter.add(4)
+    assert registry.value("widgets") == 5
+    # fetching by the same name returns the same counter
+    assert registry.counter("widgets") is counter
+
+
+def test_register_group_is_live():
+    registry = MetricsRegistry()
+    counters = {"hits": 1}
+    registry.register_group("defense.trr", counters)
+    assert registry.snapshot()["defense.trr.hits"] == 1
+    counters["hits"] = 7
+    counters["evictions"] = 2  # key added after registration
+    snap = registry.snapshot()
+    assert snap["defense.trr.hits"] == 7
+    assert snap["defense.trr.evictions"] == 2
+
+
+def test_register_gauges_evaluated_at_snapshot_time():
+    registry = MetricsRegistry()
+    state = {"acts": 0}
+    registry.register_gauges("mc", lambda: dict(state))
+    assert registry.snapshot()["mc.acts"] == 0
+    state["acts"] = 42
+    assert registry.snapshot()["mc.acts"] == 42
+
+
+def test_duplicate_prefix_rejected():
+    registry = MetricsRegistry()
+    registry.register_group("mc", {})
+    with pytest.raises(ValueError, match="already registered"):
+        registry.register_gauges("mc", dict)
+    with pytest.raises(ValueError):
+        registry.register_group("", {})
+
+
+def test_assert_covers_passes_when_all_keys_present():
+    registry = MetricsRegistry()
+    registry.register_gauges("mc", lambda: {"acts": 1, "reads": 2})
+    registry.assert_covers(["acts", "reads"], "mc")
+
+
+def test_assert_covers_names_the_missing_keys():
+    registry = MetricsRegistry()
+    registry.register_gauges("mc", lambda: {"acts": 1})
+    with pytest.raises(RuntimeError, match=r"mc\.\*.*reads"):
+        registry.assert_covers(["acts", "reads"], "mc")
+
+
+def test_value_raises_for_unknown_name():
+    with pytest.raises(KeyError):
+        MetricsRegistry().value("nope")

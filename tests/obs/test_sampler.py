@@ -1,0 +1,90 @@
+"""Time-series sampler: cadence, backfill, and the engine hookup."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, TimeSeriesSampler
+from repro.sim import Engine, build_system, legacy_platform
+from repro.workloads import WorkloadRunner
+
+
+def test_interval_must_be_positive():
+    with pytest.raises(ValueError):
+        TimeSeriesSampler(MetricsRegistry(), 0)
+
+
+def test_sampler_records_and_advances_past_now():
+    registry = MetricsRegistry()
+    state = {"acts": 0}
+    registry.register_gauges("mc", lambda: dict(state))
+    sampler = TimeSeriesSampler(registry, interval_ns=10)
+    assert sampler.next_at == 10
+
+    state["acts"] = 3
+    assert sampler.sample(10) == 20
+    state["acts"] = 8
+    # a large jump crosses many boundaries but records one sample
+    assert sampler.sample(57) == 60
+    series = sampler.timeseries
+    assert series.times == [10, 57]
+    assert series.column("mc.acts") == [3, 8]
+
+
+def test_late_key_is_zero_backfilled():
+    registry = MetricsRegistry()
+    counters = {}
+    registry.register_group("defense.para", counters)
+    sampler = TimeSeriesSampler(registry, interval_ns=5)
+    sampler.sample(5)
+    counters["refreshes"] = 2  # first bump happens mid-run
+    sampler.sample(10)
+    series = sampler.timeseries
+    assert series.column("defense.para.refreshes") == [0, 2]
+    # every column shares the time axis length
+    assert all(len(col) == 2 for col in series.series.values())
+
+
+def test_vanished_key_holds_at_zero():
+    registry = MetricsRegistry()
+    state = {"keys": {"a": 1}}
+    registry.register_gauges("g", lambda: dict(state["keys"]))
+    sampler = TimeSeriesSampler(registry, interval_ns=5)
+    sampler.sample(5)
+    state["keys"] = {"b": 2}
+    sampler.sample(10)
+    assert sampler.timeseries.column("g.a") == [1, 0]
+    assert sampler.timeseries.column("g.b") == [0, 2]
+
+
+def test_as_dict_is_json_ready():
+    registry = MetricsRegistry()
+    registry.register_gauges("mc", lambda: {"acts": 1})
+    sampler = TimeSeriesSampler(registry, interval_ns=10)
+    sampler.sample(10)
+    payload = sampler.timeseries.as_dict()
+    assert payload["interval_ns"] == 10
+    assert payload["times"] == [10]
+    assert payload["series"]["mc.acts"] == [1]
+
+
+def test_engine_drives_sampler_on_sim_time():
+    system = build_system(legacy_platform(scale=8))
+    sampler = system.obs.enable_sampling(interval_ns=2_000)
+    tenant = system.create_domain("tenant", pages=32)
+    runner = WorkloadRunner(system, tenant, name="sequential", mlp=4, seed=3)
+    Engine(system, [runner]).run(horizon_ns=20_000)
+
+    series = sampler.timeseries
+    assert len(series) >= 2  # several boundaries plus the closing sample
+    assert series.times == sorted(series.times)
+    acts = series.column("mc.acts")
+    assert acts == sorted(acts)  # counters are monotone
+    assert acts[-1] == system.controller.stats.acts
+    assert "cache.hit_rate" in series.series
+
+
+def test_engine_without_sampler_keeps_series_absent():
+    system = build_system(legacy_platform(scale=8))
+    tenant = system.create_domain("tenant", pages=32)
+    runner = WorkloadRunner(system, tenant, name="sequential", mlp=4, seed=3)
+    Engine(system, [runner]).run(horizon_ns=5_000)
+    assert system.obs.sampler is None

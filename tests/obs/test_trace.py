@@ -1,0 +1,108 @@
+"""Trace bus + sink behaviour and JSONL round-tripping."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    ACT,
+    BIT_FLIP,
+    JsonlSink,
+    NullSink,
+    RingBufferSink,
+    TraceBus,
+    TraceEvent,
+    read_jsonl,
+)
+
+
+def test_bus_disabled_by_default():
+    bus = TraceBus()
+    assert bus.enabled is False
+    assert isinstance(bus.sink, NullSink)
+
+
+def test_set_sink_toggles_enabled():
+    bus = TraceBus()
+    sink = RingBufferSink(capacity=4)
+    bus.set_sink(sink)
+    assert bus.enabled is True
+    bus.set_sink(None)
+    assert bus.enabled is False
+    bus.set_sink(NullSink())
+    assert bus.enabled is False
+
+
+def test_emit_reaches_ring_buffer():
+    bus = TraceBus(RingBufferSink(capacity=8))
+    bus.emit(ACT, 10, channel=0, row=5)
+    bus.emit(ACT, 20, channel=0, row=6)
+    assert bus.emitted == 2
+    events = bus.sink.events
+    assert [e.time_ns for e in events] == [10, 20]
+    assert events[0].data["row"] == 5
+
+
+def test_ring_buffer_drops_oldest_beyond_capacity():
+    sink = RingBufferSink(capacity=3)
+    for t in range(5):
+        sink.write(TraceEvent(kind=ACT, time_ns=t, data={}))
+    assert sink.events_written == 5
+    assert sink.dropped == 2
+    assert [e.time_ns for e in sink.events] == [2, 3, 4]
+    assert sink.counts_by_kind() == {ACT: 3}
+
+
+def test_ring_buffer_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        RingBufferSink(capacity=0)
+
+
+def test_event_json_dict_round_trip():
+    event = TraceEvent(
+        kind=BIT_FLIP, time_ns=123,
+        data={"victim": [0, 0, 1, 7], "bits": 2},
+    )
+    payload = event.as_json_dict()
+    assert payload["kind"] == BIT_FLIP
+    assert payload["t"] == 123
+    assert TraceEvent.from_json_dict(payload) == event
+
+
+def test_jsonl_sink_round_trips_losslessly(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    sink = JsonlSink(path)
+    original = [
+        TraceEvent(kind=ACT, time_ns=1, data={"channel": 0, "row": 4}),
+        TraceEvent(
+            kind=BIT_FLIP, time_ns=2,
+            data={"victim": [0, 0, 0, 5], "aggressor": [0, 0, 0, 4],
+                  "victim_domains": [1, 2], "bits": 1},
+        ),
+    ]
+    for event in original:
+        sink.write(event)
+    sink.close()
+    assert sink.events_written == 2
+    assert sink.counts_by_kind() == {ACT: 1, BIT_FLIP: 1}
+    assert read_jsonl(path) == original
+
+
+def test_jsonl_file_is_byte_deterministic(tmp_path):
+    """Re-serializing a loaded trace reproduces the file exactly."""
+    path = tmp_path / "trace.jsonl"
+    sink = JsonlSink(path)
+    sink.write(TraceEvent(kind=ACT, time_ns=9, data={"b": 1, "a": 2}))
+    sink.close()
+    events = read_jsonl(path)
+    rebuilt = "".join(
+        json.dumps(e.as_json_dict(), sort_keys=True) + "\n" for e in events
+    )
+    assert rebuilt == path.read_text()
+
+
+def test_read_jsonl_reports_bad_line(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"kind": "act", "t": 1}\nnot json\n')
+    with pytest.raises(ValueError, match=":2:"):
+        read_jsonl(path)
