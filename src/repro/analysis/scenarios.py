@@ -131,14 +131,21 @@ def run_attack_under_noise(
     windows: float = 1.0,
     workload: str = "random",
     use_dma: bool = False,
+    scheduler: str = "fcfs",
 ) -> Tuple[AttackResult, int]:
     """Attack while the victim runs a benign workload (noise for the
-    defense's counters).  Returns (attack result, flips seen)."""
+    defense's counters).  Returns (attack result, flips seen).
+
+    ``scheduler`` selects the victim's issue path: "fr-fcfs" routes its
+    MLP windows through the batch scheduler (exercised by the fault
+    matrix's stall scenario)."""
     system = scenario.system
     planner = AttackPlanner(system, scenario.attacker)
     plan = planner.plan(scenario.victim, pattern, sides=sides)
     attacker = Attacker(system, scenario.attacker, plan, use_dma=use_dma)
-    runner = WorkloadRunner(system, scenario.victim, name=workload, mlp=4)
+    runner = WorkloadRunner(
+        system, scenario.victim, name=workload, mlp=4, scheduler=scheduler
+    )
     horizon = max(1, int(system.timings.tREFW * windows))
     actors = [runner] if not plan.viable else [attacker, runner]
     engine = Engine(system, actors)

@@ -267,6 +267,55 @@ def _cmd_inspect(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from repro.faults.diff import (
+        DiffSpec,
+        render_report,
+        report_to_json,
+        run_matrix,
+    )
+
+    spec = DiffSpec(
+        platform=args.platform,
+        defense=args.defense,
+        pattern=args.pattern,
+        sides=args.sides,
+        scale=args.scale,
+        windows=args.windows,
+        seed=args.seed,
+        invariant_level=args.invariant_level,
+    )
+    try:
+        report = run_matrix(spec)
+    except Exception as error:  # surface capability errors readably
+        print(f"cannot run this combination: {error}", file=sys.stderr)
+        return 2
+    print(render_report(report))
+    if args.smoke:
+        # CI determinism gate: the same spec must serialize to the same
+        # bytes on a second run, or the matrix cannot be asserted on.
+        if report_to_json(run_matrix(spec)) != report_to_json(report):
+            print("repro faults: report is not deterministic for this "
+                  "spec", file=sys.stderr)
+            return 1
+    if args.output:
+        with open(args.output, "w") as stream:
+            stream.write(report_to_json(report))
+        print(f"wrote {args.output}", file=sys.stderr)
+    baseline = report["baseline"]
+    undefended = report["undefended"]
+    if not baseline["guarantee_holds"] or baseline["invariant_violations"]:
+        print("repro faults: baseline guarantee failed without any "
+              "injected fault", file=sys.stderr)
+        return 1
+    if undefended["cross_domain_flips"] == 0:
+        print("repro faults: attack is not viable undefended at this "
+              "scale, so the matrix proves nothing; raise --scale",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_report(args) -> int:
     markdown = generate_report(
         scale=args.scale,
@@ -377,6 +426,43 @@ def build_parser() -> argparse.ArgumentParser:
              "of arming interrupts at MAC/8 (attack traces only)",
     )
 
+    faults_parser = sub.add_parser(
+        "faults",
+        help="run the differential fault matrix against one defense",
+    )
+    faults_parser.add_argument(
+        "--platform", default="legacy+primitives",
+        choices=("legacy", "legacy+primitives", "proposed", "ideal"),
+    )
+    faults_parser.add_argument(
+        "--defense", default="targeted-refresh",
+        choices=sorted(DEFENSE_FACTORIES),
+    )
+    faults_parser.add_argument(
+        "--pattern", default="double-sided", choices=PATTERN_NAMES,
+    )
+    faults_parser.add_argument("--sides", type=int, default=8)
+    faults_parser.add_argument("--windows", type=float, default=1.0)
+    faults_parser.add_argument(
+        "--scale", type=int, default=128,
+        help="density scale (default 128: small enough for CI, large "
+             "enough that the undefended attack actually flips bits)",
+    )
+    faults_parser.add_argument("--seed", type=int, default=1234)
+    faults_parser.add_argument(
+        "--invariant-level", default="deep", choices=("cheap", "deep"),
+        help="invariant suite depth for every cell (default: deep)",
+    )
+    faults_parser.add_argument(
+        "-o", "--output", default=None,
+        help="also write the machine-readable JSON report here",
+    )
+    faults_parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI mode: additionally re-run the matrix and fail unless "
+             "the two reports are byte-identical",
+    )
+
     inspect_parser = sub.add_parser(
         "inspect",
         help="summarize a JSONL event trace (aggressors, interrupts, flips)",
@@ -405,6 +491,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "replicate": _cmd_replicate,
         "trace": _cmd_trace,
         "inspect": _cmd_inspect,
+        "faults": _cmd_faults,
     }
     return handlers[args.command](args)
 

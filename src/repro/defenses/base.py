@@ -81,6 +81,11 @@ class Defense(abc.ABC):
             # live reference: counters bumped after attach still appear
             # in registry snapshots under ``defense.<name>.*``
             obs.metrics.register_group(f"defense.{self.name}", self.counters)
+        registered = getattr(system, "defenses", None)
+        if registered is not None:
+            # the system tracks attached defenses so the invariant suite
+            # can cross-check their live counters against the registry
+            registered.append(self)
 
     @abc.abstractmethod
     def _wire(self, system: "System") -> None:

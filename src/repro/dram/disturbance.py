@@ -231,6 +231,17 @@ class DisturbanceTracker:
     def pressure_of(self, row_key: RowKey) -> float:
         return self._pressure.get(row_key, 0.0)
 
+    def iter_pressure(self) -> List[Tuple[RowKey, float]]:
+        """Snapshot of every victim row carrying pressure (the invariant
+        suite polls this; a list, not a view, so checks can run while
+        the simulation keeps mutating the map)."""
+        return list(self._pressure.items())
+
+    def is_tripped(self, row_key: RowKey) -> bool:
+        """Whether the row crossed its MAC (flip logged or suppressed by
+        the probabilistic tail) since its last refresh."""
+        return bool(self._tripped.get(row_key))
+
     def headroom_of(self, row_key: RowKey) -> float:
         """Remaining pressure before the row flips."""
         return self.profile.mac - self.pressure_of(row_key)

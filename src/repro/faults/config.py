@@ -1,0 +1,118 @@
+"""Declarative fault-injection configuration.
+
+§4.2 of the paper warns that defense soundness rests on hardware
+delivering what it promises: interrupts that arrive, refreshes that land
+on the row software named, counters that read back what they counted.
+A :class:`FaultConfig` describes a *degraded* platform along exactly
+those axes — every field is one way the hardware can fail the defense —
+and plugs into :class:`~repro.sim.config.SystemConfig` so any experiment
+can be replayed under faults.
+
+All injections are deterministic given ``(system seed, fault seed)``:
+the fault plane derives one RNG stream per injector, so a scenario
+matrix re-run with the same seeds reproduces byte-identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """One degraded-hardware scenario.
+
+    Rates are probabilities in ``[0, 1]`` applied independently per
+    opportunity (per interrupt delivery, per refresh instruction, per
+    counter read); intervals/counts are exact.  The default instance
+    injects nothing (``enabled`` is False) so a config carrying one is
+    behaviourally identical to a config carrying ``None``.
+    """
+
+    #: mixed into the system seed so two scenarios on one platform
+    #: draw different injection streams
+    seed: int = 0
+
+    # --- ACT-interrupt delivery (§4.2: the defense's only eye) ---------
+    #: probability an ACT_COUNT overflow never reaches the host OS
+    drop_interrupt_rate: float = 0.0
+    #: probability a delivered interrupt is delayed by ``delay_interrupt_ns``
+    delay_interrupt_rate: float = 0.0
+    #: how late a delayed interrupt arrives (simulated ns)
+    delay_interrupt_ns: int = 0
+
+    # --- refresh(va, ap) targeting (§4.3) ------------------------------
+    #: probability a ``refresh`` instruction lands on the *wrong* row of
+    #: the named bank (garbled row bits) instead of the one software named
+    corrupt_refresh_rate: float = 0.0
+
+    # --- batch scheduler -----------------------------------------------
+    #: stall every Nth scheduler batch (0 = never)
+    stall_batch_every: int = 0
+    #: how long a stalled batch waits before issue (simulated ns)
+    stall_batch_ns: int = 0
+
+    # --- defense-visible counter reads ---------------------------------
+    #: probability a counter read (interrupt count, uncore RDMSR) comes
+    #: back with ``flip_count_bit`` inverted
+    flip_count_read_rate: float = 0.0
+    #: which bit the read-path corruption flips
+    flip_count_bit: int = 3
+
+    # --- host-OS reconfiguration storms --------------------------------
+    #: re-apply ``set_threshold`` on every counter every N ACTs (0 = off)
+    #: — models routine host reconfiguration an attacker can pace around
+    reconfig_every_acts: int = 0
+    #: emulate the pre-fix ``set_threshold`` that zeroed the in-flight
+    #: count, for differential what-if runs against the fixed semantics
+    reconfig_forgives: bool = False
+
+    def __post_init__(self) -> None:
+        for name in (
+            "drop_interrupt_rate",
+            "delay_interrupt_rate",
+            "corrupt_refresh_rate",
+            "flip_count_read_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        for name in (
+            "delay_interrupt_ns",
+            "stall_batch_every",
+            "stall_batch_ns",
+            "reconfig_every_acts",
+        ):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+        if self.flip_count_bit < 0:
+            raise ValueError("flip_count_bit must be >= 0")
+        if self.reconfig_forgives and not self.reconfig_every_acts:
+            raise ValueError(
+                "reconfig_forgives needs reconfig_every_acts > 0"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        """True when any injector would ever fire."""
+        return bool(
+            self.drop_interrupt_rate
+            or (self.delay_interrupt_rate and self.delay_interrupt_ns)
+            or self.corrupt_refresh_rate
+            or (self.stall_batch_every and self.stall_batch_ns)
+            or self.flip_count_read_rate
+            or self.reconfig_every_acts
+        )
+
+    def describe(self) -> dict:
+        """JSON-native summary of the non-default knobs (for reports)."""
+        default = FaultConfig()
+        return {
+            field.name: getattr(self, field.name)
+            for field in fields(self)
+            if getattr(self, field.name) != getattr(default, field.name)
+        }
+
+    def with_seed(self, seed: int) -> "FaultConfig":
+        return replace(self, seed=seed)

@@ -1,0 +1,52 @@
+"""Named degraded-hardware scenarios for the fault matrix.
+
+Each entry is one :class:`~repro.faults.config.FaultConfig` stressing a
+single hardware promise the paper's defenses lean on.  The matrix is
+parameterized by the armed counter threshold/jitter so the host-OS
+reconfiguration storms can be paced *below* the detection threshold —
+the adversarial placement that made the historical ``set_threshold``
+count-forgiving bug exploitable (an attacker riding the storms never
+accumulated enough counted ACTs to overflow).
+
+``reconfig-storm`` vs ``reconfig-storm-forgiving`` is the differential
+pair the harness uses to demonstrate the fix: identical storms, with the
+forgiving arm re-enabling the old zero-the-count semantics through the
+dedicated emulation seam.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.faults.config import FaultConfig
+
+
+def storm_interval(act_threshold: int, reset_jitter: int) -> int:
+    """A reconfiguration cadence strictly below the earliest possible
+    overflow (threshold minus the maximum jitter draw): with the old
+    forgiving semantics the counter can then *never* fire."""
+    earliest_overflow = max(1, act_threshold - reset_jitter)
+    return max(1, earliest_overflow // 2)
+
+
+def default_matrix(
+    act_threshold: int, reset_jitter: int = 0
+) -> Dict[str, FaultConfig]:
+    """The standard scenario matrix, ordered for report output."""
+    storm = storm_interval(act_threshold, reset_jitter)
+    return {
+        "drop-interrupts": FaultConfig(seed=11, drop_interrupt_rate=0.5),
+        "drop-most-interrupts": FaultConfig(seed=12, drop_interrupt_rate=0.97),
+        "delay-interrupts": FaultConfig(
+            seed=13, delay_interrupt_rate=0.75, delay_interrupt_ns=2_000
+        ),
+        "corrupt-refresh": FaultConfig(seed=14, corrupt_refresh_rate=1.0),
+        "stall-scheduler": FaultConfig(
+            seed=15, stall_batch_every=4, stall_batch_ns=200
+        ),
+        "flip-counter-reads": FaultConfig(seed=16, flip_count_read_rate=0.5),
+        "reconfig-storm": FaultConfig(seed=17, reconfig_every_acts=storm),
+        "reconfig-storm-forgiving": FaultConfig(
+            seed=17, reconfig_every_acts=storm, reconfig_forgives=True
+        ),
+    }

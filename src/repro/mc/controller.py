@@ -24,7 +24,12 @@ from repro.dram.device import DramDevice
 from repro.dram.disturbance import BitFlip
 from repro.dram.geometry import DdrAddress
 from repro.mc.address_map import AddressMapper
-from repro.mc.counters import ActCounter, ActInterrupt, InterruptHandler
+from repro.mc.counters import (
+    ActCounter,
+    ActInterrupt,
+    InterruptHandler,
+    per_channel_rng,
+)
 from repro.mc.stats import ControllerStats
 from repro.obs import events as _ev
 from repro.obs.profiler import PhaseProfiler
@@ -89,6 +94,7 @@ class MemoryController:
         page_policy: str = "open",
         rng: Optional[random.Random] = None,
         trace: Optional[TraceBus] = None,
+        counter_seed: Optional[int] = None,
     ) -> None:
         """``page_policy``: "open" keeps rows in the buffer after an
         access (locality-friendly; a lone hammered row self-absorbs into
@@ -110,16 +116,27 @@ class MemoryController:
         self.trace = trace if trace is not None else TraceBus()
         self.profiler: Optional[PhaseProfiler] = None
         self._rng = rng or random.Random(0)
+        # Each channel's jitter RNG is seeded ``counter_seed ^ channel``
+        # (the same derivation defenses use for their own streams), so no
+        # two channels ever share an overflow-jitter sequence — learning
+        # one channel's phase tells an evasive attacker nothing about the
+        # others.  Without an explicit seed, fall back to drawing one
+        # from the controller RNG; the per-channel XOR still applies.
+        if counter_seed is None:
+            counter_seed = self._rng.randrange(1 << 30)
+        self.counter_seed = counter_seed
         self.counters: Dict[int, ActCounter] = {
             channel: ActCounter(
                 channel,
                 act_threshold,
                 precise=precise_interrupts,
                 reset_jitter=reset_jitter,
-                rng=random.Random(self._rng.randrange(1 << 30)),
+                rng=per_channel_rng(counter_seed, channel),
             )
             for channel in range(device.geometry.channels)
         }
+        for counter in self.counters.values():
+            counter.on_handler_error = self._on_handler_error
         self._bus_busy_until: Dict[int, int] = {
             channel: 0 for channel in range(device.geometry.channels)
         }
@@ -127,6 +144,15 @@ class MemoryController:
         self._act_gates: List[ActGate] = []
         self._act_observers: List[ActObserver] = []
         self.refresh_enabled: bool = True
+        # Fault-injection seams (installed by repro.faults.plane): the
+        # refresh hook may divert a ``refresh`` instruction to a row
+        # other than the one software named; the batch hook may stall a
+        # scheduler batch.  ``None`` means healthy hardware and costs
+        # one attribute load on the affected paths.
+        self.refresh_target_fault: Optional[
+            Callable[[DdrAddress, int], DdrAddress]
+        ] = None
+        self.batch_fault: Optional[Callable[[int, int], int]] = None
 
     # ------------------------------------------------------------------
     # Defense wiring
@@ -386,6 +412,13 @@ class MemoryController:
         is not exempt from the MC's own bookkeeping."""
         self.advance_to(now)
         address = self.mapper.line_to_ddr(physical_line)
+        if self.refresh_target_fault is not None:
+            # Fault seam: the command that actually reaches the bus may
+            # target a different row than software named.  Accounting
+            # below reflects the *actual* command; software's belief
+            # that the named row was refreshed is exactly the blind spot
+            # the deep invariant probes exist to expose.
+            address = self.refresh_target_fault(address, now)
         ready, _flips = self.device.activate(
             address, now, domain=None, precharge_after=auto_precharge,
             refresh_only=True,
@@ -439,6 +472,24 @@ class MemoryController:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _on_handler_error(
+        self,
+        interrupt: ActInterrupt,
+        handler: InterruptHandler,
+        error: Exception,
+    ) -> None:
+        """A subscribed host-OS interrupt handler raised: count it and
+        put it on the trace so the failure is diagnosable instead of
+        silently swallowed (and never lets it unwind the request path)."""
+        self.stats.interrupt_handler_failures += 1
+        if self.trace.enabled:
+            self.trace.emit(
+                _ev.HANDLER_ERROR, interrupt.time_ns,
+                channel=interrupt.channel,
+                handler=getattr(handler, "__qualname__", repr(handler)),
+                error=f"{type(error).__name__}: {error}",
+            )
 
     def _note_act(self, address: DdrAddress, time_ns: int, request: MemoryRequest) -> None:
         self.stats.acts += 1

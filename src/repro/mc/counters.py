@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -42,6 +42,26 @@ class ActInterrupt:
 
 
 InterruptHandler = Callable[[ActInterrupt], None]
+
+# Delivery-path hook (fault injection): inspects an interrupt about to be
+# delivered to the host OS and returns the interrupt that actually arrives
+# — possibly delayed or with a corrupted count — or ``None`` when the
+# delivery is lost entirely.  The hardware-side bookkeeping (counts,
+# ``interrupts_raised``) is unaffected; only host visibility is.
+DeliveryFilter = Callable[[ActInterrupt], Optional[ActInterrupt]]
+
+# Handler-failure hook: (interrupt, handler, error) after a subscribed
+# handler raised.  Installed by the MC so failures reach the obs layer.
+HandlerErrorHook = Callable[[ActInterrupt, InterruptHandler, Exception], None]
+
+
+def per_channel_rng(seed: int, channel: int) -> random.Random:
+    """The canonical per-channel RNG derivation: ``seed ^ channel``,
+    mirroring how defenses derive their own streams from the system seed
+    (e.g. PARA's ``config.seed ^ 0xBA5E``).  Keeping the derivation in
+    one place is what guarantees two channels never share a jitter
+    sequence — the §4.2 anti-evasion property E10 measures."""
+    return random.Random(seed ^ channel)
 
 
 class ActCounter:
@@ -73,12 +93,24 @@ class ActCounter:
         self.threshold = threshold
         self.precise = precise
         self.reset_jitter = reset_jitter
-        self._rng = rng or random.Random(0)
+        # Default RNG: derived from the channel index, never a shared
+        # constant.  ``random.Random(0)`` here once gave every channel
+        # the *identical* jitter sequence, so an attacker who learned one
+        # channel's overflow phase knew them all — exactly the evasion
+        # §4.2's jitter exists to prevent.  Wiring code (the MC) passes
+        # an explicit per-channel RNG derived from the system seed.
+        self._rng = rng if rng is not None else per_channel_rng(0xAC7C0, channel)
         self._count = 0
         self._next_overflow_at = self._draw_overflow_point()
         self._handlers: List[InterruptHandler] = []
+        self.delivery_filter: Optional[DeliveryFilter] = None
+        self.read_filter: Optional[Callable[[int], int]] = None
+        self.on_handler_error: Optional[HandlerErrorHook] = None
         self.total_acts = 0
         self.interrupts_raised = 0
+        self.interrupts_delivered = 0
+        self.interrupts_lost = 0
+        self.handler_failures = 0
 
     # ------------------------------------------------------------------
     # Host-OS interface
@@ -88,15 +120,47 @@ class ActCounter:
         """Register a host-OS interrupt handler."""
         self._handlers.append(handler)
 
+    def read_count(self) -> int:
+        """Host-OS read of the live count (what an uncore-counter RDMSR
+        returns).  ``read_filter`` is the fault-injection seam for §4.2's
+        unreliable-hardware concern: the *architectural* count is
+        unaffected, only the value software observes."""
+        if self.read_filter is not None:
+            return self.read_filter(self._count)
+        return self._count
+
+    @property
+    def pending(self) -> Tuple[int, int]:
+        """Oracle view ``(count, next_overflow_at)`` for invariants and
+        tests — never routed through the read filter."""
+        return self._count, self._next_overflow_at
+
     def set_threshold(self, threshold: int) -> None:
-        """Reconfigure the overflow threshold (host-OS controlled, §4.2)."""
+        """Reconfigure the overflow threshold (host-OS controlled, §4.2).
+
+        The accumulated in-flight count is *preserved*: reconfiguration
+        re-draws only the overflow point under the new threshold.  An
+        earlier version zeroed ``_count`` here, which meant any host-OS
+        reconfiguration mid-window forgave every ACT already counted —
+        an attacker who could provoke reconfigurations (or merely time
+        its bursts around routine ones) paced below detection for free.
+        If the ACTs already counted meet the new (possibly smaller)
+        overflow point, the very next ACT delivers the interrupt.
+        """
         if threshold < 1:
             raise ValueError("threshold must be >= 1")
         if self.reset_jitter >= threshold:
             raise ValueError("threshold must exceed the configured jitter")
         self.threshold = threshold
-        self._count = 0
         self._next_overflow_at = self._draw_overflow_point()
+
+    def forgive_pending(self) -> None:
+        """Zero the in-flight count.  Fault-emulation seam only: this
+        re-creates the historical ``set_threshold`` bug (reconfiguration
+        forgiving every counted ACT) so the differential harness can
+        demonstrate what the fix buys.  Nothing in the production wiring
+        calls this."""
+        self._count = 0
 
     # ------------------------------------------------------------------
     # MC-side event ingestion
@@ -124,9 +188,29 @@ class ActCounter:
         self.interrupts_raised += 1
         self._count = 0
         self._next_overflow_at = self._draw_overflow_point()
+        delivered: Optional[ActInterrupt] = interrupt
+        if self.delivery_filter is not None:
+            # Fault-injection seam: the hardware raised the interrupt
+            # (counts above already reflect that); the delivery to the
+            # host may be dropped, delayed, or corrupted.
+            delivered = self.delivery_filter(interrupt)
+            if delivered is None:
+                self.interrupts_lost += 1
+                return None
+        self.interrupts_delivered += 1
+        # Handlers are isolated from each other: one raising host-OS
+        # handler must not starve later subscribers, nor propagate into
+        # the MC request path it was called from.  Failures are counted
+        # and surfaced through ``on_handler_error`` (the MC routes them
+        # to the obs layer) instead of unwinding the hot path.
         for handler in self._handlers:
-            handler(interrupt)
-        return interrupt
+            try:
+                handler(delivered)
+            except Exception as error:
+                self.handler_failures += 1
+                if self.on_handler_error is not None:
+                    self.on_handler_error(delivered, handler, error)
+        return delivered
 
     # ------------------------------------------------------------------
     # Internals

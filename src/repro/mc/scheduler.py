@@ -16,6 +16,7 @@ cycle-level queue model.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import List, Sequence
 
 from repro.mc.controller import CompletedRequest, MemoryController, MemoryRequest
@@ -52,6 +53,18 @@ class BatchScheduler:
                 SCHED_BATCH, min(r.time_ns for r in requests),
                 size=len(requests), policy=self.policy,
             )
+        if requests and controller.batch_fault is not None:
+            # Fault seam: a stalled batch issues late.  Requests are
+            # frozen, so the shift produces replacements; completion
+            # records carry the shifted times like any queueing delay.
+            stall_ns = controller.batch_fault(
+                min(r.time_ns for r in requests), len(requests)
+            )
+            if stall_ns:
+                requests = [
+                    replace(r, time_ns=r.time_ns + stall_ns)
+                    for r in requests
+                ]
         if self.policy == "fcfs":
             return controller.submit_batch(list(requests))
         line_to_ddr = controller.mapper.line_to_ddr

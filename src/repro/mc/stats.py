@@ -29,6 +29,7 @@ class ControllerStats:
     neighbor_refresh_commands: int = 0  # proposed REF_NEIGHBORS issues
     uncore_moves: int = 0  # paper's uncore move executions
     throttle_stalls_ns: int = 0  # delay added by frequency-centric throttling
+    interrupt_handler_failures: int = 0  # host handlers that raised mid-dispatch
     total_request_latency_ns: int = 0
     busy_until_ns: int = 0  # completion time of the latest request
 
@@ -74,6 +75,7 @@ class ControllerStats:
             "neighbor_refresh_commands": self.neighbor_refresh_commands,
             "uncore_moves": self.uncore_moves,
             "throttle_stalls_ns": self.throttle_stalls_ns,
+            "interrupt_handler_failures": self.interrupt_handler_failures,
             "average_latency_ns": round(self.average_latency_ns, 2),
             "energy_proxy": round(self.energy_proxy(), 1),
         }

@@ -21,6 +21,9 @@ from repro.obs.events import (
     ACT_INTERRUPT,
     BIT_FLIP,
     EVENT_KINDS,
+    FAULT_INJECTED,
+    HANDLER_ERROR,
+    INVARIANT_VIOLATION,
     NEIGHBOR_REFRESH,
     ROW_CONFLICT,
     SCHED_BATCH,
@@ -34,6 +37,7 @@ from repro.obs.profiler import PhaseProfiler
 from repro.obs.registry import MetricsRegistry
 from repro.obs.sampler import TimeSeries, TimeSeriesSampler
 from repro.obs.trace import (
+    CountingSink,
     JsonlSink,
     NullSink,
     RingBufferSink,
@@ -46,7 +50,11 @@ __all__ = [
     "ACT",
     "ACT_INTERRUPT",
     "BIT_FLIP",
+    "CountingSink",
     "EVENT_KINDS",
+    "FAULT_INJECTED",
+    "HANDLER_ERROR",
+    "INVARIANT_VIOLATION",
     "JsonlSink",
     "MetricsRegistry",
     "NEIGHBOR_REFRESH",

@@ -21,6 +21,9 @@ kind                      emitted when
 ``throttle_stall``        an ACT gate (BlockHammer-style) delays an ACT
 ``uncore_move``           the proposed uncore move copies a line (§4.2)
 ``sched_batch``           the batch scheduler issues one outstanding window
+``fault_injected``        the fault plane perturbed a hardware behaviour
+``invariant_violation``   an invariant checker caught an inconsistency
+``handler_error``         a host-OS interrupt handler raised an exception
 ========================  ====================================================
 """
 
@@ -38,6 +41,9 @@ BIT_FLIP = "bit_flip"
 THROTTLE_STALL = "throttle_stall"
 UNCORE_MOVE = "uncore_move"
 SCHED_BATCH = "sched_batch"
+FAULT_INJECTED = "fault_injected"
+INVARIANT_VIOLATION = "invariant_violation"
+HANDLER_ERROR = "handler_error"
 
 #: every kind the simulator emits, in documentation order
 EVENT_KINDS = (
@@ -50,6 +56,9 @@ EVENT_KINDS = (
     THROTTLE_STALL,
     UNCORE_MOVE,
     SCHED_BATCH,
+    FAULT_INJECTED,
+    INVARIANT_VIOLATION,
+    HANDLER_ERROR,
 )
 
 

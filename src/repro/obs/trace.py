@@ -100,8 +100,37 @@ class JsonlSink:
         return dict(self._counts)
 
 
+class CountingSink:
+    """Count events by kind without storing them; optionally tee into an
+    inner sink.  The invariant layer uses this to reconcile trace-event
+    counts against architectural counters at negligible memory cost —
+    a :class:`RingBufferSink` would silently drop the oldest events and
+    make conservation checks lie on long runs."""
+
+    def __init__(self, inner: Optional["TraceSink"] = None) -> None:
+        self.inner = inner
+        self.events_written = 0
+        self._counts: Dict[str, int] = {}
+
+    def write(self, event: TraceEvent) -> None:
+        self._counts[event.kind] = self._counts.get(event.kind, 0) + 1
+        self.events_written += 1
+        if self.inner is not None:
+            self.inner.write(event)
+
+    def close(self) -> None:
+        if self.inner is not None:
+            self.inner.close()
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def count(self, kind: str) -> int:
+        return self._counts.get(kind, 0)
+
+
 #: anything with write(event) + close()
-TraceSink = Union[NullSink, RingBufferSink, JsonlSink]
+TraceSink = Union[NullSink, RingBufferSink, JsonlSink, CountingSink]
 
 
 class TraceBus:

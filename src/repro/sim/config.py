@@ -9,10 +9,17 @@ counter configuration, cache shape, internal row remapping, and the seed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.primitives import PrimitiveSet
 from repro.hostos.allocator import AllocationPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only; the faults
+    # package is imported lazily by System to avoid a config<->faults cycle
+    from repro.faults.config import FaultConfig
+
+#: valid values for :attr:`SystemConfig.invariant_level`
+INVARIANT_LEVELS = ("off", "cheap", "deep")
 
 #: Default scale factor: refresh window and MAC shrink by this much so a
 #: full window is a few hundred microseconds of simulated time instead of
@@ -59,6 +66,14 @@ class SystemConfig:
     # Reproducibility
     seed: int = 1234
 
+    # Fault injection & invariant checking (repro.faults).  ``faults``
+    # describes a degraded-hardware scenario (None = healthy hardware);
+    # ``invariant_level`` arms the bookkeeping checkers: "off" (free),
+    # "cheap" (polled at drain points), or "deep" (inline hot-path
+    # probes — for debugging and the fault matrix, not benchmarks).
+    faults: Optional["FaultConfig"] = None
+    invariant_level: str = "off"
+
     def __post_init__(self) -> None:
         if self.scale < 1:
             raise ValueError("scale must be >= 1")
@@ -74,6 +89,11 @@ class SystemConfig:
             raise ValueError("refresh_multiplier must be >= 1")
         if self.refresh_mode not in ("all-bank", "per-bank"):
             raise ValueError(f"unknown refresh mode {self.refresh_mode!r}")
+        if self.invariant_level not in INVARIANT_LEVELS:
+            raise ValueError(
+                f"unknown invariant level {self.invariant_level!r}; "
+                f"known: {INVARIANT_LEVELS}"
+            )
 
     # ------------------------------------------------------------------
     # Named variants used across experiments

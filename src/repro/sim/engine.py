@@ -57,6 +57,7 @@ class Engine:
         obs = getattr(system, "obs", None)
         sampler = obs.sampler if obs is not None else None
         profiler = obs.profiler if obs is not None else None
+        invariants = getattr(system, "invariants", None)
         # With sampling off the sentinel keeps the per-step cost at one
         # integer-vs-inf compare; with it on, `next_sample` hoists the
         # sampler's boundary out of the object.
@@ -88,10 +89,17 @@ class Engine:
                     profiler.add("drain", perf_counter() - start)
                 else:
                     flips_seen += len(system.drain_flips())
+                # invariants ride the drain cadence: checks run only
+                # when something happened, so quiet steps stay free
+                if invariants is not None:
+                    invariants.check(now)
         # let the controller retire refreshes up to the deadline
         system.controller.advance_to(deadline)
         if system.has_pending_flips():
             flips_seen += len(system.drain_flips())
+        if invariants is not None:
+            # closing check so even flip-free runs are audited once
+            invariants.check(deadline)
         if sampler is not None:
             # closing sample so even sub-interval runs yield a series
             sampler.sample(deadline)

@@ -170,6 +170,9 @@ class System:
             page_policy=config.page_policy,
             rng=random.Random(config.seed ^ 0xC0DE),
             trace=self.obs.trace,
+            # per-channel jitter RNGs derive as ``seed ^ channel`` so no
+            # two channels share an overflow-jitter sequence (E10)
+            counter_seed=config.seed,
         )
         self.cache = SetAssociativeCache(
             sets=config.cache_sets,
@@ -193,6 +196,10 @@ class System:
         )
         self.host_context = ExecutionContext(asid=0, host=True)
         self._flip_cursor = 0
+        #: defenses attached to this platform (Defense.attach appends);
+        #: the invariant suite cross-checks their counters against the
+        #: metrics registry
+        self.defenses: List[object] = []
         # attribution: internal row -> logical row -> owning domains
         self.device.tracker.set_domain_lookup(self._domains_of_internal_row)
         # every architecturally visible counter registers here; snapshots
@@ -206,6 +213,22 @@ class System:
                 "hit_rate": self.cache.hit_rate,
             },
         )
+        # Fault plane and invariant suite (repro.faults) — built late so
+        # their hooks and probes see the fully wired controller/device,
+        # and imported lazily to keep sim<->faults import-cycle-free.
+        self.faults = None
+        if config.faults is not None and config.faults.enabled:
+            from repro.faults.plane import FaultPlane
+
+            self.faults = FaultPlane(config.faults, system_seed=config.seed)
+            self.faults.attach(self)
+        self.invariants = None
+        if config.invariant_level != "off":
+            from repro.faults.invariants import InvariantSuite
+
+            self.invariants = InvariantSuite(
+                self, level=config.invariant_level
+            )
         # pick up an ambient `repro.obs.runtime.observe(...)` context, if
         # one is active (the trace CLI and replication runners use this)
         attach_ambient(self)

@@ -111,6 +111,59 @@ class TestRefreshSemantics:
         assert tracker.pressure_of((0, 0, 0, 9)) > 0.0
 
 
+class TestSubarrayEdgeClamping:
+    """Aggressors at the first/last row of a subarray with a blast radius
+    wider than the remaining rows: the unclipped radius reaches over the
+    boundary (or off the bank entirely) and must be clamped."""
+
+    def test_first_row_of_bank(self, tiny_geometry):
+        tracker = make_tracker(tiny_geometry, mac=100, blast_radius=3)
+        hammer(tracker, row=0, times=10)
+        # victims exist only above the aggressor, inside subarray 0
+        assert tracker.pressure_of((0, 0, 0, 1)) > 0.0
+        assert tracker.pressure_of((0, 0, 0, 2)) > 0.0
+        assert tracker.pressure_of((0, 0, 0, 3)) > 0.0
+        for key, _pressure in tracker.iter_pressure():
+            assert 0 <= key[3] < tiny_geometry.rows_per_bank
+
+    def test_last_row_of_bank(self, tiny_geometry):
+        last = tiny_geometry.rows_per_bank - 1  # row 15
+        tracker = make_tracker(tiny_geometry, mac=100, blast_radius=3)
+        hammer(tracker, row=last, times=10)
+        assert tracker.pressure_of((0, 0, 0, last - 1)) > 0.0
+        assert tracker.pressure_of((0, 0, 0, last - 3)) > 0.0
+        for key, _pressure in tracker.iter_pressure():
+            assert 0 <= key[3] < tiny_geometry.rows_per_bank
+
+    def test_last_row_of_interior_subarray(self, tiny_geometry):
+        # row 7 ends subarray 0; radius 3 reaches rows 8..10 in subarray
+        # 1, all of which must stay untouched
+        tracker = make_tracker(tiny_geometry, mac=100, blast_radius=3)
+        hammer(tracker, row=7, times=10)
+        assert tracker.pressure_of((0, 0, 0, 6)) > 0.0
+        assert tracker.pressure_of((0, 0, 0, 4)) > 0.0
+        for leaked in (8, 9, 10):
+            assert tracker.pressure_of((0, 0, 0, leaked)) == 0.0
+
+    def test_first_row_of_interior_subarray(self, tiny_geometry):
+        # row 8 starts subarray 1; radius 3 reaches rows 5..7 backwards
+        tracker = make_tracker(tiny_geometry, mac=100, blast_radius=3)
+        hammer(tracker, row=8, times=10)
+        assert tracker.pressure_of((0, 0, 0, 9)) > 0.0
+        assert tracker.pressure_of((0, 0, 0, 11)) > 0.0
+        for leaked in (5, 6, 7):
+            assert tracker.pressure_of((0, 0, 0, leaked)) == 0.0
+
+    def test_edge_flips_stay_in_subarray(self, tiny_geometry):
+        # hammer past MAC at a boundary: every flip's victim row must
+        # share the aggressor's subarray
+        tracker = make_tracker(tiny_geometry, mac=5, blast_radius=3)
+        flips = hammer(tracker, row=7, times=40)
+        assert flips
+        for flip in flips:
+            assert tiny_geometry.same_subarray(flip.victim[3], 7)
+
+
 class TestAttribution:
     def test_cross_domain(self, tiny_geometry):
         tracker = make_tracker(tiny_geometry, mac=5)

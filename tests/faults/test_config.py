@@ -1,0 +1,81 @@
+"""Unit tests for the declarative fault configuration."""
+
+import pytest
+
+from repro.faults import FaultConfig
+
+
+class TestValidation:
+    @pytest.mark.parametrize("name", [
+        "drop_interrupt_rate",
+        "delay_interrupt_rate",
+        "corrupt_refresh_rate",
+        "flip_count_read_rate",
+    ])
+    def test_rates_must_be_probabilities(self, name):
+        with pytest.raises(ValueError):
+            FaultConfig(**{name: 1.5})
+        with pytest.raises(ValueError):
+            FaultConfig(**{name: -0.1})
+        FaultConfig(**{name: 0.0})
+        FaultConfig(**{name: 1.0})
+
+    @pytest.mark.parametrize("name", [
+        "delay_interrupt_ns",
+        "stall_batch_every",
+        "stall_batch_ns",
+        "reconfig_every_acts",
+    ])
+    def test_counts_must_be_non_negative(self, name):
+        with pytest.raises(ValueError):
+            FaultConfig(**{name: -1})
+
+    def test_flip_count_bit_non_negative(self):
+        with pytest.raises(ValueError):
+            FaultConfig(flip_count_bit=-1)
+
+    def test_forgiving_requires_storms(self):
+        with pytest.raises(ValueError):
+            FaultConfig(reconfig_forgives=True)
+        FaultConfig(reconfig_every_acts=3, reconfig_forgives=True)
+
+
+class TestEnabled:
+    def test_default_injects_nothing(self):
+        assert not FaultConfig().enabled
+
+    def test_seed_alone_does_not_enable(self):
+        assert not FaultConfig(seed=99).enabled
+
+    def test_delay_rate_without_duration_is_inert(self):
+        assert not FaultConfig(delay_interrupt_rate=0.5).enabled
+
+    def test_stall_interval_without_duration_is_inert(self):
+        assert not FaultConfig(stall_batch_every=4).enabled
+
+    @pytest.mark.parametrize("knobs", [
+        {"drop_interrupt_rate": 0.1},
+        {"delay_interrupt_rate": 0.1, "delay_interrupt_ns": 100},
+        {"corrupt_refresh_rate": 0.1},
+        {"stall_batch_every": 2, "stall_batch_ns": 50},
+        {"flip_count_read_rate": 0.1},
+        {"reconfig_every_acts": 7},
+    ])
+    def test_each_injector_enables(self, knobs):
+        assert FaultConfig(**knobs).enabled
+
+
+class TestDescribe:
+    def test_default_describes_empty(self):
+        assert FaultConfig().describe() == {}
+
+    def test_only_non_default_knobs(self):
+        config = FaultConfig(seed=3, drop_interrupt_rate=0.5)
+        assert config.describe() == {"seed": 3, "drop_interrupt_rate": 0.5}
+
+    def test_with_seed(self):
+        config = FaultConfig(corrupt_refresh_rate=1.0)
+        reseeded = config.with_seed(42)
+        assert reseeded.seed == 42
+        assert reseeded.corrupt_refresh_rate == 1.0
+        assert config.seed == 0  # frozen original untouched

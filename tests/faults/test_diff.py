@@ -1,0 +1,133 @@
+"""Integration tests for the differential fault harness.
+
+One full matrix run is shared module-wide (it is the expensive part);
+the assertions here are the machine-readable contract the CI smoke job
+and the ISSUE's acceptance criteria rest on.
+"""
+
+import json
+
+import pytest
+
+from repro.faults.diff import (
+    CLASSIFICATIONS,
+    DiffSpec,
+    classify,
+    report_to_json,
+    run_matrix,
+)
+
+SPEC = DiffSpec(scale=128)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_matrix(SPEC)
+
+
+class TestBaselines:
+    def test_baseline_guarantee_holds(self, report):
+        baseline = report["baseline"]
+        assert baseline["claims_guarantee"]
+        assert baseline["guarantee_holds"]
+        assert baseline["cross_domain_flips"] == 0
+        assert baseline["invariant_violations"] == []
+
+    def test_baseline_interrupts_all_delivered(self, report):
+        baseline = report["baseline"]
+        assert baseline["interrupts_raised"] > 0
+        assert (
+            baseline["interrupts_delivered"] == baseline["interrupts_raised"]
+        )
+        assert baseline["interrupts_lost"] == 0
+
+    def test_undefended_attack_is_viable(self, report):
+        # without flips here the whole matrix would prove nothing
+        assert report["undefended"]["cross_domain_flips"] > 0
+        assert report["undefended"]["defense"] is None
+
+
+class TestScenarios:
+    def test_every_scenario_injected_faults(self, report):
+        for name, cell in report["scenarios"].items():
+            assert sum(cell["fault_injections"].values()) > 0, name
+
+    def test_every_scenario_classified(self, report):
+        for name, cell in report["scenarios"].items():
+            assert cell["classification"] in CLASSIFICATIONS, name
+
+    def test_reconfig_storm_pair_demonstrates_set_threshold_fix(self, report):
+        """The acceptance criterion: identical reconfiguration storms —
+        with the fixed count-preserving ``set_threshold`` the guarantee
+        holds; re-enabling the historical count-forgiving semantics
+        through the emulation seam silently breaks it."""
+        fixed = report["scenarios"]["reconfig-storm"]
+        forgiving = report["scenarios"]["reconfig-storm-forgiving"]
+        assert fixed["classification"] == "graceful"
+        assert fixed["cross_domain_flips"] == 0
+        assert forgiving["classification"] == "violated-silent"
+        assert forgiving["cross_domain_flips"] > 0
+
+    def test_corrupt_refresh_is_detected(self, report):
+        """Diverted refreshes break the guarantee AND the deep efficacy
+        probe flags every diversion: the auditable quadrant."""
+        cell = report["scenarios"]["corrupt-refresh"]
+        assert cell["classification"] == "violated-detected"
+        invariants = {
+            violation["invariant"]
+            for violation in cell["invariant_violations"]
+        }
+        assert "targeted_refresh_efficacy" in invariants
+
+    def test_read_corruption_is_detected_even_when_graceful(self, report):
+        cell = report["scenarios"]["flip-counter-reads"]
+        invariants = {
+            violation["invariant"]
+            for violation in cell["invariant_violations"]
+        }
+        assert "counter_read_consistency" in invariants
+
+    def test_stall_scheduler_exercises_batch_seam(self, report):
+        cell = report["scenarios"]["stall-scheduler"]
+        assert cell["fault_injections"]["batches_stalled"] > 0
+
+    def test_summary_partitions_scenarios(self, report):
+        summary = report["summary"]
+        classified = [
+            name for label in summary for name in summary[label]
+        ]
+        assert sorted(classified) == sorted(report["scenarios"])
+
+
+class TestDeterminism:
+    def test_rerun_is_byte_identical(self, report):
+        assert report_to_json(run_matrix(SPEC)) == report_to_json(report)
+
+    def test_report_is_json_native(self, report):
+        assert json.loads(report_to_json(report)) == report
+
+
+class TestClassify:
+    def make_cell(self, **overrides):
+        cell = {
+            "claims_guarantee": True,
+            "guarantee_holds": True,
+            "invariant_violations": [],
+        }
+        cell.update(overrides)
+        return cell
+
+    def test_taxonomy(self):
+        assert classify(self.make_cell()) == "graceful"
+        assert classify(
+            self.make_cell(guarantee_holds=False)
+        ) == "violated-silent"
+        assert classify(
+            self.make_cell(
+                guarantee_holds=False,
+                invariant_violations=[{"invariant": "x"}],
+            )
+        ) == "violated-detected"
+        assert classify(
+            self.make_cell(claims_guarantee=False, guarantee_holds=False)
+        ) == "no-guarantee"

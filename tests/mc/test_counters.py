@@ -4,7 +4,67 @@ import random
 
 import pytest
 
-from repro.mc.counters import ActCounter
+from repro.mc.counters import ActCounter, per_channel_rng
+
+
+def _overflow_gaps(counter, acts):
+    """Lengths of the ACT bursts between successive overflows."""
+    gaps, count = [], 0
+    for i in range(acts):
+        count += 1
+        if counter.on_act(i, physical_line=i, from_dma=False):
+            gaps.append(count)
+            count = 0
+    return gaps
+
+
+class TestPerChannelJitter:
+    """E10-style regression: the §4.2 anti-evasion jitter must differ
+    across channels.  The old default RNG (``random.Random(0)`` for
+    every counter) made each channel's overflow sequence identical, so
+    an attacker pacing against one channel had paced against them all."""
+
+    def test_default_rngs_differ_per_channel(self):
+        counters = [
+            ActCounter(channel=c, threshold=100, reset_jitter=50)
+            for c in range(4)
+        ]
+        gaps = [tuple(_overflow_gaps(counter, 2000)) for counter in counters]
+        assert len(set(gaps)) == len(gaps), (
+            "channels share an overflow-jitter sequence"
+        )
+
+    def test_seed_derivation_is_per_channel(self):
+        gaps = []
+        for channel in range(3):
+            counter = ActCounter(
+                channel=channel, threshold=100, reset_jitter=50,
+                rng=per_channel_rng(1234, channel),
+            )
+            gaps.append(tuple(_overflow_gaps(counter, 2000)))
+        assert len(set(gaps)) == 3
+
+    def test_system_wired_counters_diverge(self):
+        """End-to-end: a multi-channel system's counters draw distinct
+        overflow points from ``config.seed ^ channel``."""
+        from repro.sim import build_system
+
+        system = build_system(
+            channels=2, act_threshold=64, act_reset_jitter=16, seed=77,
+        )
+        points = {
+            channel: counter.pending[1]
+            for channel, counter in system.controller.counters.items()
+        }
+        draws = {
+            channel: tuple(
+                per_channel_rng(77, channel).randint(0, 16) for _ in range(8)
+            )
+            for channel in points
+        }
+        assert draws[0] != draws[1]
+        for channel, counter in system.controller.counters.items():
+            assert counter.pending[1] == 64 - draws[channel][0]
 
 
 class TestOverflow:
@@ -86,16 +146,55 @@ class TestConfiguration:
         counter.on_act(1, physical_line=2, from_dma=False)
         assert len(seen) == 1
 
-    def test_set_threshold_resets(self):
+    def test_set_threshold_preserves_pending_count(self):
+        """Host-OS reconfiguration must not forgive in-flight ACTs: an
+        attacker who can provoke reconfigurations would otherwise pace
+        below the detection threshold for free."""
         counter = ActCounter(channel=0, threshold=10)
         for i in range(5):
             counter.on_act(i, physical_line=i, from_dma=False)
         counter.set_threshold(3)
+        # 5 ACTs already pending >= new threshold 3: the very next ACT
+        # overflows, rather than silently restarting from zero.
+        event = counter.on_act(5, physical_line=5, from_dma=False)
+        assert event is not None
+        assert event.count_at_overflow == 6
+
+    def test_set_threshold_keeps_partial_progress(self):
+        counter = ActCounter(channel=0, threshold=10)
+        for i in range(4):
+            counter.on_act(i, physical_line=i, from_dma=False)
+        counter.set_threshold(6)
         fired = [
             counter.on_act(i, physical_line=i, from_dma=False) is not None
             for i in range(3)
         ]
-        assert fired == [False, False, True]
+        # 4 pending + 2 more = 6 = new threshold: fires on the second
+        # post-reconfig ACT, not after 6 fresh ones.
+        assert fired == [False, True, False]
+
+    def test_raising_handler_does_not_starve_later_handlers(self):
+        """A crashing host-OS handler is isolated: later subscribers
+        still run, nothing propagates into the MC hot path, and the
+        failure is counted (and reported via ``on_handler_error``)."""
+        counter = ActCounter(channel=0, threshold=2)
+        seen = []
+        errors = []
+
+        def bad_handler(interrupt):
+            raise RuntimeError("host handler crashed")
+
+        counter.on_handler_error = (
+            lambda interrupt, handler, error: errors.append((handler, error))
+        )
+        counter.subscribe(bad_handler)
+        counter.subscribe(seen.append)
+        counter.on_act(0, physical_line=1, from_dma=False)
+        event = counter.on_act(1, physical_line=2, from_dma=False)
+        assert event is not None  # no exception escaped
+        assert len(seen) == 1  # the later handler still ran
+        assert counter.handler_failures == 1
+        assert len(errors) == 1 and errors[0][0] is bad_handler
 
     def test_validation(self):
         with pytest.raises(ValueError):
