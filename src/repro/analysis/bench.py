@@ -166,13 +166,18 @@ def bench_replication(
     jobs: Optional[int] = None,
     accesses: int = 4_000,
 ) -> Dict[str, object]:
-    """Time an E13-representative replication set serially vs. through
-    the process pool, and verify the merged results are identical."""
+    """Time an E13-representative replication set serially, through the
+    plain process pool, and through the :mod:`repro.runtime` supervisor
+    (no faults injected), and verify all three produce identical
+    results.  ``supervised_overhead`` is the fault-free cost of
+    supervision relative to the plain pool — the number the resilience
+    work must keep inside the bench guard."""
     from repro.analysis.parallel import (
         BenignReplicationSpec,
         resolve_jobs,
         run_replications,
     )
+    from repro.runtime import Supervisor
 
     spec = BenignReplicationSpec(accesses=accesses, scale=8)
     workers = resolve_jobs(jobs)
@@ -182,17 +187,24 @@ def bench_replication(
         serial = run_replications(spec, seeds, jobs=1)
     with timer.measure("parallel"):
         parallel = run_replications(spec, seeds, jobs=workers)
+    with timer.measure("supervised"):
+        outcome = Supervisor().map(spec, seeds, jobs=workers)
+    supervised = [outcome.results.get(seed) for seed in seeds]
 
     serial_wall = timer.seconds("serial")
     parallel_wall = timer.seconds("parallel")
+    supervised_wall = timer.seconds("supervised")
     return {
         "seeds": len(seeds),
         "jobs": workers,
         "serial_wall_s": round(serial_wall, 4),
         "parallel_wall_s": round(parallel_wall, 4),
+        "supervised_wall_s": round(supervised_wall, 4),
         "speedup": round(serial_wall / parallel_wall, 3)
         if parallel_wall > 0 else 0.0,
-        "identical": serial == parallel,
+        "supervised_overhead": round(supervised_wall / parallel_wall, 3)
+        if parallel_wall > 0 else 0.0,
+        "identical": serial == parallel == supervised,
     }
 
 

@@ -60,6 +60,17 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return jobs
 
 
+def effective_workers(jobs: int, task_count: int) -> int:
+    """Clamp the worker count to the work available.
+
+    Spawning a worker costs a fork plus interpreter warm-up, so a tiny
+    campaign must never pay for more processes than it has seeds.  Both
+    the plain pool below and the :mod:`repro.runtime` supervisor size
+    their pools through this one function.
+    """
+    return max(1, min(jobs, task_count))
+
+
 def run_replications(
     scenario: ScenarioFn,
     seeds: Sequence[int],
@@ -71,10 +82,14 @@ def run_replications(
     input order), so the output is bit-identical to the serial
     ``[scenario(seed) for seed in seeds]`` no matter how many workers
     ran it.  With one worker (or one seed) the pool is skipped entirely.
+
+    This is the *fast path*: one crash anywhere discards every seed.
+    Long campaigns should run through :func:`replicate_resilient` (or
+    :func:`repro.runtime.run_campaign` directly) instead.
     """
     if not seeds:
         raise ValueError("need at least one seed")
-    workers = min(resolve_jobs(jobs), len(seeds))
+    workers = effective_workers(resolve_jobs(jobs), len(seeds))
     if workers <= 1:
         return [scenario(seed) for seed in seeds]
     with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -88,6 +103,33 @@ def replicate_parallel(
 ) -> Dict[str, Aggregate]:
     """Parallel drop-in for :func:`repro.analysis.stats.replicate`."""
     return merge_replications(run_replications(scenario, seeds, jobs=jobs))
+
+
+def replicate_resilient(
+    scenario: ScenarioFn,
+    seeds: Sequence[int],
+    jobs: Optional[int] = None,
+    journal_path: Optional[str] = None,
+    resume: bool = False,
+    **campaign_kwargs,
+) -> Dict[str, Aggregate]:
+    """Crash-safe drop-in for :func:`replicate_parallel`.
+
+    Routes the same seed fan-out through the :mod:`repro.runtime`
+    supervisor (timeouts, bounded retry, pool respawn) and, when
+    ``journal_path`` is given, journals per-seed results so an
+    interrupted campaign can be resumed bit-identically.  Raises
+    ``CampaignIncomplete`` if any seed permanently fails.
+    """
+    from repro.runtime import run_campaign
+
+    result = run_campaign(
+        scenario, seeds, jobs=jobs, journal_path=journal_path,
+        resume=resume, **campaign_kwargs,
+    )
+    result.raise_if_incomplete()
+    assert result.aggregates is not None
+    return result.aggregates
 
 
 # ----------------------------------------------------------------------

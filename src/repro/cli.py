@@ -177,29 +177,125 @@ def _cmd_bench(args) -> int:
         return 2
 
 
+#: exit status for an interrupted command (128 + SIGINT, shell style)
+EXIT_INTERRUPTED = 130
+
+
+def _print_campaign(experiment: str, result, workers: int) -> None:
+    """Render a campaign outcome (complete or partial)."""
+    done = len([s for s in result.seeds if s in result.completed])
+    print(f"{experiment} x {len(result.seeds)} seeds "
+          f"({workers} worker{'s' if workers != 1 else ''}):")
+    if result.resumed:
+        print(f"  [resumed: {result.resumed} seed"
+              f"{'s' if result.resumed != 1 else ''} from journal]")
+    if result.retries or result.respawns or result.degraded:
+        notes = []
+        if result.retries:
+            notes.append(f"{result.retries} retries")
+        if result.respawns:
+            notes.append(f"{result.respawns} pool respawns")
+        if result.degraded:
+            notes.append("degraded to serial")
+        print(f"  [recovered: {', '.join(notes)}]")
+    aggregates = result.aggregates
+    if aggregates is None:
+        print("  (no seeds completed)")
+        return
+    if done != len(result.seeds):
+        print(f"  (partial: {done}/{len(result.seeds)} seeds)")
+    for aggregate in aggregates.values():
+        print(f"  {aggregate.describe()}")
+
+
 def _cmd_replicate(args) -> int:
     import dataclasses
 
     from repro.analysis.parallel import (
         REPLICATION_SPECS,
-        replicate_parallel,
+        effective_workers,
         resolve_jobs,
     )
-
-    spec = dataclasses.replace(
-        REPLICATION_SPECS[args.experiment.upper()], scale=args.scale
+    from repro.runtime import (
+        CampaignInterrupted,
+        JournalError,
+        SupervisorPolicy,
+        peek_header,
+        rebuild_spec,
+        run_campaign,
     )
-    seeds = [args.seed_base + i for i in range(args.seeds)]
+
     try:
+        policy = SupervisorPolicy(
+            timeout_s=args.timeout, max_retries=args.max_retries
+        )
         jobs = resolve_jobs(args.jobs)
     except ValueError as error:
         print(f"repro replicate: error: {error}", file=sys.stderr)
         return 2
-    aggregates = replicate_parallel(spec, seeds, jobs=jobs)
-    print(f"{args.experiment.upper()} x {len(seeds)} seeds "
-          f"({jobs} worker{'s' if jobs != 1 else ''}):")
-    for aggregate in aggregates.values():
-        print(f"  {aggregate.describe()}")
+
+    if args.resume:
+        try:
+            header = peek_header(args.resume)
+            spec = rebuild_spec(header)
+        except JournalError as error:
+            print(f"repro replicate: error: {error}", file=sys.stderr)
+            return 2
+        seeds = list(header.seeds)
+        experiment = header.experiment or type(spec).__name__
+        journal_path, resume = args.resume, True
+    else:
+        if args.experiment is None:
+            print("repro replicate: error: an experiment is required "
+                  "unless --resume is given", file=sys.stderr)
+            return 2
+        spec = dataclasses.replace(
+            REPLICATION_SPECS[args.experiment.upper()], scale=args.scale
+        )
+        seeds = [args.seed_base + i for i in range(args.seeds)]
+        experiment = args.experiment.upper()
+        journal_path, resume = args.journal, False
+
+    workers = effective_workers(jobs, len(seeds))
+    try:
+        result = run_campaign(
+            spec, seeds, jobs=jobs, policy=policy,
+            journal_path=journal_path, resume=resume,
+            experiment=experiment,
+        )
+    except JournalError as error:
+        print(f"repro replicate: error: {error}", file=sys.stderr)
+        return 2
+    except CampaignInterrupted as interrupt:
+        partial = interrupt.partial
+        print()
+        _print_campaign(experiment, partial, workers)
+        missing = partial.incomplete_seeds
+        print(f"interrupted with {len(missing)} seed"
+              f"{'s' if len(missing) != 1 else ''} incomplete: "
+              f"{', '.join(str(s) for s in missing[:8])}"
+              f"{'...' if len(missing) > 8 else ''}", file=sys.stderr)
+        if interrupt.journal_path is not None:
+            print(f"resume with: python -m repro replicate "
+                  f"--resume {interrupt.journal_path}", file=sys.stderr)
+        else:
+            print("re-run with --journal PATH to make campaigns "
+                  "resumable", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except KeyboardInterrupt:
+        print("\nrepro replicate: interrupted before any seed completed",
+              file=sys.stderr)
+        return EXIT_INTERRUPTED
+
+    _print_campaign(experiment, result, workers)
+    if not result.complete:
+        for failure in result.failures.values():
+            print(f"seed {failure.seed} failed after {failure.attempts} "
+                  f"attempts: {failure.reason}", file=sys.stderr)
+        if journal_path is not None:
+            print(f"retry the failed seeds with: python -m repro "
+                  f"replicate --resume {journal_path}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -287,6 +383,11 @@ def _cmd_faults(args) -> int:
     )
     try:
         report = run_matrix(spec)
+    except KeyboardInterrupt:
+        print("\nrepro faults: interrupted; the fault matrix has no "
+              "journal, re-run to completion (lower --scale for a "
+              "faster matrix)", file=sys.stderr)
+        return EXIT_INTERRUPTED
     except Exception as error:  # surface capability errors readably
         print(f"cannot run this combination: {error}", file=sys.stderr)
         return 2
@@ -294,7 +395,14 @@ def _cmd_faults(args) -> int:
     if args.smoke:
         # CI determinism gate: the same spec must serialize to the same
         # bytes on a second run, or the matrix cannot be asserted on.
-        if report_to_json(run_matrix(spec)) != report_to_json(report):
+        try:
+            rerun = report_to_json(run_matrix(spec))
+        except KeyboardInterrupt:
+            print("\nrepro faults: interrupted during the determinism "
+                  "re-run; first matrix above is complete",
+                  file=sys.stderr)
+            return EXIT_INTERRUPTED
+        if rerun != report_to_json(report):
             print("repro faults: report is not deterministic for this "
                   "spec", file=sys.stderr)
             return 1
@@ -383,11 +491,13 @@ def build_parser() -> argparse.ArgumentParser:
     replicate_parser = sub.add_parser(
         "replicate",
         help="run seeded replications of an experiment scenario, "
-             "optionally across processes",
+             "optionally across processes, with checkpoint/resume",
     )
     replicate_parser.add_argument(
-        "experiment", choices=("E4", "E10", "E13", "e4", "e10", "e13"),
-        help="representative scenario to replicate",
+        "experiment", nargs="?", default=None,
+        choices=("E4", "E10", "E13", "e4", "e10", "e13"),
+        help="representative scenario to replicate "
+             "(omit when resuming: the journal knows)",
     )
     replicate_parser.add_argument(
         "--seeds", type=int, default=8, help="number of replications",
@@ -401,6 +511,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (default: REPRO_JOBS env or CPU count)",
     )
     replicate_parser.add_argument("--scale", type=int, default=64)
+    replicate_parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="journal per-seed results here (crash-safe; enables "
+             "--resume after an interruption)",
+    )
+    replicate_parser.add_argument(
+        "--resume", default=None, metavar="JOURNAL",
+        help="resume the campaign recorded in this journal, skipping "
+             "completed seeds; aggregates are bit-identical to an "
+             "uninterrupted run",
+    )
+    replicate_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-seed wall-clock budget; overdue workers are "
+             "recycled and the seed retried (default: none)",
+    )
+    replicate_parser.add_argument(
+        "--max-retries", type=int, default=2,
+        help="retries per seed after its first attempt (default: 2)",
+    )
 
     trace_parser = sub.add_parser(
         "trace",

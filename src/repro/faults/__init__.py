@@ -17,10 +17,20 @@ package stresses exactly those promises:
 * :mod:`repro.faults.diff`       — the differential harness behind
   ``python -m repro faults``: same workload with/without each fault,
   classifying defenses as degrading gracefully vs violating their
-  guarantee silently.
+  guarantee silently;
+* :mod:`repro.faults.crash`      — :class:`CrashingSpec`, harness-level
+  fault injection that kills/hangs replication *workers* on chosen
+  seeds to exercise every :mod:`repro.runtime` recovery branch.
 """
 
 from repro.faults.config import FaultConfig
+from repro.faults.crash import (
+    CRASH_EXIT_STATUS,
+    CRASH_MODES,
+    CrashingSpec,
+    InjectedWorkerError,
+    crash_markers,
+)
 from repro.faults.invariants import (
     InvariantSuite,
     InvariantViolationError,
@@ -30,8 +40,13 @@ from repro.faults.plane import FaultPlane
 from repro.faults.scenarios import default_matrix, storm_interval
 
 __all__ = [
+    "CRASH_EXIT_STATUS",
+    "CRASH_MODES",
+    "CrashingSpec",
     "FaultConfig",
     "FaultPlane",
+    "InjectedWorkerError",
+    "crash_markers",
     "InvariantSuite",
     "InvariantViolationError",
     "Violation",

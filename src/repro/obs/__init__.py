@@ -20,17 +20,20 @@ from repro.obs.events import (
     ACT,
     ACT_INTERRUPT,
     BIT_FLIP,
+    CAMPAIGN_RESUME,
     EVENT_KINDS,
     FAULT_INJECTED,
     HANDLER_ERROR,
     INVARIANT_VIOLATION,
     NEIGHBOR_REFRESH,
+    POOL_RESPAWN,
     ROW_CONFLICT,
     SCHED_BATCH,
     TARGETED_REFRESH,
     THROTTLE_STALL,
     TraceEvent,
     UNCORE_MOVE,
+    WORKER_RETRY,
 )
 from repro.obs.inspect import TraceSummary, render_summary, summarize_events
 from repro.obs.profiler import PhaseProfiler
@@ -50,6 +53,7 @@ __all__ = [
     "ACT",
     "ACT_INTERRUPT",
     "BIT_FLIP",
+    "CAMPAIGN_RESUME",
     "CountingSink",
     "EVENT_KINDS",
     "FAULT_INJECTED",
@@ -60,6 +64,7 @@ __all__ = [
     "NEIGHBOR_REFRESH",
     "NullSink",
     "Observability",
+    "POOL_RESPAWN",
     "PhaseProfiler",
     "ROW_CONFLICT",
     "RingBufferSink",
@@ -72,6 +77,7 @@ __all__ = [
     "TraceEvent",
     "TraceSummary",
     "UNCORE_MOVE",
+    "WORKER_RETRY",
     "observe",
     "read_jsonl",
     "render_summary",

@@ -24,7 +24,14 @@ kind                      emitted when
 ``fault_injected``        the fault plane perturbed a hardware behaviour
 ``invariant_violation``   an invariant checker caught an inconsistency
 ``handler_error``         a host-OS interrupt handler raised an exception
+``worker_retry``          the campaign supervisor requeued a failed seed
+``pool_respawn``          the supervisor replaced a broken worker pool
+``campaign_resume``       a campaign continued from an on-disk journal
 ========================  ====================================================
+
+The last three are *harness* events: they come from the
+:mod:`repro.runtime` supervisor, not the simulated platform, so their
+``time_ns`` is wall-clock nanoseconds rather than simulated time.
 """
 
 from __future__ import annotations
@@ -44,6 +51,9 @@ SCHED_BATCH = "sched_batch"
 FAULT_INJECTED = "fault_injected"
 INVARIANT_VIOLATION = "invariant_violation"
 HANDLER_ERROR = "handler_error"
+WORKER_RETRY = "worker_retry"
+POOL_RESPAWN = "pool_respawn"
+CAMPAIGN_RESUME = "campaign_resume"
 
 #: every kind the simulator emits, in documentation order
 EVENT_KINDS = (
@@ -59,6 +69,9 @@ EVENT_KINDS = (
     FAULT_INJECTED,
     INVARIANT_VIOLATION,
     HANDLER_ERROR,
+    WORKER_RETRY,
+    POOL_RESPAWN,
+    CAMPAIGN_RESUME,
 )
 
 

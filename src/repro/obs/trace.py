@@ -19,6 +19,7 @@ Three sinks cover the use cases:
 from __future__ import annotations
 
 import json
+import os
 from collections import deque
 from pathlib import Path
 from typing import Deque, Dict, Iterable, List, Optional, Union
@@ -74,6 +75,12 @@ class JsonlSink:
     byte-identical trace file.  The file is opened lazily on the first
     event and must be :meth:`close`\\ d (the ``observe`` context manager
     does this) before another process reads it.
+
+    The sink is crash-consistent: the stream is line-buffered and every
+    event goes down in a single ``write`` call, so a killed process
+    leaves at most one torn *final* line — which :func:`read_jsonl`
+    tolerates — never an interleaved or mid-file corruption.  ``close``
+    flushes and fsyncs so a clean shutdown is durable on disk.
     """
 
     def __init__(self, path: Union[str, Path]) -> None:
@@ -85,14 +92,20 @@ class JsonlSink:
     def write(self, event: TraceEvent) -> None:
         if self._stream is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._stream = self.path.open("w")
-        self._stream.write(json.dumps(event.as_json_dict(), sort_keys=True))
-        self._stream.write("\n")
+            self._stream = self.path.open("w", buffering=1)
+        self._stream.write(
+            json.dumps(event.as_json_dict(), sort_keys=True) + "\n"
+        )
         self.events_written += 1
         self._counts[event.kind] = self._counts.get(event.kind, 0) + 1
 
     def close(self) -> None:
         if self._stream is not None:
+            try:
+                self._stream.flush()
+                os.fsync(self._stream.fileno())
+            except (OSError, ValueError):  # pragma: no cover - best effort
+                pass
             self._stream.close()
             self._stream = None
 
@@ -162,27 +175,55 @@ class TraceBus:
 
 
 def read_jsonl(path: Union[str, Path]) -> List[TraceEvent]:
-    """Load a JSONL trace back into events (inverse of :class:`JsonlSink`)."""
+    """Load a JSONL trace back into events (inverse of :class:`JsonlSink`).
+
+    A torn *final* line — the signature a SIGKILL leaves on a
+    line-buffered writer — is silently dropped so ``repro inspect``
+    still works on the trace of a crashed run.  Corruption anywhere
+    else in the file, or a file with no valid line at all, is still an
+    error.
+    """
     events: List[TraceEvent] = []
+    torn: Optional[str] = None
     with Path(path).open() as stream:
         for line_number, line in enumerate(stream, start=1):
             line = line.strip()
             if not line:
                 continue
+            if torn is not None:
+                raise ValueError(torn)
             try:
                 payload = json.loads(line)
             except json.JSONDecodeError as error:
-                raise ValueError(
-                    f"{path}:{line_number}: not valid JSON: {error}"
-                ) from None
+                # Tolerated only as the final line of a valid prefix.
+                torn = f"{path}:{line_number}: not valid JSON: {error}"
+                continue
             events.append(TraceEvent.from_json_dict(payload))
+    if torn is not None and not events:
+        raise ValueError(torn)
     return events
 
 
 def iter_jsonl(path: Union[str, Path]) -> Iterable[TraceEvent]:
-    """Streaming variant of :func:`read_jsonl` for very large traces."""
+    """Streaming variant of :func:`read_jsonl` for very large traces.
+
+    Applies the same torn-final-line tolerance as :func:`read_jsonl`.
+    """
+    torn: Optional[str] = None
+    any_valid = False
     with Path(path).open() as stream:
-        for line in stream:
+        for line_number, line in enumerate(stream, start=1):
             line = line.strip()
-            if line:
-                yield TraceEvent.from_json_dict(json.loads(line))
+            if not line:
+                continue
+            if torn is not None:
+                raise ValueError(torn)
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                torn = f"{path}:{line_number}: not valid JSON: {error}"
+                continue
+            any_valid = True
+            yield TraceEvent.from_json_dict(payload)
+    if torn is not None and not any_valid:
+        raise ValueError(torn)

@@ -1,0 +1,65 @@
+"""Resilient campaign runtime: checkpoint, supervise, resume.
+
+The simulator's evidence base is long seeded replication campaigns, and
+:mod:`repro.analysis.parallel` runs them as a single-shot process-pool
+fan-out — one worker crash, OOM kill, or Ctrl-C discards every
+completed seed.  This package hardens the harness itself:
+
+* :mod:`repro.runtime.journal`    — crash-safe per-seed result journal
+  (fsync'd JSONL, schema-versioned header keyed on a campaign
+  fingerprint of spec + seeds);
+* :mod:`repro.runtime.supervisor` — supervised pool map with per-task
+  timeouts, bounded deterministic-backoff retry, ``BrokenProcessPool``
+  respawn, and graceful degradation to a serial path;
+* :mod:`repro.runtime.campaign`   — ties both together behind
+  :func:`run_campaign`, whose ``resume=True`` skips journaled seeds and
+  merges to aggregates bit-identical to an uninterrupted run.
+
+``python -m repro replicate --journal/--resume`` is the CLI surface;
+``docs/RESILIENCE.md`` documents the journal format and the recovery
+ladder.
+"""
+
+from repro.runtime.campaign import (
+    CampaignIncomplete,
+    CampaignInterrupted,
+    CampaignResult,
+    rebuild_spec,
+    run_campaign,
+)
+from repro.runtime.journal import (
+    SCHEMA_VERSION,
+    CampaignHeader,
+    CampaignJournal,
+    JournalError,
+    campaign_fingerprint,
+    peek_header,
+    spec_signature,
+)
+from repro.runtime.supervisor import (
+    SeedFailure,
+    SupervisedOutcome,
+    Supervisor,
+    SupervisorPolicy,
+    backoff_delay,
+)
+
+__all__ = [
+    "CampaignHeader",
+    "CampaignIncomplete",
+    "CampaignInterrupted",
+    "CampaignJournal",
+    "CampaignResult",
+    "JournalError",
+    "SCHEMA_VERSION",
+    "SeedFailure",
+    "SupervisedOutcome",
+    "Supervisor",
+    "SupervisorPolicy",
+    "backoff_delay",
+    "campaign_fingerprint",
+    "peek_header",
+    "rebuild_spec",
+    "run_campaign",
+    "spec_signature",
+]

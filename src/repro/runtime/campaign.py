@@ -1,0 +1,251 @@
+"""Campaigns: journaled, supervised, resumable replication runs.
+
+A *campaign* is one scenario spec replicated across a seed list.  This
+module ties the :class:`~repro.runtime.journal.CampaignJournal` (what is
+already done) to the :class:`~repro.runtime.supervisor.Supervisor` (how
+the rest gets done):
+
+* a fresh campaign journals every per-seed result the moment a worker
+  delivers it;
+* ``resume=True`` reloads the journal, verifies its fingerprint against
+  the requested spec + seeds, skips completed seeds, and merges old and
+  new results **in seed order** — so the aggregates are bit-identical
+  to an uninterrupted run;
+* ``KeyboardInterrupt`` salvages instead of discarding: the exception
+  is re-raised as :class:`CampaignInterrupted` carrying the partial
+  result, and the journal (all flushed, fsync'd lines) is the resume
+  point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.analysis.stats import (
+    Aggregate,
+    Number,
+    ScenarioFn,
+    merge_replications,
+)
+from repro.obs.events import CAMPAIGN_RESUME
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import TraceBus
+from repro.runtime.journal import (
+    CampaignHeader,
+    CampaignJournal,
+    JournalError,
+    campaign_fingerprint,
+)
+from repro.runtime.supervisor import (
+    SeedFailure,
+    SupervisedOutcome,
+    Supervisor,
+    SupervisorPolicy,
+)
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one (possibly resumed) campaign."""
+
+    seeds: List[int]
+    completed: Dict[int, Mapping[str, Number]]
+    failures: Dict[int, SeedFailure] = field(default_factory=dict)
+    #: seeds skipped because the journal already had their results
+    resumed: int = 0
+    retries: int = 0
+    respawns: int = 0
+    timeouts: int = 0
+    degraded: bool = False
+    journal_path: Optional[Path] = None
+
+    @property
+    def complete(self) -> bool:
+        return all(seed in self.completed for seed in self.seeds)
+
+    @property
+    def incomplete_seeds(self) -> List[int]:
+        return [s for s in self.seeds if s not in self.completed]
+
+    @property
+    def aggregates(self) -> Optional[Dict[str, Aggregate]]:
+        """Merged aggregates over the completed seeds, in seed order.
+
+        For a complete campaign this is bit-identical to the serial
+        ``replicate(spec, seeds)`` fold; for a partial one it covers
+        what finished (and is labelled as such by the CLI).
+        """
+        runs = [self.completed[s] for s in self.seeds if s in self.completed]
+        if not runs:
+            return None
+        return merge_replications(runs)
+
+    def raise_if_incomplete(self) -> None:
+        if not self.complete:
+            raise CampaignIncomplete(self)
+
+
+class CampaignIncomplete(RuntimeError):
+    """Some seeds permanently failed after exhausting their retries."""
+
+    def __init__(self, result: CampaignResult) -> None:
+        self.result = result
+        reasons = "; ".join(
+            f"seed {f.seed}: {f.reason} ({f.attempts} attempts)"
+            for f in result.failures.values()
+        ) or f"seeds {result.incomplete_seeds} never completed"
+        super().__init__(f"campaign incomplete: {reasons}")
+
+
+class CampaignInterrupted(KeyboardInterrupt):
+    """Ctrl-C (or SIGINT) landed mid-campaign; partial results salvaged.
+
+    Subclasses :class:`KeyboardInterrupt` so callers that only handle
+    the stock interrupt still unwind correctly.
+    """
+
+    def __init__(
+        self, partial: CampaignResult, journal_path: Optional[Path]
+    ) -> None:
+        self.partial = partial
+        self.journal_path = journal_path
+        super().__init__("campaign interrupted")
+
+
+def run_campaign(
+    spec: ScenarioFn,
+    seeds: Sequence[int],
+    jobs: Optional[int] = None,
+    policy: Optional[SupervisorPolicy] = None,
+    journal_path: Optional[Union[str, Path]] = None,
+    resume: bool = False,
+    experiment: str = "",
+    trace: Optional[TraceBus] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> CampaignResult:
+    """Run (or resume) one campaign under supervision.
+
+    ``resume=True`` requires ``journal_path``; the journal's fingerprint
+    must match ``(spec, seeds, experiment)`` or :class:`JournalError` is
+    raised rather than silently mixing campaigns.
+    """
+    seeds = [int(seed) for seed in seeds]
+    if not seeds:
+        raise ValueError("need at least one seed")
+    fingerprint = campaign_fingerprint(spec, seeds, experiment)
+    supervisor = Supervisor(
+        policy=policy, trace=trace, metrics=metrics, fingerprint=fingerprint
+    )
+
+    journal: Optional[CampaignJournal] = None
+    completed: Dict[int, Mapping[str, Number]] = {}
+    resumed = 0
+    if journal_path is not None:
+        journal_path = Path(journal_path)
+        if resume:
+            journal = CampaignJournal.resume(journal_path)
+            journal.verify(fingerprint)
+            completed = dict(journal.completed)
+            resumed = len(completed)
+            supervisor._count("seeds_resumed", resumed)
+            supervisor._emit(
+                CAMPAIGN_RESUME,
+                fingerprint=fingerprint,
+                completed=resumed,
+                remaining=len(seeds) - resumed,
+            )
+        else:
+            journal = CampaignJournal.create(
+                journal_path, spec, seeds, experiment
+            )
+    elif resume:
+        raise JournalError("resume requested without a journal path")
+
+    def on_result(seed: int, result: Mapping[str, Number]) -> None:
+        completed[seed] = result
+        if journal is not None:
+            journal.record(seed, result)
+
+    remaining = [s for s in seeds if s not in completed]
+    outcome = SupervisedOutcome()
+    try:
+        if remaining:
+            outcome = supervisor.map(
+                spec, remaining, jobs=jobs, on_result=on_result
+            )
+    except KeyboardInterrupt:
+        partial = _build_result(
+            seeds, completed, outcome, resumed,
+            journal_path if journal is not None else None,
+        )
+        if journal is not None:
+            journal.close()
+        raise CampaignInterrupted(
+            partial, journal_path if journal is not None else None
+        ) from None
+    if journal is not None:
+        journal.close()
+    return _build_result(
+        seeds, completed, outcome, resumed,
+        journal_path if journal is not None else None,
+    )
+
+
+def _build_result(
+    seeds: List[int],
+    completed: Dict[int, Mapping[str, Number]],
+    outcome: SupervisedOutcome,
+    resumed: int,
+    journal_path: Optional[Path],
+) -> CampaignResult:
+    return CampaignResult(
+        seeds=list(seeds),
+        completed=dict(completed),
+        failures=dict(outcome.failures),
+        resumed=resumed,
+        retries=outcome.retries,
+        respawns=outcome.respawns,
+        timeouts=outcome.timeouts,
+        degraded=outcome.degraded,
+        journal_path=journal_path,
+    )
+
+
+def rebuild_spec(header: CampaignHeader) -> ScenarioFn:
+    """Reconstruct the scenario spec a journal header describes.
+
+    Only the flat, picklable replication specs the CLI exposes can be
+    rebuilt; a journal written for an arbitrary callable carries a
+    ``repr`` fingerprint but not enough to reconstruct it.
+    """
+    from repro.analysis.parallel import (
+        AttackReplicationSpec,
+        BenignReplicationSpec,
+        EvasionReplicationSpec,
+    )
+
+    known = {
+        klass.__name__: klass
+        for klass in (
+            AttackReplicationSpec,
+            BenignReplicationSpec,
+            EvasionReplicationSpec,
+        )
+    }
+    signature = header.spec
+    klass = known.get(str(signature.get("type")))
+    if klass is None or "params" not in signature:
+        raise JournalError(
+            f"cannot rebuild spec of type {signature.get('type')!r}; "
+            f"resume it through repro.runtime.run_campaign with the "
+            f"original spec object"
+        )
+    try:
+        return klass(**signature["params"])  # type: ignore[arg-type]
+    except TypeError as error:
+        raise JournalError(
+            f"journal spec params do not match "
+            f"{klass.__name__}: {error}"
+        ) from None

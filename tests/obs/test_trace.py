@@ -14,6 +14,7 @@ from repro.obs import (
     TraceEvent,
     read_jsonl,
 )
+from repro.obs.trace import iter_jsonl
 
 
 def test_bus_disabled_by_default():
@@ -101,8 +102,48 @@ def test_jsonl_file_is_byte_deterministic(tmp_path):
     assert rebuilt == path.read_text()
 
 
-def test_read_jsonl_reports_bad_line(tmp_path):
+def test_read_jsonl_reports_bad_mid_file_line(tmp_path):
     path = tmp_path / "bad.jsonl"
-    path.write_text('{"kind": "act", "t": 1}\nnot json\n')
+    path.write_text(
+        '{"kind": "act", "t": 1}\nnot json\n{"kind": "act", "t": 2}\n'
+    )
     with pytest.raises(ValueError, match=":2:"):
         read_jsonl(path)
+    with pytest.raises(ValueError, match=":2:"):
+        list(iter_jsonl(path))
+
+
+def test_read_jsonl_tolerates_torn_final_line(tmp_path):
+    # A SIGKILL mid-write leaves a truncated last line; the reader must
+    # still load everything before it so `repro inspect` works on the
+    # trace of a crashed run.
+    path = tmp_path / "torn.jsonl"
+    path.write_text(
+        '{"kind": "act", "t": 1}\n{"kind": "act", "t": 2}\n{"kind": "ac'
+    )
+    events = read_jsonl(path)
+    assert [e.time_ns for e in events] == [1, 2]
+    assert [e.time_ns for e in iter_jsonl(path)] == [1, 2]
+
+
+def test_read_jsonl_rejects_file_with_no_valid_line(tmp_path):
+    # Torn-line tolerance requires a valid prefix; a file that is *all*
+    # garbage is a corrupt file, not a crashed trace.
+    path = tmp_path / "garbage.jsonl"
+    path.write_text("this is not json\n")
+    with pytest.raises(ValueError, match=":1:"):
+        read_jsonl(path)
+    with pytest.raises(ValueError, match=":1:"):
+        list(iter_jsonl(path))
+
+
+def test_jsonl_sink_is_line_buffered(tmp_path):
+    # Crash consistency: every event must be on disk as a complete line
+    # *before* close, so a killed process loses at most the line being
+    # written, never previously written ones.
+    path = tmp_path / "live.jsonl"
+    sink = JsonlSink(path)
+    sink.write(TraceEvent(kind=ACT, time_ns=1, data={}))
+    sink.write(TraceEvent(kind=ACT, time_ns=2, data={}))
+    assert len(path.read_text().splitlines()) == 2  # before close
+    sink.close()
