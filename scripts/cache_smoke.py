@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""CI smoke: the result cache must hit, and hits must change nothing.
+
+Drill:
+
+1. run a 4-seed ``replicate`` with a fresh ``--cache-dir`` (all misses);
+2. run the identical command again — the second run must report every
+   seed served from the cache and print byte-identical aggregate lines;
+3. ``repro cache stats`` must show the expected entry count, and
+   ``repro cache clear`` must empty it.
+
+Total budget is a few seconds: E13 at a small scale, serial.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python scripts/cache_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def aggregate_lines(output: str) -> list:
+    return [
+        line for line in output.splitlines()
+        if line.startswith("  ") and "95% CI" in line
+    ]
+
+
+def run_cli(args) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=600,
+    )
+
+
+def fail(message: str, *outputs: subprocess.CompletedProcess) -> int:
+    print(f"FAIL: {message}", file=sys.stderr)
+    for process in outputs:
+        print(process.stdout, file=sys.stderr)
+        print(process.stderr, file=sys.stderr)
+    return 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, default=4)
+    parser.add_argument("--scale", type=int, default=8)
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="repro-cache-smoke-") as tmp:
+        cache_dir = str(Path(tmp) / "cache")
+        replicate = [
+            "replicate", "E13",
+            "--seeds", str(args.seeds), "--scale", str(args.scale),
+            "--jobs", "1", "--cache-dir", cache_dir,
+        ]
+
+        cold = run_cli(replicate)
+        if cold.returncode != 0:
+            return fail("cold replicate failed", cold)
+        if "[cached:" in cold.stdout:
+            return fail("cold run claims cache hits", cold)
+
+        warm = run_cli(replicate)
+        if warm.returncode != 0:
+            return fail("warm replicate failed", warm)
+        expected = f"[cached: {args.seeds} seeds from result cache]"
+        if expected not in warm.stdout:
+            return fail(f"warm run did not report {expected!r}", warm)
+        if aggregate_lines(cold.stdout) != aggregate_lines(warm.stdout):
+            return fail("cached aggregates diverge from cold run",
+                        cold, warm)
+
+        stats = run_cli(["cache", "stats", "--cache-dir", cache_dir])
+        if stats.returncode != 0 or f"entries: {args.seeds}" not in stats.stdout:
+            return fail(f"expected {args.seeds} cache entries", stats)
+
+        clear = run_cli(["cache", "clear", "--cache-dir", cache_dir])
+        if clear.returncode != 0 or f"cleared {args.seeds}" not in clear.stdout:
+            return fail("cache clear did not remove the entries", clear)
+
+    print(f"OK: {args.seeds} seeds cached, warm aggregates identical, "
+          f"cache cleared")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -82,7 +82,15 @@ def _measure(
     Wall time goes through a :class:`PhaseProfiler` (one phase per
     shape) — the same clockwork the in-simulator hooks use — instead of
     ad-hoc ``perf_counter()`` pairs.
+
+    Garbage from previously measured shapes is collected before the
+    timer starts: without this, a cyclic-GC pass triggered mid-shape
+    scans the *prior* shape's debris and bills the wall clock here,
+    skewing later shapes by 20-30% depending on run order.
     """
+    import gc
+
+    gc.collect()
     stats = system.controller.stats
     requests_before = stats.requests
     acts_before = stats.acts
@@ -101,28 +109,50 @@ def _measure(
 
 
 def bench_streaming(
-    accesses: int = 60_000, profile: bool = False
+    accesses: int = 60_000,
+    profile: bool = False,
+    warmup: Optional[int] = None,
 ) -> ShapeResult:
-    """One tenant streaming reads through core + cache into the MC."""
+    """One tenant streaming reads through the columnar request pipeline
+    (struct-of-arrays batches into ``submit_columnar`` — the memory-bound
+    view of the same traffic the object path carries).
+
+    ``warmup`` (default: an eighth of the measured size) first runs the
+    same shape on a throwaway system, unmeasured: a cold first pass runs
+    20-60% slow (adaptive-interpreter and allocator warm-up), which
+    would otherwise dominate shape-to-shape comparisons.
+    """
     from repro.sim import build_system, legacy_platform
     from repro.workloads import WorkloadRunner
 
+    if warmup is None:
+        warmup = accesses // 8
+    if warmup:
+        bench_streaming(accesses=warmup, profile=False, warmup=0)
     system = build_system(legacy_platform(scale=8))
     profiler = system.enable_profiling() if profile else None
     tenant = system.create_domain("tenant", pages=128)
     runner = WorkloadRunner(system, tenant, name="sequential", mlp=8, seed=5)
     return _measure(
-        "streaming", system, lambda: runner.run(accesses), profiler
+        "streaming", system, lambda: runner.run_columnar(accesses), profiler
     )
 
 
-def bench_attack(rounds: int = 12_000, profile: bool = False) -> ShapeResult:
+def bench_attack(
+    rounds: int = 12_000,
+    profile: bool = False,
+    warmup: Optional[int] = None,
+) -> ShapeResult:
     """A double-sided hammer: the flush+load ACT path plus the
-    disturbance oracle."""
+    disturbance oracle.  ``warmup`` as in :func:`bench_streaming`."""
     from repro.analysis.scenarios import build_scenario
     from repro.attacks import Attacker, AttackPlanner
     from repro.sim import legacy_platform
 
+    if warmup is None:
+        warmup = rounds // 8
+    if warmup:
+        bench_attack(rounds=warmup, profile=False, warmup=0)
     scenario = build_scenario(
         legacy_platform(scale=8), interleaved_allocation=True
     )
@@ -137,12 +167,19 @@ def bench_attack(rounds: int = 12_000, profile: bool = False) -> ShapeResult:
 
 
 def bench_multi_tenant(
-    accesses: int = 40_000, profile: bool = False
+    accesses: int = 40_000,
+    profile: bool = False,
+    warmup: Optional[int] = None,
 ) -> ShapeResult:
-    """Four tenants feeding one FR-FCFS queue (the batch-submit path)."""
+    """Four tenants feeding one FR-FCFS queue (the batch-submit path).
+    ``warmup`` as in :func:`bench_streaming`."""
     from repro.sim import build_system, legacy_platform
     from repro.workloads import SharedQueueRunner, WorkloadRunner
 
+    if warmup is None:
+        warmup = accesses // 8
+    if warmup:
+        bench_multi_tenant(accesses=warmup, profile=False, warmup=0)
     system = build_system(legacy_platform(scale=8))
     profiler = system.enable_profiling() if profile else None
     sources = []
@@ -165,13 +202,21 @@ def bench_replication(
     seeds: Sequence[int] = REPLICATION_SEEDS,
     jobs: Optional[int] = None,
     accesses: int = 4_000,
+    cache=None,
 ) -> Dict[str, object]:
     """Time an E13-representative replication set serially, through the
     plain process pool, and through the :mod:`repro.runtime` supervisor
     (no faults injected), and verify all three produce identical
     results.  ``supervised_overhead`` is the fault-free cost of
     supervision relative to the plain pool — the number the resilience
-    work must keep inside the bench guard."""
+    work must keep inside the bench guard.
+
+    ``cache`` (a :class:`~repro.analysis.cache.ResultCache`) is
+    **opt-in**: a warm cache makes all three legs serve hits instead of
+    computing, so the timings then measure cache lookups, not the
+    runner — which is exactly what the warm-vs-cold comparison wants
+    and exactly what a regression guard must never do by default.
+    """
     from repro.analysis.parallel import (
         BenignReplicationSpec,
         resolve_jobs,
@@ -184,17 +229,24 @@ def bench_replication(
     timer = PhaseProfiler()
 
     with timer.measure("serial"):
-        serial = run_replications(spec, seeds, jobs=1)
+        serial = run_replications(spec, seeds, jobs=1, cache=cache)
     with timer.measure("parallel"):
-        parallel = run_replications(spec, seeds, jobs=workers)
+        parallel = run_replications(spec, seeds, jobs=workers, cache=cache)
     with timer.measure("supervised"):
-        outcome = Supervisor().map(spec, seeds, jobs=workers)
-    supervised = [outcome.results.get(seed) for seed in seeds]
+        if cache is not None:
+            def run_supervised(missing):
+                outcome = Supervisor().map(spec, missing, jobs=workers)
+                return [outcome.results[seed] for seed in missing]
+
+            supervised = cache.fetch_or_run(spec, list(seeds), run_supervised)
+        else:
+            outcome = Supervisor().map(spec, seeds, jobs=workers)
+            supervised = [outcome.results.get(seed) for seed in seeds]
 
     serial_wall = timer.seconds("serial")
     parallel_wall = timer.seconds("parallel")
     supervised_wall = timer.seconds("supervised")
-    return {
+    result: Dict[str, object] = {
         "seeds": len(seeds),
         "jobs": workers,
         "serial_wall_s": round(serial_wall, 4),
@@ -206,6 +258,9 @@ def bench_replication(
         if parallel_wall > 0 else 0.0,
         "identical": serial == parallel == supervised,
     }
+    if cache is not None:
+        result["cache"] = cache.counters()
+    return result
 
 
 def run_bench(
@@ -213,6 +268,7 @@ def run_bench(
     jobs: Optional[int] = None,
     label: str = "",
     profile: bool = False,
+    cache=None,
 ) -> Dict[str, object]:
     """Run every section and return one trajectory entry."""
     if quick:
@@ -223,7 +279,7 @@ def run_bench(
         ]
         replication = bench_replication(
             seeds=(101, 102), jobs=jobs if jobs is not None else 2,
-            accesses=500,
+            accesses=500, cache=cache,
         )
     else:
         shapes = [
@@ -231,7 +287,7 @@ def run_bench(
             bench_attack(profile=profile),
             bench_multi_tenant(profile=profile),
         ]
-        replication = bench_replication(jobs=jobs)
+        replication = bench_replication(jobs=jobs, cache=cache)
     return {
         "label": label or ("quick" if quick else "full"),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -331,12 +387,46 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         help="allowed fractional requests/s drop vs. the baseline "
              "(default: 0.05)",
     )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="OPT-IN: serve the replication section from this result "
+             "cache (a warm cache times lookups, not the runner — "
+             "never use it when recording regression baselines)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore --cache-dir (bench never caches by default)",
+    )
 
 
 def run_from_args(args: argparse.Namespace) -> int:
+    # Validate the baseline label before the (minutes-long) run: an
+    # unknown label must refuse upfront, not after the work is done.
+    # The baseline is also pinned here so a run that records the same
+    # label it compares against never compares the entry to itself.
+    baseline = None
+    baseline_label = getattr(args, "baseline_label", None)
+    if baseline_label:
+        output = Path(args.output)
+        trajectory = (
+            json.loads(output.read_text()) if output.exists() else []
+        )
+        baseline = find_baseline(trajectory, baseline_label)
+        if baseline is None:
+            raise ValueError(
+                f"no trajectory entry labelled {baseline_label!r} in "
+                f"{output}; refusing to run"
+            )
+    cache = None
+    if getattr(args, "cache_dir", None) and not getattr(
+        args, "no_cache", False
+    ):
+        from repro.analysis.cache import ResultCache
+
+        cache = ResultCache(args.cache_dir)
     entry = run_bench(
         quick=args.quick, jobs=args.jobs, label=args.label,
-        profile=getattr(args, "profile", False),
+        profile=getattr(args, "profile", False), cache=cache,
     )
     print(json.dumps(entry, indent=2))
     if not args.quick:
@@ -348,32 +438,19 @@ def run_from_args(args: argparse.Namespace) -> int:
         print("ERROR: parallel replication diverged from serial",
               file=sys.stderr)
         status = 1
-    baseline_label = getattr(args, "baseline_label", None)
-    if baseline_label:
-        output = Path(args.output)
-        trajectory = (
-            json.loads(output.read_text()) if output.exists() else []
+    if baseline is not None:
+        failures = check_against_baseline(
+            entry, baseline, tolerance=args.tolerance
         )
-        baseline = find_baseline(trajectory, baseline_label)
-        if baseline is None:
-            print(
-                f"ERROR: no trajectory entry labelled {baseline_label!r} "
-                f"in {output}", file=sys.stderr,
-            )
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
             status = 1
         else:
-            failures = check_against_baseline(
-                entry, baseline, tolerance=args.tolerance
+            print(
+                f"bench within {args.tolerance:.0%} of baseline "
+                f"{baseline_label!r}", file=sys.stderr,
             )
-            for failure in failures:
-                print(f"REGRESSION: {failure}", file=sys.stderr)
-            if failures:
-                status = 1
-            else:
-                print(
-                    f"bench within {args.tolerance:.0%} of baseline "
-                    f"{baseline_label!r}", file=sys.stderr,
-                )
     return status
 
 
@@ -382,4 +459,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         description="benchmark the simulator's core hot paths",
     )
     add_bench_arguments(parser)
-    return run_from_args(parser.parse_args(argv))
+    try:
+        return run_from_args(parser.parse_args(argv))
+    except ValueError as error:
+        print(f"bench: error: {error}", file=sys.stderr)
+        return 2

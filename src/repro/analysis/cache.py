@@ -1,0 +1,304 @@
+"""Content-addressed on-disk cache of per-seed replication results.
+
+Every replication in this harness is a pure function of its spec and
+seed (that is what makes parallel fan-out and journaled resume
+bit-identical), which makes results *content-addressable*: the cache key
+is a digest of the spec signature, the seed, and a cache schema version,
+so any change to the scenario parameters — or to the simulation
+semantics, via a schema bump — produces a different key rather than a
+stale hit.
+
+Entries are single JSON files written atomically (temp file +
+``os.replace``), so concurrent pool workers and concurrent campaigns may
+share one cache directory without locks: the worst interleaving rewrites
+an entry with identical bytes.  Values round-trip through JSON exactly
+(ints stay ints, floats via ``repr``), so aggregates folded from cached
+results are bit-identical to aggregates folded from fresh runs — the
+same argument the campaign journal relies on.
+
+What is *not* cacheable:
+
+* non-dataclass callables (their signature falls back to ``repr``,
+  which embeds memory addresses — never a stable key);
+* specs that declare ``cacheable = False`` — wrappers whose behaviour
+  is not a pure function of ``(spec, seed)``, e.g. the crash-injection
+  specs with wall-clock hangs and marker files, or the traced specs
+  whose whole point is the side-effect trace file.
+
+Schema-bump policy: increment :data:`CACHE_SCHEMA_VERSION` whenever a
+change alters what any spec returns for some seed (simulation-semantics
+changes, new result fields, field renames).  Old entries then miss
+instead of serving stale results; ``repro cache prune`` reclaims them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.runtime.journal import spec_signature
+
+#: bump when simulation semantics change (see module docstring)
+CACHE_SCHEMA_VERSION = 1
+
+#: environment variable overriding the default cache directory
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: default cache directory, relative to the working directory
+DEFAULT_CACHE_DIR = Path(".repro-cache")
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``.repro-cache`` in the cwd."""
+    value = os.environ.get(CACHE_DIR_ENV, "").strip()
+    return Path(value) if value else DEFAULT_CACHE_DIR
+
+
+def is_cacheable(spec: object) -> bool:
+    """Whether ``spec``'s results may be served from the cache.
+
+    Requires a dataclass instance (stable, param-complete signature)
+    whose signature is JSON-serializable, and honours an explicit
+    ``cacheable = False`` attribute on the spec.
+    """
+    if getattr(spec, "cacheable", True) is False:
+        return False
+    if not dataclasses.is_dataclass(spec) or isinstance(spec, type):
+        return False
+    try:
+        json.dumps(spec_signature(spec), sort_keys=True)
+    except (TypeError, ValueError):
+        return False
+    return True
+
+
+def result_key(spec: object, seed: int) -> str:
+    """Content address of one ``(spec, seed)`` result."""
+    payload = json.dumps(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "spec": spec_signature(spec),
+            "seed": int(seed),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """Metadata of one stored result (``repro cache ls`` row)."""
+
+    key: str
+    spec_type: str
+    seed: int
+    created_at: float
+    bytes: int
+    path: Path
+
+
+class ResultCache:
+    """Content-addressed store of per-seed replication results.
+
+    ``hits``/``misses`` count this instance's lookups (they feed the
+    ``runtime.cache_hit``/``runtime.cache_miss`` metrics when a campaign
+    owns the cache); the on-disk store itself is shared and unversioned
+    beyond the schema field inside each entry.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        """Entry file for a key (two-level fan-out keeps dirs small)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(
+        self, spec: object, seed: int
+    ) -> Optional[Dict[str, object]]:
+        """The cached result of ``spec(seed)``, or ``None``.
+
+        A corrupt or schema-mismatched entry reads as a miss — the
+        caller recomputes and overwrites it.
+        """
+        path = self.path_for(result_key(spec, seed))
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != CACHE_SCHEMA_VERSION
+            or not isinstance(payload.get("result"), dict)
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["result"]
+
+    def put(
+        self, spec: object, seed: int, result: Mapping[str, object]
+    ) -> Path:
+        """Store one result atomically; returns the entry path."""
+        key = result_key(spec, seed)
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "key": key,
+            "spec": spec_signature(spec),
+            "seed": int(seed),
+            "created_at": time.time(),
+            "result": dict(result),
+        }
+        handle, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(payload, stream, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def fetch_or_run(
+        self,
+        spec: object,
+        seeds: Sequence[int],
+        runner: Callable[[List[int]], Sequence[Mapping[str, object]]],
+    ) -> List[Mapping[str, object]]:
+        """Serve every seed from the cache, running only the misses.
+
+        ``runner(missing_seeds)`` must return one result per missing
+        seed, in order; fresh results are stored before returning.  The
+        returned list is in ``seeds`` order regardless of the hit/miss
+        split, so folding it is bit-identical to an uncached run.
+        """
+        held: Dict[int, Mapping[str, object]] = {}
+        missing: List[int] = []
+        for seed in seeds:
+            cached = self.get(spec, seed)
+            if cached is None:
+                missing.append(seed)
+            else:
+                held[seed] = cached
+        if missing:
+            fresh = runner(missing)
+            if len(fresh) != len(missing):
+                raise ValueError(
+                    f"runner returned {len(fresh)} results "
+                    f"for {len(missing)} seeds"
+                )
+            for seed, result in zip(missing, fresh):
+                self.put(spec, seed, result)
+                held[seed] = result
+        return [held[seed] for seed in seeds]
+
+    def counters(self) -> Dict[str, int]:
+        """Runtime hit/miss counters of this instance."""
+        return {"hits": self.hits, "misses": self.misses}
+
+    # ------------------------------------------------------------------
+    # Maintenance (the ``repro cache`` subcommand)
+    # ------------------------------------------------------------------
+
+    def entries(self) -> List[CacheEntry]:
+        """Every readable entry, oldest first."""
+        found: List[CacheEntry] = []
+        if not self.root.exists():
+            return found
+        for path in sorted(self.root.glob("*/*.json")):
+            try:
+                payload = json.loads(path.read_text())
+                entry = CacheEntry(
+                    key=str(payload["key"]),
+                    spec_type=str(payload["spec"]["type"]),
+                    seed=int(payload["seed"]),
+                    created_at=float(payload["created_at"]),
+                    bytes=path.stat().st_size,
+                    path=path,
+                )
+            except (OSError, KeyError, TypeError, ValueError):
+                continue
+            found.append(entry)
+        found.sort(key=lambda entry: (entry.created_at, entry.key))
+        return found
+
+    def stats(self) -> Dict[str, object]:
+        entries = self.entries()
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "bytes": sum(entry.bytes for entry in entries),
+            "schema": CACHE_SCHEMA_VERSION,
+        }
+
+    def prune(
+        self,
+        older_than_s: Optional[float] = None,
+        max_entries: Optional[int] = None,
+    ) -> int:
+        """Drop entries by age and/or count; returns how many went.
+
+        ``older_than_s`` removes entries older than that many seconds;
+        ``max_entries`` then keeps only the newest N.  Unreadable files
+        under the root (corrupt or stale-schema debris) are removed
+        unconditionally — they can never hit.
+        """
+        removed = 0
+        if not self.root.exists():
+            return removed
+        readable = {entry.path for entry in self.entries()}
+        for path in self.root.glob("*/*.json"):
+            if path not in readable:
+                path.unlink(missing_ok=True)
+                removed += 1
+        survivors = self.entries()
+        now = time.time()
+        if older_than_s is not None:
+            for entry in list(survivors):
+                if now - entry.created_at > older_than_s:
+                    entry.path.unlink(missing_ok=True)
+                    survivors.remove(entry)
+                    removed += 1
+        if max_entries is not None and len(survivors) > max_entries:
+            excess = len(survivors) - max_entries
+            for entry in survivors[:excess]:  # oldest first
+                entry.path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    def clear(self) -> int:
+        """Remove every entry file; returns how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for path in self.root.glob("*/*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        for child in self.root.iterdir():
+            if child.is_dir():
+                try:
+                    child.rmdir()
+                except OSError:
+                    pass
+        return removed

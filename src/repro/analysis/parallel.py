@@ -22,7 +22,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
 
 from repro.analysis.stats import (
     Aggregate,
@@ -30,6 +30,9 @@ from repro.analysis.stats import (
     ScenarioFn,
     merge_replications,
 )
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.cache import ResultCache
 
 #: environment variable controlling the default worker count
 JOBS_ENV = "REPRO_JOBS"
@@ -75,6 +78,7 @@ def run_replications(
     scenario: ScenarioFn,
     seeds: Sequence[int],
     jobs: Optional[int] = None,
+    cache: Optional["ResultCache"] = None,
 ) -> List[Mapping[str, Number]]:
     """Run ``scenario(seed)`` for every seed, possibly across processes.
 
@@ -83,26 +87,45 @@ def run_replications(
     ``[scenario(seed) for seed in seeds]`` no matter how many workers
     ran it.  With one worker (or one seed) the pool is skipped entirely.
 
+    With a ``cache``, hits are resolved in the parent before the pool
+    spins up and only missing seeds are dispatched to workers; fresh
+    results are stored on the way out.  The cache lookup happens here —
+    not in the workers — so a fully warm campaign forks no processes at
+    all.  Specs the cache refuses (see
+    :func:`repro.analysis.cache.is_cacheable`) run exactly as before.
+
     This is the *fast path*: one crash anywhere discards every seed.
     Long campaigns should run through :func:`replicate_resilient` (or
     :func:`repro.runtime.run_campaign` directly) instead.
     """
     if not seeds:
         raise ValueError("need at least one seed")
-    workers = effective_workers(resolve_jobs(jobs), len(seeds))
-    if workers <= 1:
-        return [scenario(seed) for seed in seeds]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(scenario, seeds))
+
+    def run_fresh(wanted: Sequence[int]) -> List[Mapping[str, Number]]:
+        workers = effective_workers(resolve_jobs(jobs), len(wanted))
+        if workers <= 1:
+            return [scenario(seed) for seed in wanted]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(scenario, wanted))
+
+    if cache is not None:
+        from repro.analysis.cache import is_cacheable
+
+        if is_cacheable(scenario):
+            return cache.fetch_or_run(scenario, list(seeds), run_fresh)
+    return run_fresh(list(seeds))
 
 
 def replicate_parallel(
     scenario: ScenarioFn,
     seeds: Sequence[int],
     jobs: Optional[int] = None,
+    cache: Optional["ResultCache"] = None,
 ) -> Dict[str, Aggregate]:
     """Parallel drop-in for :func:`repro.analysis.stats.replicate`."""
-    return merge_replications(run_replications(scenario, seeds, jobs=jobs))
+    return merge_replications(
+        run_replications(scenario, seeds, jobs=jobs, cache=cache)
+    )
 
 
 def replicate_resilient(
@@ -277,6 +300,10 @@ class TracedSpec:
     file handles, only a directory name.  The ambient ``observe``
     context attaches the sink to every system the spec builds.
     """
+
+    #: a cached result would skip the trace side effect — the whole
+    #: point of this wrapper — so the result cache must never serve it
+    cacheable = False
 
     spec: ScenarioFn
     trace_dir: str

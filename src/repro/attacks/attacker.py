@@ -63,6 +63,11 @@ class Attacker:
         self.plan = plan
         self.use_dma = use_dma
         self._dma = system.dma_engine(handle) if use_dma else None
+        # (line, weight) rotation cached per plan object — the plan's
+        # fields are immutable tuples, so the pairs only change when the
+        # plan itself is swapped out.
+        self._pairs: Optional[List[tuple]] = None
+        self._pairs_plan: Optional[AttackPlan] = None
 
     # ------------------------------------------------------------------
     # Driving
@@ -129,19 +134,30 @@ class Attacker:
         the stale virtual line point somewhere new — which is precisely
         the wear-leveling defense working; the attacker keeps hammering
         the same virtual address like the real thing would."""
-        weights = self.plan.weights or (1,) * len(self.plan.aggressor_lines)
-        for virtual_line, weight in zip(self.plan.aggressor_lines, weights):
+        plan = self.plan
+        pairs = self._pairs
+        if pairs is None or self._pairs_plan is not plan:
+            weights = plan.weights or (1,) * len(plan.aggressor_lines)
+            pairs = self._pairs = list(zip(plan.aggressor_lines, weights))
+            self._pairs_plan = plan
+        dma = self._dma
+        if dma is not None:
+            physical_line = self.handle.physical_line
+            transfer = dma.transfer
+            for virtual_line, weight in pairs:
+                for _ in range(weight):
+                    try:
+                        now = transfer(physical_line(virtual_line), now).ready_at_ns
+                    except TranslationError:
+                        # The page vanished (evacuated by a defense).
+                        break
+            return now
+        hammer_access = self.system.core.hammer_access
+        asid = self.handle.asid
+        for virtual_line, weight in pairs:
             for _ in range(weight):
                 try:
-                    if self._dma is not None:
-                        physical = self.handle.physical_line(virtual_line)
-                        completed = self._dma.transfer(physical, now)
-                        now = completed.ready_at_ns
-                    else:
-                        outcome = self.system.core.hammer_access(
-                            self.handle.asid, virtual_line, now
-                        )
-                        now = outcome.done_at_ns
+                    now = hammer_access(asid, virtual_line, now).done_at_ns
                 except TranslationError:
                     # The page vanished (evacuated by a defense).
                     break

@@ -177,6 +177,76 @@ def _cmd_bench(args) -> int:
         return 2
 
 
+def _add_cache_arguments(parser: argparse.ArgumentParser) -> None:
+    """The result-cache pair shared by cache-consulting subcommands."""
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="never consult or fill the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache root (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+
+
+def _resolve_cache(args):
+    """The :class:`~repro.analysis.cache.ResultCache` the flags select,
+    or ``None`` with ``--no-cache``."""
+    if getattr(args, "no_cache", False):
+        return None
+    from repro.analysis.cache import ResultCache
+
+    return ResultCache(args.cache_dir)
+
+
+def _cmd_cache(args) -> int:
+    import time as _time
+
+    from repro.analysis.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "ls":
+        entries = cache.entries()
+        if not entries:
+            print(f"(empty cache at {cache.root})")
+            return 0
+        now = _time.time()
+        print(f"{'key':32s}  {'spec':24s}  {'seed':>6s}  "
+              f"{'age':>8s}  {'bytes':>7s}")
+        for entry in entries:
+            age_s = max(0.0, now - entry.created_at)
+            if age_s < 3600:
+                age = f"{age_s / 60:.0f}m"
+            elif age_s < 86_400:
+                age = f"{age_s / 3600:.1f}h"
+            else:
+                age = f"{age_s / 86_400:.1f}d"
+            print(f"{entry.key:32s}  {entry.spec_type:24.24s}  "
+                  f"{entry.seed:6d}  {age:>8s}  {entry.bytes:7d}")
+        return 0
+    if args.action == "stats":
+        for key, value in cache.stats().items():
+            print(f"{key}: {value}")
+        return 0
+    if args.action == "prune":
+        if args.older_than is None and args.max_entries is None:
+            print("repro cache: error: prune needs --older-than and/or "
+                  "--max-entries", file=sys.stderr)
+            return 2
+        older_s = (
+            args.older_than * 86_400.0 if args.older_than is not None
+            else None
+        )
+        removed = cache.prune(
+            older_than_s=older_s, max_entries=args.max_entries
+        )
+        print(f"pruned {removed} entr{'y' if removed == 1 else 'ies'}")
+        return 0
+    removed = cache.clear()
+    print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'}")
+    return 0
+
+
 #: exit status for an interrupted command (128 + SIGINT, shell style)
 EXIT_INTERRUPTED = 130
 
@@ -189,6 +259,9 @@ def _print_campaign(experiment: str, result, workers: int) -> None:
     if result.resumed:
         print(f"  [resumed: {result.resumed} seed"
               f"{'s' if result.resumed != 1 else ''} from journal]")
+    if result.cache_hits:
+        print(f"  [cached: {result.cache_hits} seed"
+              f"{'s' if result.cache_hits != 1 else ''} from result cache]")
     if result.retries or result.respawns or result.degraded:
         notes = []
         if result.retries:
@@ -261,7 +334,7 @@ def _cmd_replicate(args) -> int:
         result = run_campaign(
             spec, seeds, jobs=jobs, policy=policy,
             journal_path=journal_path, resume=resume,
-            experiment=experiment,
+            experiment=experiment, cache=_resolve_cache(args),
         )
     except JournalError as error:
         print(f"repro replicate: error: {error}", file=sys.stderr)
@@ -381,16 +454,25 @@ def _cmd_faults(args) -> int:
         seed=args.seed,
         invariant_level=args.invariant_level,
     )
-    try:
-        report = run_matrix(spec)
-    except KeyboardInterrupt:
-        print("\nrepro faults: interrupted; the fault matrix has no "
-              "journal, re-run to completion (lower --scale for a "
-              "faster matrix)", file=sys.stderr)
-        return EXIT_INTERRUPTED
-    except Exception as error:  # surface capability errors readably
-        print(f"cannot run this combination: {error}", file=sys.stderr)
-        return 2
+    # The whole matrix report is a pure function of the (JSON-native)
+    # DiffSpec, so it caches as one entry keyed by the spec and its seed.
+    cache = _resolve_cache(args)
+    report = cache.get(spec, spec.seed) if cache is not None else None
+    if report is None:
+        try:
+            report = run_matrix(spec)
+        except KeyboardInterrupt:
+            print("\nrepro faults: interrupted; the fault matrix has no "
+                  "journal, re-run to completion (lower --scale for a "
+                  "faster matrix)", file=sys.stderr)
+            return EXIT_INTERRUPTED
+        except Exception as error:  # surface capability errors readably
+            print(f"cannot run this combination: {error}", file=sys.stderr)
+            return 2
+        if cache is not None:
+            cache.put(spec, spec.seed, report)
+    else:
+        print("[matrix report served from result cache]", file=sys.stderr)
     print(render_report(report))
     if args.smoke:
         # CI determinism gate: the same spec must serialize to the same
@@ -531,6 +613,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-retries", type=int, default=2,
         help="retries per seed after its first attempt (default: 2)",
     )
+    _add_cache_arguments(replicate_parser)
 
     trace_parser = sub.add_parser(
         "trace",
@@ -590,7 +673,29 @@ def build_parser() -> argparse.ArgumentParser:
     faults_parser.add_argument(
         "--smoke", action="store_true",
         help="CI mode: additionally re-run the matrix and fail unless "
-             "the two reports are byte-identical",
+             "the two reports are byte-identical (the re-run always "
+             "bypasses the result cache)",
+    )
+    _add_cache_arguments(faults_parser)
+
+    cache_parser = sub.add_parser(
+        "cache",
+        help="inspect or prune the content-addressed result cache",
+    )
+    cache_parser.add_argument(
+        "action", choices=("ls", "stats", "prune", "clear"),
+    )
+    cache_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache root (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    cache_parser.add_argument(
+        "--older-than", type=float, default=None, metavar="DAYS",
+        help="prune: drop entries older than this many days",
+    )
+    cache_parser.add_argument(
+        "--max-entries", type=int, default=None, metavar="N",
+        help="prune: keep at most the newest N entries",
     )
 
     inspect_parser = sub.add_parser(
@@ -622,6 +727,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace": _cmd_trace,
         "inspect": _cmd_inspect,
         "faults": _cmd_faults,
+        "cache": _cmd_cache,
     }
     return handlers[args.command](args)
 

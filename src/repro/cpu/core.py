@@ -21,9 +21,11 @@ from repro.mc.controller import CompletedRequest, MemoryController, MemoryReques
 LLC_HIT_LATENCY_NS = 12
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class AccessOutcome:
-    """Result of one core load/store."""
+    """Result of one core load/store.  Immutable by convention, not
+    frozen — frozen slots dataclasses construct ~2x slower, and one of
+    these is allocated per load/store."""
 
     done_at_ns: int
     cache_hit: bool
@@ -87,9 +89,64 @@ class Core:
 
     def hammer_access(self, asid: int, virtual_line: int, now: int) -> AccessOutcome:
         """flush + fence + load: the canonical hammering access that
-        forces a DRAM row activation on every iteration."""
-        after_flush = self.flush(asid, virtual_line, now)
-        return self.load(asid, virtual_line, after_flush)
+        forces a DRAM row activation on every iteration.
+
+        Translates once and reuses the physical line for both halves;
+        a real core would likewise hold the translation across the
+        fenced pair."""
+        self.flushes += 1
+        physical = self.mmu.translate_line(asid, virtual_line)
+        try:
+            writeback = self.cache.flush(physical)
+        except LockError:
+            self.blocked_flushes += 1
+            writeback = None
+            after_flush = now + 1
+        else:
+            if writeback is not None:
+                after_flush = self.controller.submit(
+                    MemoryRequest(
+                        time_ns=now,
+                        physical_line=writeback,
+                        is_write=True,
+                        domain=asid,
+                    )
+                ).ready_at_ns
+            else:
+                after_flush = now + 1
+        self.loads += 1
+        result = self.cache.access(physical, is_write=False)
+        if result.hit:
+            return AccessOutcome(
+                done_at_ns=after_flush + LLC_HIT_LATENCY_NS,
+                cache_hit=True,
+                served_by_locked=result.served_by_locked,
+                memory=None,
+            )
+        when = after_flush
+        if result.writeback_line is not None:
+            when = self.controller.submit(
+                MemoryRequest(
+                    time_ns=when,
+                    physical_line=result.writeback_line,
+                    is_write=True,
+                    domain=asid,
+                )
+            ).ready_at_ns
+        completed = self.controller.submit(
+            MemoryRequest(
+                time_ns=when,
+                physical_line=physical,
+                is_write=False,
+                domain=asid,
+            )
+        )
+        return AccessOutcome(
+            done_at_ns=completed.ready_at_ns + LLC_HIT_LATENCY_NS,
+            cache_hit=False,
+            served_by_locked=False,
+            memory=completed,
+        )
 
     # ------------------------------------------------------------------
     # Internals

@@ -84,6 +84,12 @@ class DramDevice:
         self.banks: Dict[BankKey, BankState] = {
             key: BankState(self.timings) for key in self.geometry.iter_banks()
         }
+        # (channel, rank, bank) -> flat bank index, precomputed so the
+        # per-ACT path skips geometry.bank_index's range validation (all
+        # addresses here come from the mapper, valid by construction).
+        self._bank_index: Dict[BankKey, int] = {
+            key: index for index, key in enumerate(self.geometry.iter_banks())
+        }
         # Periodic-refresh sweep position (bank-local row index).  All
         # banks refresh in lockstep, as with all-bank REF.  The pointer
         # advances fractionally so every row is refreshed exactly once
@@ -361,11 +367,19 @@ class DramDevice:
         self, address: DdrAddress, time_ns: int, domain: Optional[int]
     ) -> List[BitFlip]:
         """Run disturbance physics for one ACT, on the internal row."""
-        bank_index = self.geometry.bank_index(address)
+        bank_index = self._bank_index[
+            (address.channel, address.rank, address.bank)
+        ]
         internal_row = self.remapper.to_internal(bank_index, address.row)
-        internal = DdrAddress(
-            address.channel, address.rank, address.bank, internal_row, address.column
-        )
+        if internal_row == address.row:
+            # Identity remap (the common case): the logical address *is*
+            # the internal one, no second DdrAddress needed.
+            internal = address
+        else:
+            internal = DdrAddress(
+                address.channel, address.rank, address.bank,
+                internal_row, address.column,
+            )
         if self.mitigation is not None:
             # The vendor mitigation samples the command bus, i.e. sees the
             # logical row the controller named.

@@ -199,12 +199,29 @@ class DisturbanceTracker:
         profile = self.profile
         rows_per_subarray = self.geometry.rows_per_subarray
         subarray_start = (row // rows_per_subarray) * rows_per_subarray
-        low = max(subarray_start, row - profile.blast_radius)
-        high = min(subarray_start + rows_per_subarray - 1,
-                   row + profile.blast_radius)
         weights = profile._weights
         mac = profile.mac
         flips: List[BitFlip] = []
+        if profile.blast_radius == 1:
+            # Common case (DDR3/4-era profiles): exactly the two adjacent
+            # rows, both at weight 1 — no range object, no distance math.
+            for victim_row in (row - 1, row + 1):
+                if (victim_row < subarray_start
+                        or victim_row >= subarray_start + rows_per_subarray):
+                    continue
+                victim_key = (channel, rank, bank, victim_row)
+                pressure = pressure_map.get(victim_key, 0.0) + 1.0
+                pressure_map[victim_key] = pressure
+                if pressure >= mac and not tripped.get(victim_key):
+                    flip = self._maybe_flip(
+                        victim_key, aggressor_key, time_ns, domain
+                    )
+                    if flip is not None:
+                        flips.append(flip)
+            return flips
+        low = max(subarray_start, row - profile.blast_radius)
+        high = min(subarray_start + rows_per_subarray - 1,
+                   row + profile.blast_radius)
         for victim_row in range(low, high + 1):
             if victim_row == row:
                 continue

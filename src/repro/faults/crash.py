@@ -54,6 +54,11 @@ class CrashingSpec:
       per-task timeout).
     """
 
+    #: results depend on wall-clock hangs and marker-file state, not
+    #: just (spec, seed) — and a cached result would skip the crash the
+    #: harness test exists to provoke — so never serve this from cache
+    cacheable = False
+
     spec: ScenarioFn
     crash_seeds: Tuple[int, ...] = ()
     mode: str = "kill"

@@ -37,7 +37,7 @@ verified by property tests.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Set
 
 from repro.dram.geometry import DdrAddress, DramGeometry
 
@@ -64,6 +64,15 @@ class AddressMapper:
         self.total_lines = geometry.cachelines_total
         self.total_frames = self.total_lines // self.lines_per_page
         self._ddr_cache: Dict[int, DdrAddress] = {}
+        #: memo telemetry, exported as ``cache.addrmap.*`` gauges
+        self.memo_hits = 0
+        self.memo_misses = 0
+        self.memo_evictions = 0
+        # Flat-bank-index -> (channel, rank, bank) lookup table shared by
+        # the bulk translators (replaces per-line bank_from_index divmods).
+        self._bank_coords: List[tuple] = [
+            geometry.bank_from_index(i) for i in range(geometry.banks_total)
+        ]
 
     # -- abstract -------------------------------------------------------
 
@@ -77,17 +86,47 @@ class AddressMapper:
 
     def line_to_ddr(self, line: int) -> DdrAddress:
         """Map one cache-line index; results are memoised per mapper in a
-        bounded LRU (a mapping is fixed once established, so entries only
-        need invalidation on explicit remapping events such as
-        :meth:`SubarrayIsolatedInterleaving.release_frame`)."""
+        bounded insertion-order cache (a mapping is fixed once
+        established, so entries only need invalidation on explicit
+        remapping events such as
+        :meth:`SubarrayIsolatedInterleaving.release_frame`).  The hit
+        path is a single ``dict.get`` — eviction order is irrelevant for
+        a pure memo, so no LRU reordering work is done per hit."""
+        address = self._ddr_cache.get(line)
+        if address is not None:
+            self.memo_hits += 1
+            return address
+        self.memo_misses += 1
+        address = self._line_to_ddr_uncached(line)
         cache = self._ddr_cache
-        address = cache.pop(line, None)
-        if address is None:
-            address = self._line_to_ddr_uncached(line)
-            if len(cache) >= self.CACHE_CAPACITY:
-                del cache[next(iter(cache))]
-        cache[line] = address  # (re)insert at the young end
+        if len(cache) >= self.CACHE_CAPACITY:
+            del cache[next(iter(cache))]
+            self.memo_evictions += 1
+        cache[line] = address
         return address
+
+    def lines_to_ddr_bulk(self, lines: Iterable[int]) -> List[DdrAddress]:
+        """Translate a batch of cache-line indices, in order.
+
+        The base implementation loops the memoised scalar path;
+        subclasses override it with table-driven direct computation
+        (precomputed shift/mask or divmod pipelines over the
+        ``_bank_coords`` table) that skips the per-line memo entirely.
+        Every override must preserve per-line *order* — lazy first-touch
+        placement in :class:`SubarrayIsolatedInterleaving` depends on it.
+        """
+        to_ddr = self.line_to_ddr
+        return [to_ddr(line) for line in lines]
+
+    def memo_counters(self) -> Dict[str, int]:
+        """Telemetry snapshot of the ``line_to_ddr`` memo (gauge source
+        for the ``cache.addrmap.*`` registry prefix)."""
+        return {
+            "hits": self.memo_hits,
+            "misses": self.memo_misses,
+            "evictions": self.memo_evictions,
+            "entries": len(self._ddr_cache),
+        }
 
     def _invalidate_lines(self, lines) -> None:
         """Drop memoised entries (used when part of the map changes)."""
@@ -158,6 +197,36 @@ class LinearMapping(AddressMapper):
         channel, rank, bank = self.geometry.bank_from_index(bank_flat)
         return DdrAddress(channel, rank, bank, row, column)
 
+    def lines_to_ddr_bulk(self, lines: Iterable[int]) -> List[DdrAddress]:
+        geo = self.geometry
+        cols = geo.columns_per_row
+        rows = geo.rows_per_bank
+        coords = self._bank_coords
+        total = self.total_lines
+        addr = DdrAddress
+        out: List[DdrAddress] = []
+        append = out.append
+        if _is_pow2(cols) and _is_pow2(rows):
+            col_shift = cols.bit_length() - 1
+            col_mask = cols - 1
+            row_shift = rows.bit_length() - 1
+            row_mask = rows - 1
+            for line in lines:
+                if not 0 <= line < total:
+                    self._check_line(line)
+                rest = line >> col_shift
+                channel, rank, bank = coords[rest >> row_shift]
+                append(addr(channel, rank, bank, rest & row_mask, line & col_mask))
+        else:
+            for line in lines:
+                if not 0 <= line < total:
+                    self._check_line(line)
+                rest, column = divmod(line, cols)
+                bank_flat, row = divmod(rest, rows)
+                channel, rank, bank = coords[bank_flat]
+                append(addr(channel, rank, bank, row, column))
+        return out
+
     def ddr_to_line(self, address: DdrAddress) -> int:
         bank_flat = self.geometry.bank_index(address)
         rest = bank_flat * self.geometry.rows_per_bank + address.row
@@ -181,6 +250,53 @@ class CachelineInterleaving(AddressMapper):
         channel, rank, bank = self.geometry.bank_from_index(bank_flat)
         return DdrAddress(channel, rank, bank, row, column)
 
+    def lines_to_ddr_bulk(self, lines: Iterable[int]) -> List[DdrAddress]:
+        return self._bulk_interleaved(lines, permute=False)
+
+    def _bulk_interleaved(
+        self, lines: Iterable[int], permute: bool
+    ) -> List[DdrAddress]:
+        """Shared table-driven pipeline for the interleaved schemes.
+
+        ``permute=True`` applies the [63] bank permutation after the
+        round-robin split (used by :class:`PermutationInterleaving`).
+        """
+        geo = self.geometry
+        banks = geo.banks_total
+        cols = geo.columns_per_row
+        coords = self._bank_coords
+        total = self.total_lines
+        addr = DdrAddress
+        pow2 = _is_pow2(banks) and _is_pow2(cols)
+        out: List[DdrAddress] = []
+        append = out.append
+        if pow2:
+            bank_shift = banks.bit_length() - 1
+            bank_mask = banks - 1
+            col_shift = cols.bit_length() - 1
+            col_mask = cols - 1
+            for line in lines:
+                if not 0 <= line < total:
+                    self._check_line(line)
+                rest = line >> bank_shift
+                row = rest >> col_shift
+                bank_flat = line & bank_mask
+                if permute:
+                    bank_flat = (bank_flat ^ row) & bank_mask
+                channel, rank, bank = coords[bank_flat]
+                append(addr(channel, rank, bank, row, rest & col_mask))
+        else:
+            for line in lines:
+                if not 0 <= line < total:
+                    self._check_line(line)
+                rest, bank_flat = divmod(line, banks)
+                row, column = divmod(rest, cols)
+                if permute:
+                    bank_flat = self._permute(bank_flat, row)
+                channel, rank, bank = coords[bank_flat]
+                append(addr(channel, rank, bank, row, column))
+        return out
+
     def ddr_to_line(self, address: DdrAddress) -> int:
         bank_flat = self.geometry.bank_index(address)
         rest = address.row * self.geometry.columns_per_row + address.column
@@ -193,6 +309,9 @@ class PermutationInterleaving(CachelineInterleaving):
     multiple streams stride across banks."""
 
     name = "permutation-interleave"
+
+    def lines_to_ddr_bulk(self, lines: Iterable[int]) -> List[DdrAddress]:
+        return self._bulk_interleaved(lines, permute=True)
 
     def _line_to_ddr_uncached(self, line: int) -> DdrAddress:
         base = super()._line_to_ddr_uncached(line)
@@ -348,6 +467,57 @@ class SubarrayIsolatedInterleaving(AddressMapper):
             self._place(frame, frame % self._default_groups)
 
     # -- the bijection ---------------------------------------------------
+
+    def lines_to_ddr_bulk(self, lines: Iterable[int]) -> List[DdrAddress]:
+        # Must iterate strictly in order: a never-touched frame is placed
+        # lazily on first touch, and slot assignment depends on placement
+        # order.  Bulk translation of a request window sees lines in
+        # arrival order, exactly like the scalar path would.
+        geo = self.geometry
+        banks = geo.banks_total
+        cols = geo.columns_per_row
+        rows_per_subarray = geo.rows_per_subarray
+        lpp = self.lines_per_page
+        lpbpf = self.lines_per_bank_per_frame
+        coords = self._bank_coords
+        frame_group = self._frame_group
+        frame_slot = self._frame_slot
+        default_groups = self._default_groups
+        total = self.total_lines
+        addr = DdrAddress
+        out: List[DdrAddress] = []
+        append = out.append
+        last_frame = -1
+        group = slot = frame_base = 0
+        for line in lines:
+            if not 0 <= line < total:
+                self._check_line(line)
+            frame = line // lpp
+            if frame != last_frame:
+                if frame not in frame_group:
+                    self._place(frame, frame % default_groups)
+                group = frame_group[frame]
+                slot = frame_slot[frame]
+                frame_base = frame * lpp
+                last_frame = frame
+            offset = line - frame_base
+            packed = slot * lpbpf + offset // banks
+            row_in_subarray = packed // cols
+            if row_in_subarray >= rows_per_subarray:
+                raise MemoryError(
+                    f"frame slot {slot} exceeds subarray group capacity"
+                )
+            channel, rank, bank = coords[(offset + slot) % banks]
+            append(
+                addr(
+                    channel,
+                    rank,
+                    bank,
+                    group * rows_per_subarray + row_in_subarray,
+                    packed % cols,
+                )
+            )
+        return out
 
     def _line_to_ddr_uncached(self, line: int) -> DdrAddress:
         self._check_line(line)

@@ -36,10 +36,15 @@ from repro.obs.profiler import PhaseProfiler
 from repro.obs.trace import TraceBus
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class MemoryRequest:
     """One cache-line request reaching the controller (an LLC miss,
-    writeback, or DMA transfer)."""
+    writeback, or DMA transfer).
+
+    Treated as immutable by convention but *not* frozen: a frozen slots
+    dataclass pays ~2x its construction cost in ``object.__setattr__``
+    calls, and this type is allocated once per request on the hottest
+    paths in the simulator."""
 
     time_ns: int
     physical_line: int
@@ -54,9 +59,10 @@ class MemoryRequest:
             raise ValueError("physical_line must be >= 0")
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True)
 class CompletedRequest:
-    """Outcome of one serviced request."""
+    """Outcome of one serviced request.  Immutable by convention, not
+    frozen — same construction-cost rationale as :class:`MemoryRequest`."""
 
     request: MemoryRequest
     address: DdrAddress
@@ -249,9 +255,109 @@ class MemoryController:
                 throttled, now, flips,
             )
         if will_act:
-            self._note_act(address, done, request)
+            self._note_act(
+                address, done, request.physical_line,
+                request.domain, request.is_dma,
+            )
 
         self._account(request, outcome, done)
+        return CompletedRequest(
+            request=request,
+            address=address,
+            ready_at_ns=done,
+            caused_act=will_act,
+            buffer_outcome=outcome,
+            throttled_ns=throttled,
+            flips=flips,
+        )
+
+    def _submit_translated(
+        self, request: MemoryRequest, address: DdrAddress
+    ) -> CompletedRequest:
+        """:meth:`submit` for a request whose address is already known.
+
+        Used by the FR-FCFS scheduler, which bulk-translates its whole
+        window up front.  Result-identical to :meth:`submit`: refresh
+        bursts do not consult or mutate the address mapper, so running
+        the refresh guard after translation instead of before it cannot
+        change the translation.  Callers must fall back to
+        :meth:`submit` when a profiler is attached (this path skips the
+        per-phase timers).
+
+        The bank-hit arithmetic, :meth:`DramDevice.access_mapped`
+        dispatch, and :meth:`_account` bookkeeping are inlined (exactly
+        as :meth:`submit_columnar` inlines them) — this method runs once
+        per scheduled request and the calls it replaces are pure
+        overhead at that frequency."""
+        time_ns = request.time_ns
+        if self.refresh_enabled and self._next_ref_at <= time_ns:
+            self.advance_to(time_ns)
+        device = self.device
+        bank = device.banks[(address.channel, address.rank, address.bank)]
+        stats = self.stats
+        timings = device.timings
+        tBL = timings.tBL
+        row = address.row
+        open_row = bank.open_row
+        now = time_ns
+        throttled = 0
+        if open_row == row:
+            # BankState.access row-hit branch, inlined.
+            outcome = "hit"
+            will_act = False
+            stats.row_hits += 1
+            busy = bank.busy_until
+            start = now if now >= busy else busy
+            bank.row_hits += 1
+            bank.busy_until = start + tBL
+            data_at_bank = start + timings.tCL
+            flips: List[BitFlip] = []
+        else:
+            will_act = True
+            if open_row is None:
+                outcome = "miss"
+                stats.row_misses += 1
+            else:
+                outcome = "conflict"
+                stats.row_conflicts += 1
+            for gate in self._act_gates:
+                throttled += gate(address, now, request.domain)
+            if throttled:
+                now += throttled
+                stats.throttle_stalls_ns += throttled
+            data_at_bank = bank.access(row, now)
+            flips = device._physical_activate(
+                address, data_at_bank, request.domain
+            )
+        bus = self._bus_busy_until
+        bus_free = bus[address.channel]
+        transfer_start = data_at_bank if data_at_bank > bus_free else bus_free
+        done = transfer_start + tBL
+        bus[address.channel] = done
+        if self.page_policy == "closed":
+            bank.precharge(data_at_bank)
+
+        trace = self.trace
+        if trace.enabled:
+            self._trace_access(
+                trace, address, request, outcome, open_row, will_act,
+                throttled, now, flips,
+            )
+        if will_act:
+            self._note_act(
+                address, done, request.physical_line,
+                request.domain, request.is_dma,
+            )
+
+        if request.is_write:
+            stats.writes += 1
+        else:
+            stats.reads += 1
+        if request.is_dma:
+            stats.dma_requests += 1
+        stats.total_request_latency_ns += done - time_ns
+        if done > stats.busy_until_ns:
+            stats.busy_until_ns = done
         return CompletedRequest(
             request=request,
             address=address,
@@ -342,7 +448,10 @@ class MemoryController:
                     throttled, now, flips,
                 )
             if will_act:
-                self._note_act(address, done, request)
+                self._note_act(
+                address, done, request.physical_line,
+                request.domain, request.is_dma,
+            )
 
             if request.is_write:
                 writes += 1
@@ -380,6 +489,125 @@ class MemoryController:
         stats.total_request_latency_ns += latency_ns
         stats.busy_until_ns = busy_until
         return completions
+
+    def submit_columnar(self, batch) -> int:
+        """Service a struct-of-arrays burst
+        (:class:`~repro.sim.columnar.ColumnarBatch`) in order; returns
+        the burst completion time (max ``ready_at`` over the batch, or 0
+        for an empty batch).
+
+        Result-identical to ``submit_batch(batch.to_requests())``: the
+        per-request refresh guard, gate/observer/counter side effects and
+        all statistics land exactly as on the object path.  What the
+        columnar path removes is the per-request object traffic — no
+        ``MemoryRequest``/``CompletedRequest`` allocations, addresses
+        come from one :meth:`AddressMapper.lines_to_ddr_bulk` call, and
+        row-buffer hits (runs of requests hitting the same (bank, row))
+        are retired inline without entering the device; only ACT
+        boundaries (miss/conflict) delegate to the device so disturbance
+        physics and defense hooks fire per activation as always.
+
+        Tracing and profiling need the per-request records, so an
+        enabled trace bus or profiler routes the batch through the
+        object path — bit-identical by construction.
+        """
+        line_col = batch.line
+        n = len(line_col)
+        if n == 0:
+            return 0
+        if self.profiler is not None or self.trace.enabled:
+            completions = self.submit_batch(batch.to_requests())
+            return max(c.ready_at_ns for c in completions)
+        device = self.device
+        banks = device.banks
+        timings = device.timings
+        tBL = timings.tBL
+        tCL = timings.tCL
+        access_mapped = device.access_mapped
+        addresses = self.mapper.lines_to_ddr_bulk(line_col)
+        bus = self._bus_busy_until
+        gates = self._act_gates
+        closed = self.page_policy == "closed"
+        refresh_enabled = self.refresh_enabled
+        stats = self.stats
+        write_col = batch.is_write
+        time_col = batch.issue_ns
+        dom_col = batch.domain
+
+        reads = writes = hits = misses = conflicts = 0
+        latency_ns = 0
+        busy_until = stats.busy_until_ns
+        batch_done = 0
+
+        for i in range(n):
+            time_ns = time_col[i]
+            if refresh_enabled and self._next_ref_at <= time_ns:
+                self.advance_to(time_ns)
+            address = addresses[i]
+            bank = banks[(address.channel, address.rank, address.bank)]
+            open_row = bank.open_row
+            row = address.row
+            if open_row == row:
+                # Inline of BankState.access's hit branch: consecutive
+                # same-row requests to a bank retire at burst rate with
+                # no device call.
+                hits += 1
+                busy = bank.busy_until
+                start = time_ns if time_ns >= busy else busy
+                bank.row_hits += 1
+                bank.busy_until = start + tBL
+                data_at_bank = start + tCL
+                will_act = False
+                domain = None
+            else:
+                will_act = True
+                if open_row is None:
+                    misses += 1
+                else:
+                    conflicts += 1
+                domain = dom_col[i]
+                if domain < 0:
+                    domain = None
+                now = time_ns
+                if gates:
+                    throttled = 0
+                    for gate in gates:
+                        throttled += gate(address, now, domain)
+                    if throttled:
+                        now += throttled
+                        stats.throttle_stalls_ns += throttled
+                data_at_bank, _flips = access_mapped(
+                    bank, address, now, domain
+                )
+            bus_free = bus[address.channel]
+            transfer_start = (
+                data_at_bank if data_at_bank > bus_free else bus_free
+            )
+            done = transfer_start + tBL
+            bus[address.channel] = done
+            if closed:
+                bank.precharge(data_at_bank)
+            if will_act:
+                self._note_act(address, done, line_col[i], domain, False)
+
+            if write_col[i]:
+                writes += 1
+            else:
+                reads += 1
+            latency_ns += done - time_ns
+            if done > busy_until:
+                busy_until = done
+            if done > batch_done:
+                batch_done = done
+
+        stats.reads += reads
+        stats.writes += writes
+        stats.row_hits += hits
+        stats.row_misses += misses
+        stats.row_conflicts += conflicts
+        stats.total_request_latency_ns += latency_ns
+        stats.busy_until_ns = busy_until
+        return batch_done
 
     def advance_to(self, now: int) -> None:
         """Execute all periodic REF bursts scheduled before ``now``."""
@@ -491,10 +719,17 @@ class MemoryController:
                 error=f"{type(error).__name__}: {error}",
             )
 
-    def _note_act(self, address: DdrAddress, time_ns: int, request: MemoryRequest) -> None:
+    def _note_act(
+        self,
+        address: DdrAddress,
+        time_ns: int,
+        physical_line: int,
+        domain: Optional[int],
+        is_dma: bool,
+    ) -> None:
         self.stats.acts += 1
         interrupt = self.counters[address.channel].on_act(
-            time_ns, request.physical_line, request.is_dma
+            time_ns, physical_line, is_dma
         )
         if interrupt is not None and self.trace.enabled:
             self.trace.emit(
@@ -505,7 +740,7 @@ class MemoryController:
                 dma=interrupt.from_dma,
             )
         for observer in self._act_observers:
-            observer(address, time_ns, request.domain, request.is_dma)
+            observer(address, time_ns, domain, is_dma)
 
     def _trace_access(
         self,
@@ -614,7 +849,10 @@ class MemoryController:
                 throttled, now, flips,
             )
         if will_act:
-            self._note_act(address, done, request)
+            self._note_act(
+                address, done, request.physical_line,
+                request.domain, request.is_dma,
+            )
 
         self._account(request, outcome, done)
         return CompletedRequest(

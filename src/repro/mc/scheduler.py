@@ -67,21 +67,43 @@ class BatchScheduler:
                 ]
         if self.policy == "fcfs":
             return controller.submit_batch(list(requests))
-        line_to_ddr = controller.mapper.line_to_ddr
         banks = controller.device.banks
         pending = list(requests)
+        # Translate the whole window up front (one bulk call instead of
+        # O(window²) scalar lookups across the scan rounds).  Safe: every
+        # scan is left-to-right over ``pending``, so a line's *first*
+        # translation happens in arrival order either way — lazy
+        # first-touch frame placement lands identically.  Bank open-row
+        # state is still read fresh in every round.
+        addresses = controller.mapper.lines_to_ddr_bulk(
+            [request.physical_line for request in pending]
+        )
+        # Pre-resolve each request's bank object and row so a scan round
+        # is a plain list walk (no per-element tuple construction or dict
+        # lookups); the lists are popped in lockstep with ``pending``.
+        bank_list = [
+            banks[(address.channel, address.rank, address.bank)]
+            for address in addresses
+        ]
+        row_list = [address.row for address in addresses]
+        profiled = controller.profiler is not None
+        submit_translated = controller._submit_translated
+        submit = controller.submit
         completed: List[CompletedRequest] = []
         while pending:
-            chosen_index = None
-            for index, request in enumerate(pending):
-                address = line_to_ddr(request.physical_line)
-                bank = banks[(address.channel, address.rank, address.bank)]
-                if bank.open_row == address.row:  # would be a row hit
+            chosen_index = 0
+            for index, bank in enumerate(bank_list):
+                if bank.open_row == row_list[index]:  # would be a row hit
                     chosen_index = index
                     break
-            if chosen_index is None:
-                chosen_index = 0
             if chosen_index != 0:
                 self.reordered += 1
-            completed.append(controller.submit(pending.pop(chosen_index)))
+            address = addresses.pop(chosen_index)
+            bank_list.pop(chosen_index)
+            row_list.pop(chosen_index)
+            request = pending.pop(chosen_index)
+            if profiled:
+                completed.append(submit(request))
+            else:
+                completed.append(submit_translated(request, address))
         return completed

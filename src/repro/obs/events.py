@@ -27,9 +27,10 @@ kind                      emitted when
 ``worker_retry``          the campaign supervisor requeued a failed seed
 ``pool_respawn``          the supervisor replaced a broken worker pool
 ``campaign_resume``       a campaign continued from an on-disk journal
+``cache_hit``             a seed's result came from the result cache
 ========================  ====================================================
 
-The last three are *harness* events: they come from the
+The last four are *harness* events: they come from the
 :mod:`repro.runtime` supervisor, not the simulated platform, so their
 ``time_ns`` is wall-clock nanoseconds rather than simulated time.
 """
@@ -54,6 +55,7 @@ HANDLER_ERROR = "handler_error"
 WORKER_RETRY = "worker_retry"
 POOL_RESPAWN = "pool_respawn"
 CAMPAIGN_RESUME = "campaign_resume"
+CACHE_HIT = "cache_hit"
 
 #: every kind the simulator emits, in documentation order
 EVENT_KINDS = (
@@ -72,6 +74,7 @@ EVENT_KINDS = (
     WORKER_RETRY,
     POOL_RESPAWN,
     CAMPAIGN_RESUME,
+    CACHE_HIT,
 )
 
 

@@ -21,7 +21,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.analysis.stats import (
     Aggregate,
@@ -29,7 +37,7 @@ from repro.analysis.stats import (
     ScenarioFn,
     merge_replications,
 )
-from repro.obs.events import CAMPAIGN_RESUME
+from repro.obs.events import CACHE_HIT, CAMPAIGN_RESUME
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import TraceBus
 from repro.runtime.journal import (
@@ -45,6 +53,9 @@ from repro.runtime.supervisor import (
     SupervisorPolicy,
 )
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.cache import ResultCache
+
 
 @dataclass
 class CampaignResult:
@@ -55,6 +66,8 @@ class CampaignResult:
     failures: Dict[int, SeedFailure] = field(default_factory=dict)
     #: seeds skipped because the journal already had their results
     resumed: int = 0
+    #: seeds served from the content-addressed result cache
+    cache_hits: int = 0
     retries: int = 0
     respawns: int = 0
     timeouts: int = 0
@@ -124,12 +137,20 @@ def run_campaign(
     experiment: str = "",
     trace: Optional[TraceBus] = None,
     metrics: Optional[MetricsRegistry] = None,
+    cache: Optional["ResultCache"] = None,
 ) -> CampaignResult:
     """Run (or resume) one campaign under supervision.
 
     ``resume=True`` requires ``journal_path``; the journal's fingerprint
     must match ``(spec, seeds, experiment)`` or :class:`JournalError` is
     raised rather than silently mixing campaigns.
+
+    With a ``cache``, seeds the cache already holds are journaled and
+    counted as ``runtime.cache_hit`` (with a ``cache_hit`` trace event
+    each) before the supervisor schedules anything; only misses reach
+    the worker pool, and their fresh results are stored on delivery.
+    Cached seeds bypass the supervisor entirely, so they can neither
+    time out nor retry — a fully warm campaign forks no workers.
     """
     seeds = [int(seed) for seed in seeds]
     if not seeds:
@@ -163,10 +184,37 @@ def run_campaign(
     elif resume:
         raise JournalError("resume requested without a journal path")
 
+    cache_hits = 0
+    use_cache = False
+    if cache is not None:
+        from repro.analysis.cache import is_cacheable
+
+        use_cache = is_cacheable(spec)
+    if use_cache:
+        assert cache is not None
+        for seed in seeds:
+            if seed in completed:
+                continue
+            hit = cache.get(spec, seed)
+            if hit is None:
+                supervisor._count("cache_miss")
+                continue
+            completed[seed] = hit
+            if journal is not None:
+                journal.record(seed, hit)
+            cache_hits += 1
+            supervisor._count("cache_hit")
+            supervisor._emit(
+                CACHE_HIT, fingerprint=fingerprint, seed=seed
+            )
+
     def on_result(seed: int, result: Mapping[str, Number]) -> None:
         completed[seed] = result
         if journal is not None:
             journal.record(seed, result)
+        if use_cache:
+            assert cache is not None
+            cache.put(spec, seed, result)
 
     remaining = [s for s in seeds if s not in completed]
     outcome = SupervisedOutcome()
@@ -177,7 +225,7 @@ def run_campaign(
             )
     except KeyboardInterrupt:
         partial = _build_result(
-            seeds, completed, outcome, resumed,
+            seeds, completed, outcome, resumed, cache_hits,
             journal_path if journal is not None else None,
         )
         if journal is not None:
@@ -188,7 +236,7 @@ def run_campaign(
     if journal is not None:
         journal.close()
     return _build_result(
-        seeds, completed, outcome, resumed,
+        seeds, completed, outcome, resumed, cache_hits,
         journal_path if journal is not None else None,
     )
 
@@ -198,6 +246,7 @@ def _build_result(
     completed: Dict[int, Mapping[str, Number]],
     outcome: SupervisedOutcome,
     resumed: int,
+    cache_hits: int,
     journal_path: Optional[Path],
 ) -> CampaignResult:
     return CampaignResult(
@@ -205,6 +254,7 @@ def _build_result(
         completed=dict(completed),
         failures=dict(outcome.failures),
         resumed=resumed,
+        cache_hits=cache_hits,
         retries=outcome.retries,
         respawns=outcome.respawns,
         timeouts=outcome.timeouts,

@@ -105,6 +105,9 @@ def collect_metrics(
     if obs is not None:
         registry = obs.metrics
         registry.assert_covers(stats.snapshot().keys(), "mc")
+        registry.assert_covers(
+            system.mapper.memo_counters().keys(), "cache.addrmap"
+        )
         for defense in defenses:
             if defense.attached and defense.counters:
                 registry.assert_covers(

@@ -213,6 +213,9 @@ class System:
                 "hit_rate": self.cache.hit_rate,
             },
         )
+        self.obs.metrics.register_gauges(
+            "cache.addrmap", self.mapper.memo_counters
+        )
         # Fault plane and invariant suite (repro.faults) — built late so
         # their hooks and probes see the fully wired controller/device,
         # and imported lazily to keep sim<->faults import-cycle-free.

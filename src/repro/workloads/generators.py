@@ -23,6 +23,8 @@ import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Tuple
 
+from repro.mc.controller import MemoryRequest
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.system import DomainHandle, System
 
@@ -199,8 +201,6 @@ class WorkloadRunner:
     def next_request(self, now: int):
         """Produce one memory request (uncached path) for shared-queue
         scheduling across tenants."""
-        from repro.mc.controller import MemoryRequest
-
         line, is_write = next(self._generator)
         self.stepped_accesses += 1
         return MemoryRequest(
@@ -213,8 +213,6 @@ class WorkloadRunner:
     def _step_scheduled(self, now: int) -> int:
         """One MLP window through the MC batch scheduler (uncached —
         the memory-bound view)."""
-        from repro.mc.controller import MemoryRequest
-
         requests = []
         for _ in range(self.mlp):
             line, is_write = next(self._generator)
@@ -229,6 +227,56 @@ class WorkloadRunner:
             self.stepped_accesses += 1
         completions = self._batch_scheduler.issue(requests)
         return max(c.ready_at_ns for c in completions)
+
+    def run_columnar(self, accesses: int, start_ns: int = 0) -> WorkloadResult:
+        """Execute ``accesses`` accesses through the columnar fast path.
+
+        The memory-bound (uncached) view, like the ``fr-fcfs`` scheduled
+        path: every access reaches the memory controller, bypassing the
+        LLC, so ``cache_hits`` is 0 by construction.  Each MLP window is
+        produced as one struct-of-arrays chunk (the generator and the
+        per-line virtual→physical translation fill reusable ``array``
+        columns) and consumed by
+        :meth:`~repro.mc.controller.MemoryController.submit_columnar`;
+        the window's issue time advances to the batch completion time,
+        exactly as the object path's windows do.
+        """
+        from repro.sim.columnar import ColumnarBatch
+
+        if accesses < 1:
+            raise ValueError("accesses must be >= 1")
+        submit_columnar = self.system.controller.submit_columnar
+        physical_line = self.handle.physical_line
+        asid = self.handle.asid
+        generator = self._generator
+        mlp = self.mlp
+        batch = ColumnarBatch()
+        line_col = batch.line
+        write_col = batch.is_write
+        time_col = batch.issue_ns
+        dom_col = batch.domain
+        now = start_ns
+        issued = 0
+        while issued < accesses:
+            window = min(mlp, accesses - issued)
+            batch.clear()
+            for _ in range(window):
+                vline, is_write = next(generator)
+                line_col.append(physical_line(vline))
+                write_col.append(1 if is_write else 0)
+                time_col.append(now)
+                dom_col.append(asid)
+            done = submit_columnar(batch)
+            if done > now:
+                now = done
+            issued += window
+        self.stepped_accesses += issued
+        return WorkloadResult(
+            accesses=issued,
+            started_ns=start_ns,
+            finished_ns=now,
+            cache_hits=0,
+        )
 
     def run(self, accesses: int, start_ns: int = 0) -> WorkloadResult:
         """Execute ``accesses`` accesses; returns timing and hit stats."""
@@ -293,12 +341,12 @@ class SharedQueueRunner:
 
     def step(self, now: int) -> int:
         """Issue one shared window; returns its completion time."""
-        requests = []
-        index = 0
-        while len(requests) < self.window:
-            source = self.sources[index % len(self.sources)]
-            requests.append(source.next_request(now))
-            index += 1
+        sources = self.sources
+        count = len(sources)
+        requests = [
+            sources[index % count].next_request(now)
+            for index in range(self.window)
+        ]
         completions = self.scheduler.issue(requests)
         self.steps += 1
         return max(c.ready_at_ns for c in completions)

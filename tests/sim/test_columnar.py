@@ -1,0 +1,149 @@
+"""Columnar fast path: batch container semantics and, crucially, the
+differential guarantee — ``submit_columnar`` must produce ``RunMetrics``
+bit-identical to the object reference path on every platform preset."""
+
+import dataclasses
+
+import pytest
+
+from repro.mc.controller import MemoryRequest
+from repro.sim import (
+    build_system,
+    ideal_platform,
+    legacy_platform,
+    proposed_platform,
+)
+from repro.sim.columnar import NO_DOMAIN, ColumnarBatch
+from repro.sim.metrics import collect_metrics
+from repro.workloads import WorkloadRunner
+
+PLATFORMS = {
+    "legacy": legacy_platform,
+    "proposed": proposed_platform,
+    "ideal": ideal_platform,
+}
+
+
+# ----------------------------------------------------------------------
+# ColumnarBatch container
+# ----------------------------------------------------------------------
+
+def test_append_and_len():
+    batch = ColumnarBatch()
+    assert len(batch) == 0
+    batch.append(7, True, 100, domain=3)
+    batch.append(9, False, 200)
+    assert len(batch) == 2
+    assert list(batch.line) == [7, 9]
+    assert list(batch.is_write) == [1, 0]
+    assert list(batch.issue_ns) == [100, 200]
+    assert list(batch.domain) == [3, NO_DOMAIN]
+
+
+def test_append_validates_like_memory_request():
+    batch = ColumnarBatch()
+    with pytest.raises(ValueError):
+        batch.append(-1, False, 0)
+    with pytest.raises(ValueError):
+        batch.append(0, False, -5)
+    with pytest.raises(ValueError):
+        MemoryRequest(time_ns=0, physical_line=-1)
+    with pytest.raises(ValueError):
+        MemoryRequest(time_ns=-5, physical_line=0)
+
+
+def test_clear_keeps_columns_reusable():
+    batch = ColumnarBatch()
+    batch.append(1, False, 0)
+    batch.clear()
+    assert len(batch) == 0
+    batch.append(2, True, 10, domain=1)
+    assert list(batch.line) == [2]
+
+
+def test_request_round_trip():
+    requests = [
+        MemoryRequest(time_ns=10, physical_line=4, is_write=True, domain=2),
+        MemoryRequest(time_ns=20, physical_line=5, is_write=False),
+    ]
+    batch = ColumnarBatch.from_requests(requests)
+    assert batch.to_requests() == requests
+
+
+def test_from_requests_rejects_dma():
+    dma = MemoryRequest(time_ns=0, physical_line=1, is_dma=True)
+    with pytest.raises(ValueError, match="is_dma"):
+        ColumnarBatch.from_requests([dma])
+
+
+# ----------------------------------------------------------------------
+# Differential: columnar vs object reference path
+# ----------------------------------------------------------------------
+
+def _run_workload(platform, columnar, accesses=1_600, mlp=8, profile=False):
+    """Drive identical zipfian windows through one path; snapshot metrics.
+
+    The object leg reproduces ``run_columnar``'s loop exactly — same
+    generator stream, same window advance — but submits object requests
+    through ``submit_batch``, the reference implementation.
+    """
+    system = build_system(PLATFORMS[platform](scale=8))
+    if profile:
+        system.enable_profiling()
+    handle = system.create_domain("tenant", pages=64)
+    runner = WorkloadRunner(system, handle, name="zipfian", mlp=mlp, seed=11)
+    if columnar:
+        result = runner.run_columnar(accesses)
+        elapsed = result.finished_ns
+    else:
+        generator = runner._generator
+        controller = system.controller
+        now = 0
+        issued = 0
+        while issued < accesses:
+            window = min(mlp, accesses - issued)
+            requests = []
+            for _ in range(window):
+                vline, is_write = next(generator)
+                requests.append(
+                    MemoryRequest(
+                        time_ns=now,
+                        physical_line=handle.physical_line(vline),
+                        is_write=is_write,
+                        domain=handle.asid,
+                    )
+                )
+            completions = controller.submit_batch(requests)
+            done = max(c.ready_at_ns for c in completions)
+            if done > now:
+                now = done
+            issued += window
+        elapsed = now
+    return collect_metrics(system, "diff", elapsed_ns=elapsed)
+
+
+@pytest.mark.parametrize("platform", sorted(PLATFORMS))
+def test_columnar_metrics_equal_object_path(platform):
+    columnar = _run_workload(platform, columnar=True)
+    reference = _run_workload(platform, columnar=False)
+    assert dataclasses.asdict(columnar) == dataclasses.asdict(reference)
+    assert columnar.requests > 0 and columnar.acts > 0
+
+
+def test_columnar_profiled_delegation_is_identical():
+    """With a profiler attached submit_columnar routes through the
+    object path; the metrics must not change."""
+    fast = _run_workload("legacy", columnar=True, accesses=800)
+    delegated = _run_workload("legacy", columnar=True, accesses=800,
+                              profile=True)
+    exclude = {"timeseries"}
+    fast_dict = {k: v for k, v in dataclasses.asdict(fast).items()
+                 if k not in exclude}
+    delegated_dict = {k: v for k, v in dataclasses.asdict(delegated).items()
+                      if k not in exclude}
+    assert fast_dict == delegated_dict
+
+
+def test_submit_columnar_empty_batch():
+    system = build_system(legacy_platform(scale=8))
+    assert system.controller.submit_columnar(ColumnarBatch()) == 0
