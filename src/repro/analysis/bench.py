@@ -64,6 +64,9 @@ class ShapeResult:
             "requests": self.requests,
             "acts": self.acts,
             "requests_per_s": round(self.requests_per_s, 1),
+            # spelled-out alias so external tooling keyed on either
+            # name reads the same number; the guard accepts both
+            "requests_per_sec": round(self.requests_per_s, 1),
             "acts_per_s": round(self.acts_per_s, 1),
         }
         if self.phases is not None:
@@ -144,7 +147,9 @@ def bench_attack(
     warmup: Optional[int] = None,
 ) -> ShapeResult:
     """A double-sided hammer: the flush+load ACT path plus the
-    disturbance oracle.  ``warmup`` as in :func:`bench_streaming`."""
+    disturbance oracle, driven through the columnar batch engine
+    (``run_rounds_columnar`` — the bulk ``on_activate_bulk`` accrual
+    path).  ``warmup`` as in :func:`bench_streaming`."""
     from repro.analysis.scenarios import build_scenario
     from repro.attacks import Attacker, AttackPlanner
     from repro.sim import legacy_platform
@@ -162,7 +167,8 @@ def bench_attack(
     plan = planner.plan(scenario.victim, "double-sided")
     attacker = Attacker(system, scenario.attacker, plan)
     return _measure(
-        "attack", system, lambda: attacker.run_rounds(rounds), profiler
+        "attack", system,
+        lambda: attacker.run_rounds_columnar(rounds), profiler,
     )
 
 
@@ -171,8 +177,9 @@ def bench_multi_tenant(
     profile: bool = False,
     warmup: Optional[int] = None,
 ) -> ShapeResult:
-    """Four tenants feeding one FR-FCFS queue (the batch-submit path).
-    ``warmup`` as in :func:`bench_streaming`."""
+    """Four tenants feeding one FR-FCFS queue, serviced columnar
+    (``SharedQueueRunner.run_columnar`` → ``issue_columnar`` → the bulk
+    engine).  ``warmup`` as in :func:`bench_streaming`."""
     from repro.sim import build_system, legacy_platform
     from repro.workloads import SharedQueueRunner, WorkloadRunner
 
@@ -194,7 +201,8 @@ def bench_multi_tenant(
         )
     shared = SharedQueueRunner(system, sources, window=16, policy="fr-fcfs")
     return _measure(
-        "multi_tenant", system, lambda: shared.run(accesses), profiler
+        "multi_tenant", system,
+        lambda: shared.run_columnar(accesses), profiler,
     )
 
 
@@ -341,8 +349,15 @@ def check_against_baseline(
         reference = baseline_shapes.get(name)
         if not reference:
             continue
-        base_rate = float(reference["requests_per_s"])
-        rate = float(shape["requests_per_s"])
+        # entries written before the ``requests_per_sec`` alias only
+        # carry ``requests_per_s`` — accept either spelling on both
+        # sides so old baselines keep guarding new runs
+        base_rate = float(
+            reference.get("requests_per_sec", reference.get("requests_per_s"))
+        )
+        rate = float(
+            shape.get("requests_per_sec", shape.get("requests_per_s"))
+        )
         floor = base_rate * (1.0 - tolerance)
         if rate < floor:
             failures.append(

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, List, Optional
 from repro.attacks.patterns import AttackPlan
 from repro.cpu.mmu import TranslationError
 from repro.dram.disturbance import BitFlip
+from repro.mc.controller import MemoryRequest
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.system import DomainHandle, System
@@ -114,6 +115,131 @@ class Attacker:
         return AttackResult(
             plan=self.plan,
             hammer_iterations=done,
+            started_ns=start_ns,
+            finished_ns=max(now, start_ns),
+            flips=flips,
+        )
+
+    def run_rounds_columnar(
+        self, rounds: int, start_ns: int = 0, rounds_per_batch: int = 128
+    ) -> AttackResult:
+        """Columnar variant of :meth:`run_rounds` for benchmarks.
+
+        The cache side of every flush+load stays scalar and exact —
+        translation, ``clflush`` (LockError, writebacks), and the LLC
+        probe run per access, so locking and remapping defenses behave
+        identically — but the resulting DRAM reads are accumulated into
+        one struct-of-arrays batch per ``rounds_per_batch`` rounds and
+        serviced through
+        :meth:`~repro.mc.controller.MemoryController.submit_columnar`.
+
+        Timing is a documented approximation of the object path: the
+        serial ``done + LLC_HIT_LATENCY_NS`` chain between consecutive
+        hammer accesses collapses to the controller's own bank/bus
+        serialization within each batch (plus one LLC latency per
+        batch), so finish times differ slightly from :meth:`run_rounds`
+        while ACT counts, defense reactions, and flips follow the same
+        access stream.  DMA plans have no columnar path (DMA bypasses
+        the MC request queue modelled by the batch engine) and delegate
+        to :meth:`run_rounds`, counted in ``mc.columnar_fallbacks``.
+        """
+        if rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        system = self.system
+        controller = system.controller
+        plan = self.plan
+        pairs = self._pairs
+        if pairs is None or self._pairs_plan is not plan:
+            weights = plan.weights or (1,) * len(plan.aggressor_lines)
+            pairs = self._pairs = list(zip(plan.aggressor_lines, weights))
+            self._pairs_plan = plan
+        if self._dma is not None:
+            controller._note_columnar_fallback(
+                "dma", rounds * sum(w for _, w in pairs), start_ns
+            )
+            return self.run_rounds(rounds, start_ns)
+        from repro.cpu.cache import LockError
+        from repro.cpu.core import LLC_HIT_LATENCY_NS
+        from repro.sim.columnar import ColumnarBatch
+
+        core = system.core
+        cache = core.cache
+        translate = core.mmu.translate_line
+        submit_columnar = controller.submit_columnar
+        asid = self.handle.asid
+        batch = ColumnarBatch()
+        line_col = batch.line
+        write_col = batch.is_write
+        time_col = batch.issue_ns
+        dom_col = batch.domain
+        system.drain_flips()
+        flips: List[BitFlip] = []
+        now = start_ns
+        done_rounds = 0
+        while done_rounds < rounds and plan.viable:
+            take = min(rounds_per_batch, rounds - done_rounds)
+            batch.clear()
+            for _ in range(take):
+                for virtual_line, weight in pairs:
+                    for _ in range(weight):
+                        core.flushes += 1
+                        try:
+                            physical = translate(asid, virtual_line)
+                        except TranslationError:
+                            # The page vanished (evacuated by a defense).
+                            break
+                        try:
+                            writeback = cache.flush(physical)
+                        except LockError:
+                            core.blocked_flushes += 1
+                        else:
+                            if writeback is not None:
+                                # Dirty eviction: rare on a load hammer,
+                                # and ordering-sensitive — submit it
+                                # scalar at the current time.
+                                done = controller.submit(
+                                    MemoryRequest(
+                                        time_ns=now,
+                                        physical_line=writeback,
+                                        is_write=True,
+                                        domain=asid,
+                                    )
+                                ).ready_at_ns
+                                if done > now:
+                                    now = done
+                        core.loads += 1
+                        result = cache.access(physical, is_write=False)
+                        if result.hit:
+                            # Pinned by a locking defense: the LLC
+                            # absorbs the load, no DRAM request.
+                            now += LLC_HIT_LATENCY_NS + 1
+                            continue
+                        if result.writeback_line is not None:
+                            done = controller.submit(
+                                MemoryRequest(
+                                    time_ns=now,
+                                    physical_line=result.writeback_line,
+                                    is_write=True,
+                                    domain=asid,
+                                )
+                            ).ready_at_ns
+                            if done > now:
+                                now = done
+                        line_col.append(physical)
+                        write_col.append(0)
+                        time_col.append(now)
+                        dom_col.append(asid)
+            if len(batch):
+                done = submit_columnar(batch)
+                if done > now:
+                    now = done
+                now += LLC_HIT_LATENCY_NS
+            done_rounds += take
+            if system.has_pending_flips():
+                flips.extend(system.drain_flips())
+        return AttackResult(
+            plan=plan,
+            hammer_iterations=done_rounds,
             started_ns=start_ns,
             finished_ns=max(now, start_ns),
             flips=flips,

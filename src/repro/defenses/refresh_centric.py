@@ -177,6 +177,9 @@ class AnvilDefense(Defense):
         scales_with_density=True,
     )
     requires: Tuple[Primitive, ...] = ()  # deployable today
+    #: scalar-only ACT observer that re-enters the MC (flush+load
+    #: refreshes) — must see strictly ordered per-ACT events
+    supports_bulk_acts = False
 
     def __init__(self, threshold_margin: float = 0.45, radius: Optional[int] = None):
         super().__init__()
@@ -258,6 +261,9 @@ class ParaDefense(Defense):
         scales_with_density=False,  # frozen radius, probability retuning
     )
     requires: Tuple[Primitive, ...] = ()
+    #: scalar-only ACT observer that re-enters the device (neighbor
+    #: refresh ACTs) — columnar batches take the ordered fallback
+    supports_bulk_acts = False
 
     def __init__(self, probability: float = 0.01, refresh_radius: int = 1) -> None:
         super().__init__()
@@ -316,6 +322,9 @@ class GrapheneDefense(Defense):
         scales_with_density=False,  # table ∝ 1/MAC
     )
     requires: Tuple[Primitive, ...] = ()
+    #: scalar-only ACT observer that re-enters the device (neighbor
+    #: refresh ACTs) — columnar batches take the ordered fallback
+    supports_bulk_acts = False
 
     def __init__(
         self,

@@ -90,6 +90,11 @@ class DramDevice:
         self._bank_index: Dict[BankKey, int] = {
             key: index for index, key in enumerate(self.geometry.iter_banks())
         }
+        # flat-index-aligned view of ``banks`` so column-space callers
+        # resolve a bank with one list index instead of a tuple hash
+        self.bank_list: List[BankState] = [
+            self.banks[key] for key in self.geometry.iter_banks()
+        ]
         # Periodic-refresh sweep position (bank-local row index).  All
         # banks refresh in lockstep, as with all-bank REF.  The pointer
         # advances fractionally so every row is refreshed exactly once

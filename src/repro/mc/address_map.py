@@ -206,25 +206,60 @@ class LinearMapping(AddressMapper):
         addr = DdrAddress
         out: List[DdrAddress] = []
         append = out.append
+        # Consult the scalar memo per line: request windows revisit a
+        # working set heavily, and a memo hit (one dict.get) is several
+        # times cheaper than re-running the arithmetic and constructing
+        # a fresh (frozen, identical) DdrAddress.  The mapping is a
+        # static bijection, so sharing memoised objects is safe.
+        cache = self._ddr_cache
+        cache_get = cache.get
+        capacity = self.CACHE_CAPACITY
+        hits = misses = 0
         if _is_pow2(cols) and _is_pow2(rows):
             col_shift = cols.bit_length() - 1
             col_mask = cols - 1
             row_shift = rows.bit_length() - 1
             row_mask = rows - 1
             for line in lines:
+                address = cache_get(line)
+                if address is not None:
+                    hits += 1
+                    append(address)
+                    continue
                 if not 0 <= line < total:
                     self._check_line(line)
                 rest = line >> col_shift
                 channel, rank, bank = coords[rest >> row_shift]
-                append(addr(channel, rank, bank, rest & row_mask, line & col_mask))
+                address = addr(
+                    channel, rank, bank, rest & row_mask, line & col_mask
+                )
+                misses += 1
+                if len(cache) >= capacity:
+                    del cache[next(iter(cache))]
+                    self.memo_evictions += 1
+                cache[line] = address
+                append(address)
         else:
             for line in lines:
+                address = cache_get(line)
+                if address is not None:
+                    hits += 1
+                    append(address)
+                    continue
                 if not 0 <= line < total:
                     self._check_line(line)
                 rest, column = divmod(line, cols)
                 bank_flat, row = divmod(rest, rows)
                 channel, rank, bank = coords[bank_flat]
-                append(addr(channel, rank, bank, row, column))
+                address = addr(channel, rank, bank, row, column)
+                misses += 1
+                if len(cache) >= capacity:
+                    del cache[next(iter(cache))]
+                    self.memo_evictions += 1
+                cache[line] = address
+                append(address)
+        self.memo_hits += hits
+        self.memo_misses += misses
         return out
 
     def ddr_to_line(self, address: DdrAddress) -> int:
@@ -270,12 +305,24 @@ class CachelineInterleaving(AddressMapper):
         pow2 = _is_pow2(banks) and _is_pow2(cols)
         out: List[DdrAddress] = []
         append = out.append
+        # Memo-first, as in LinearMapping.lines_to_ddr_bulk: windows
+        # revisit their working set, and a dict.get hit beats redoing
+        # the split + DdrAddress construction severalfold.
+        cache = self._ddr_cache
+        cache_get = cache.get
+        capacity = self.CACHE_CAPACITY
+        hits = misses = 0
         if pow2:
             bank_shift = banks.bit_length() - 1
             bank_mask = banks - 1
             col_shift = cols.bit_length() - 1
             col_mask = cols - 1
             for line in lines:
+                address = cache_get(line)
+                if address is not None:
+                    hits += 1
+                    append(address)
+                    continue
                 if not 0 <= line < total:
                     self._check_line(line)
                 rest = line >> bank_shift
@@ -284,9 +331,20 @@ class CachelineInterleaving(AddressMapper):
                 if permute:
                     bank_flat = (bank_flat ^ row) & bank_mask
                 channel, rank, bank = coords[bank_flat]
-                append(addr(channel, rank, bank, row, rest & col_mask))
+                address = addr(channel, rank, bank, row, rest & col_mask)
+                misses += 1
+                if len(cache) >= capacity:
+                    del cache[next(iter(cache))]
+                    self.memo_evictions += 1
+                cache[line] = address
+                append(address)
         else:
             for line in lines:
+                address = cache_get(line)
+                if address is not None:
+                    hits += 1
+                    append(address)
+                    continue
                 if not 0 <= line < total:
                     self._check_line(line)
                 rest, bank_flat = divmod(line, banks)
@@ -294,7 +352,15 @@ class CachelineInterleaving(AddressMapper):
                 if permute:
                     bank_flat = self._permute(bank_flat, row)
                 channel, rank, bank = coords[bank_flat]
-                append(addr(channel, rank, bank, row, column))
+                address = addr(channel, rank, bank, row, column)
+                misses += 1
+                if len(cache) >= capacity:
+                    del cache[next(iter(cache))]
+                    self.memo_evictions += 1
+                cache[line] = address
+                append(address)
+        self.memo_hits += hits
+        self.memo_misses += misses
         return out
 
     def ddr_to_line(self, address: DdrAddress) -> int:

@@ -18,7 +18,7 @@ from __future__ import annotations
 import random
 import time as _time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.dram.device import DramDevice
 from repro.dram.disturbance import BitFlip
@@ -86,6 +86,18 @@ ActGate = Callable[[DdrAddress, int, Optional[int]], int]
 # subscribe here.
 ActObserver = Callable[[DdrAddress, int, Optional[int], bool], None]
 
+# Vector twin of an ActObserver: one call per flushed run of ACTs
+# (addresses, completion times, domains; never DMA — DMA requests cannot
+# enter the columnar path).  A bulk observer must be equivalent to its
+# scalar twin called per element and must not retain the sequences (the
+# engine reuses them).  It may be invoked slightly *earlier* than the
+# scalar path would have called the per-ACT observer relative to an
+# interrupt handler firing on the same ACT; observers that need strict
+# ordering against handlers should not provide a bulk twin.
+BulkActObserver = Callable[
+    [Sequence[DdrAddress], Sequence[int], Sequence[Optional[int]]], None
+]
+
 
 class MemoryController:
     """One memory controller driving one DRAM device."""
@@ -149,6 +161,10 @@ class MemoryController:
         self._next_ref_at: int = device.timings.tREFI
         self._act_gates: List[ActGate] = []
         self._act_observers: List[ActObserver] = []
+        # Parallel to _act_observers: the bulk twin of each observer, or
+        # None when the subscriber only handles scalar dispatch (which
+        # forces submit_columnar onto its segmented scalar path).
+        self._act_observer_bulk: List[Optional[BulkActObserver]] = []
         self.refresh_enabled: bool = True
         # Fault-injection seams (installed by repro.faults.plane): the
         # refresh hook may divert a ``refresh`` instruction to a row
@@ -186,8 +202,23 @@ class MemoryController:
     def add_act_gate(self, gate: ActGate) -> None:
         self._act_gates.append(gate)
 
-    def add_act_observer(self, observer: ActObserver) -> None:
+    def add_act_observer(
+        self,
+        observer: ActObserver,
+        bulk: Optional[BulkActObserver] = None,
+    ) -> None:
+        """Subscribe ``observer`` to every ACT the controller issues.
+
+        ``bulk``, when given, is the observer's vector twin: the
+        columnar engine hands it whole runs of ACTs instead of one call
+        per ACT.  Subscribers without a bulk twin keep full scalar
+        semantics — ``submit_columnar`` then services batches through
+        its ordered per-request path (counted in
+        ``mc.columnar_fallbacks``) so stateful observers never see
+        reordered or coalesced events.
+        """
         self._act_observers.append(observer)
+        self._act_observer_bulk.append(bulk)
 
     # ------------------------------------------------------------------
     # Observability wiring
@@ -509,22 +540,66 @@ class MemoryController:
 
         Tracing and profiling need the per-request records, so an
         enabled trace bus or profiler routes the batch through the
-        object path — bit-identical by construction.
+        object path — bit-identical by construction.  When every ACT
+        subscriber provides a bulk twin the batch runs on the fully
+        vectorized engine (:meth:`_submit_columnar_bulk`); a scalar-only
+        observer routes it through the ordered per-request columnar loop
+        instead.  Either delegation is counted in
+        ``mc.columnar_fallbacks`` and emits a ``columnar_fallback``
+        trace event carrying the reason.  (DMA never reaches this path:
+        the columnar container refuses DMA requests by construction.)
         """
         line_col = batch.line
         n = len(line_col)
         if n == 0:
             return 0
         if self.profiler is not None or self.trace.enabled:
+            self._note_columnar_fallback(
+                "profiler" if self.profiler is not None else "trace",
+                n, batch.issue_ns[0],
+            )
             completions = self.submit_batch(batch.to_requests())
             return max(c.ready_at_ns for c in completions)
+        addresses = self.mapper.lines_to_ddr_bulk(line_col)
+        if None in self._act_observer_bulk:
+            self._note_columnar_fallback(
+                "stateful-defense", n, batch.issue_ns[0]
+            )
+            return self._submit_columnar_scalar(batch, addresses)
+        return self._submit_columnar_bulk(
+            addresses, line_col, batch.is_write, batch.issue_ns,
+            batch.domain, n,
+        )
+
+    def _note_columnar_fallback(
+        self, reason: str, size: int, time_ns: int
+    ) -> None:
+        """A columnar batch is being serviced via the object/scalar
+        path: count it (``mc.columnar_fallbacks``) and put the reason on
+        the trace so silent delegation is diagnosable."""
+        self.stats.columnar_fallbacks += 1
+        if self.trace.enabled:
+            self.trace.emit(
+                _ev.COLUMNAR_FALLBACK, time_ns, reason=reason, size=size,
+            )
+
+    def _submit_columnar_scalar(self, batch, addresses) -> int:
+        """Ordered per-request columnar loop (the segmented fallback).
+
+        Keeps the columnar container's allocation savings but services
+        each request through the exact scalar sequence — device call,
+        per-ACT counter, per-ACT observers — so stateful subscribers
+        (vendor TRR samplers, scalar-only defense observers) see events
+        in precisely the order the object path would deliver them.
+        """
+        line_col = batch.line
+        n = len(line_col)
         device = self.device
         banks = device.banks
         timings = device.timings
         tBL = timings.tBL
         tCL = timings.tCL
         access_mapped = device.access_mapped
-        addresses = self.mapper.lines_to_ddr_bulk(line_col)
         bus = self._bus_busy_until
         gates = self._act_gates
         closed = self.page_policy == "closed"
@@ -600,6 +675,272 @@ class MemoryController:
             if done > batch_done:
                 batch_done = done
 
+        stats.reads += reads
+        stats.writes += writes
+        stats.row_hits += hits
+        stats.row_misses += misses
+        stats.row_conflicts += conflicts
+        stats.total_request_latency_ns += latency_ns
+        stats.busy_until_ns = busy_until
+        return batch_done
+
+    def _submit_columnar_bulk(
+        self,
+        addresses: List[DdrAddress],
+        line_col,
+        write_col,
+        time_col,
+        dom_col,
+        n: int,
+        bank_ids: Optional[List[int]] = None,
+    ) -> int:
+        """The fully vectorized columnar engine (tier 3).
+
+        Result-identical to :meth:`_submit_columnar_scalar` (hence to
+        ``submit_batch``), with the per-ACT side effects run in column
+        space:
+
+        * disturbance accrual is deferred into address/row/time vectors
+          and flushed through :meth:`DisturbanceTracker.on_activate_bulk`
+          (at refresh boundaries, counter overflows, and batch end — all
+          points where tracker state becomes externally observable);
+        * per-channel ACT counters are kept in hoisted locals; quiet runs
+          settle via :meth:`ActCounter.absorb` and each overflow routes
+          through the counter's own scalar path, so jitter redraw,
+          delivery filtering and handler dispatch are exact.  Before a
+          handler runs, *every* channel's count, ``stats.acts`` and the
+          per-domain histogram are synchronised — handlers observe the
+          same architectural state the scalar path would show them — and
+          every hoisted value is re-read afterwards because handlers may
+          re-enter the controller (targeted refreshes, uncore moves,
+          counter reconfiguration);
+        * ``mc.*`` throughput counters and the per-domain ACT histogram
+          accumulate in locals and flush once, exactly like
+          ``submit_batch``'s locals trick.
+
+        In-DRAM mitigations (:attr:`DramDevice.mitigation`) stay inline
+        per ACT: their tables are only *read* at refresh bursts, which
+        the engine always runs on flushed state.
+        """
+        device = self.device
+        timings = device.timings
+        tBL = timings.tBL
+        tCL = timings.tCL
+        tRP = timings.tRP
+        tRC = timings.tRC
+        tRCD = timings.tRCD
+        bus = self._bus_busy_until
+        gates = self._act_gates
+        closed = self.page_policy == "closed"
+        refresh_enabled = self.refresh_enabled
+        stats = self.stats
+        mitigation = device.mitigation
+        tracker = device.tracker
+        remapper = device.remapper
+        identity_remap = remapper.is_identity()
+        to_internal = remapper.to_internal
+        counters = self.counters
+        bank_list = device.bank_list
+        if bank_ids is None:
+            bank_index_of = device._bank_index
+            bank_ids = [
+                bank_index_of[(a.channel, a.rank, a.bank)]
+                for a in addresses
+            ]
+
+        # Deferred ACT event columns, flushed together: logical address,
+        # internal row (remapped configs only), ACT completion time for
+        # the tracker, request completion time for observers, domain.
+        act_addr: List[DdrAddress] = []
+        act_row: List[int] = []
+        act_bid: List[int] = []
+        act_t: List[int] = []
+        act_done: List[int] = []
+        act_dom: List[Optional[int]] = []
+        have_observers = bool(self._act_observers)
+
+        def flush_events() -> None:
+            if not act_t:
+                return
+            # Rows and flat bank ids ride along as plain int columns so
+            # the tracker's numpy kernel skips its attribute walks.
+            tracker.on_activate_bulk(
+                act_addr, act_t, act_dom,
+                rows=act_row, bank_ids=act_bid,
+            )
+            if have_observers:
+                observers = self._act_observers
+                observer_bulk = self._act_observer_bulk
+                for index in range(len(observers)):
+                    bulk = observer_bulk[index]
+                    if bulk is not None:
+                        bulk(act_addr, act_done, act_dom)
+                    else:
+                        # A scalar-only observer appeared mid-batch (an
+                        # interrupt handler installed it): replay in
+                        # order rather than crash; the next batch will
+                        # take the segmented path from the start.
+                        scalar = observers[index]
+                        for k in range(len(act_done)):
+                            scalar(act_addr[k], act_done[k], act_dom[k],
+                                   False)
+            act_addr.clear()
+            act_row.clear()
+            act_bid.clear()
+            act_t.clear()
+            act_done.clear()
+            act_dom.clear()
+
+        # Hoisted per-channel counter state; pending = ACTs counted
+        # locally but not yet settled into the counter object.
+        ch_count = {c: k._count for c, k in counters.items()}
+        ch_next = {c: k._next_overflow_at for c, k in counters.items()}
+        ch_pending = {c: 0 for c in counters}
+
+        next_ref = self._next_ref_at
+        acts_delta = 0
+        dom_delta: Dict[int, int] = {}
+
+        reads = writes = hits = misses = conflicts = 0
+        latency_ns = 0
+        busy_until = stats.busy_until_ns
+        batch_done = 0
+
+        def sync_acts() -> None:
+            nonlocal acts_delta
+            if acts_delta:
+                stats.acts += acts_delta
+                acts_delta = 0
+            if dom_delta:
+                histogram = stats.acts_by_domain
+                for key, value in dom_delta.items():
+                    histogram[key] = histogram.get(key, 0) + value
+                dom_delta.clear()
+
+        for i in range(n):
+            time_ns = time_col[i]
+            if refresh_enabled and next_ref <= time_ns:
+                # Refresh reads tracker and mitigation state: flush the
+                # deferred events so the sweep sees exactly what the
+                # scalar path would have accrued by now.
+                flush_events()
+                self.advance_to(time_ns)
+                next_ref = self._next_ref_at
+            address = addresses[i]
+            channel = address.channel
+            bank = bank_list[bank_ids[i]]
+            open_row = bank.open_row
+            row = address.row
+            if open_row == row:
+                # BankState.access hit branch, inlined.
+                hits += 1
+                busy = bank.busy_until
+                start = time_ns if time_ns >= busy else busy
+                bank.row_hits += 1
+                bank.busy_until = start + tBL
+                data_at_bank = start + tCL
+                will_act = False
+            else:
+                will_act = True
+                domain = dom_col[i]
+                if domain < 0:
+                    domain = None
+                now = time_ns
+                if gates:
+                    throttled = 0
+                    for gate in gates:
+                        throttled += gate(address, now, domain)
+                    if throttled:
+                        now += throttled
+                        stats.throttle_stalls_ns += throttled
+                # BankState.access ACT branch, inlined (including the
+                # bank's own counters).
+                busy = bank.busy_until
+                start = now if now >= busy else busy
+                if open_row is None:
+                    misses += 1
+                    bank.row_misses += 1
+                    act_at = start
+                else:
+                    conflicts += 1
+                    bank.row_conflicts += 1
+                    bank.precharges += 1
+                    act_at = start + tRP
+                earliest = bank.last_act_at + tRC
+                if act_at < earliest:
+                    act_at = earliest
+                bank.open_row = row
+                bank.acts += 1
+                bank.last_act_at = act_at
+                bank.busy_until = act_at + tRCD + tBL
+                data_at_bank = act_at + tRCD + tCL
+                # DramDevice._physical_activate, split: the in-DRAM
+                # mitigation samples inline (order-exact); disturbance
+                # accrual is deferred into the event columns.
+                if mitigation is not None:
+                    mitigation.on_activate(address, data_at_bank)
+                act_addr.append(address)
+                act_row.append(
+                    row if identity_remap else to_internal(bank_ids[i], row)
+                )
+                act_bid.append(bank_ids[i])
+                act_t.append(data_at_bank)
+                act_dom.append(domain)
+            bus_free = bus[channel]
+            transfer_start = (
+                data_at_bank if data_at_bank > bus_free else bus_free
+            )
+            done = transfer_start + tBL
+            bus[channel] = done
+            if closed:
+                bank.precharge(data_at_bank)
+            if will_act:
+                act_done.append(done)
+                acts_delta += 1
+                domain_key = -1 if domain is None else domain
+                dom_delta[domain_key] = dom_delta.get(domain_key, 0) + 1
+                count = ch_count[channel] + 1
+                pending = ch_pending[channel] + 1
+                if count < ch_next[channel]:
+                    ch_count[channel] = count
+                    ch_pending[channel] = pending
+                else:
+                    # Overflow: make every piece of architectural state
+                    # exact, then let the counter's own scalar path fire
+                    # the interrupt machinery.
+                    flush_events()
+                    sync_acts()
+                    for other, other_pending in ch_pending.items():
+                        if other != channel and other_pending:
+                            counters[other].absorb(other_pending)
+                            ch_pending[other] = 0
+                    counter = counters[channel]
+                    counter.absorb(pending - 1)
+                    ch_pending[channel] = 0
+                    counter.on_act(done, line_col[i], False)
+                    # Handlers may have re-entered the controller:
+                    # re-read everything hoisted.
+                    next_ref = self._next_ref_at
+                    for other, other_counter in counters.items():
+                        ch_count[other] = other_counter._count
+                        ch_next[other] = other_counter._next_overflow_at
+                    have_observers = bool(self._act_observers)
+
+            if write_col[i]:
+                writes += 1
+            else:
+                reads += 1
+            latency_ns += done - time_ns
+            if done > busy_until:
+                busy_until = done
+            if done > batch_done:
+                batch_done = done
+
+        flush_events()
+        sync_acts()
+        for channel, pending in ch_pending.items():
+            if pending:
+                counters[channel].absorb(pending)
         stats.reads += reads
         stats.writes += writes
         stats.row_hits += hits
@@ -727,7 +1068,11 @@ class MemoryController:
         domain: Optional[int],
         is_dma: bool,
     ) -> None:
-        self.stats.acts += 1
+        stats = self.stats
+        stats.acts += 1
+        histogram = stats.acts_by_domain
+        domain_key = -1 if domain is None else domain
+        histogram[domain_key] = histogram.get(domain_key, 0) + 1
         interrupt = self.counters[address.channel].on_act(
             time_ns, physical_line, is_dma
         )

@@ -17,6 +17,7 @@ cycle-level queue model.
 from __future__ import annotations
 
 from dataclasses import replace
+from heapq import heapify, heappop, heappush
 from typing import List, Sequence
 
 from repro.mc.controller import CompletedRequest, MemoryController, MemoryRequest
@@ -107,3 +108,158 @@ class BatchScheduler:
             else:
                 completed.append(submit_translated(request, address))
         return completed
+
+    def issue_columnar(self, batch) -> int:
+        """Service one outstanding window given as a
+        :class:`~repro.sim.columnar.ColumnarBatch`; returns the window
+        completion time (0 for an empty batch).
+
+        Result-identical to ``issue(batch.to_requests())`` followed by
+        ``max(ready_at_ns)``.  The FR-FCFS selection scan normally
+        re-reads live bank state between submissions; the columnar fast
+        path instead *simulates* the open-row evolution locally (every
+        submission's effect on its bank's open row is deterministic) and
+        then runs the whole permuted window through the controller's
+        bulk engine.  That simulation is only exact when nothing else
+        can touch bank state mid-window, so the fast path requires: no
+        profiler/trace, every ACT subscriber bulk-capable, no interrupt
+        handlers (they may re-enter the controller and close rows), and
+        a single shared issue time (the scheduler's windows are
+        simultaneously outstanding by construction).  Anything else
+        delegates to :meth:`issue` — counted in
+        ``mc.columnar_fallbacks`` with the blocking reason.
+
+        A periodic REF burst due at the window start needs no fallback:
+        with a uniform issue time the whole burst executes inside the
+        *first* submission's refresh guard, so the object path selects
+        its first request against pre-REF bank state and every later
+        request against post-REF state — which the local simulation
+        mirrors by closing every simulated row after the first pick.
+        The bulk engine then performs the actual burst at its own
+        refresh guard on element 0.
+        """
+        controller = self.controller
+        line_col = batch.line
+        n = len(line_col)
+        if n == 0:
+            return 0
+        if self.policy == "fcfs":
+            return controller.submit_columnar(batch)
+        time_col = batch.issue_ns
+        t0 = time_col[0]
+        fallback = None
+        if controller.profiler is not None:
+            fallback = "profiler"
+        elif controller.trace.enabled:
+            fallback = "trace"
+        elif None in controller._act_observer_bulk:
+            fallback = "stateful-defense"
+        elif any(c._handlers for c in controller.counters.values()):
+            fallback = "interrupt-handlers"
+        else:
+            for i in range(1, n):
+                if time_col[i] != t0:
+                    fallback = "mixed-times"
+                    break
+        if fallback is not None:
+            # The batch-fault seam has not been consumed yet: plain
+            # issue() applies it (and the trace emission) exactly.
+            controller._note_columnar_fallback(fallback, n, t0)
+            completions = self.issue(batch.to_requests())
+            return max(c.ready_at_ns for c in completions)
+        if controller.batch_fault is not None:
+            t0 += controller.batch_fault(t0, n)
+        device = controller.device
+        addresses = controller.mapper.lines_to_ddr_bulk(line_col)
+        geometry = device.geometry
+        ranks_per_channel = geometry.ranks_per_channel
+        banks_per_rank = geometry.banks_per_rank
+        bank_list = device.bank_list
+        # Column-space bookkeeping: flat bank ids instead of (channel,
+        # rank, bank) tuples — the O(n²) scan below then compares via
+        # list indexing and int-keyed dict lookups, no tuple hashing.
+        bank_ids = [
+            (address.channel * ranks_per_channel + address.rank)
+            * banks_per_rank + address.bank
+            for address in addresses
+        ]
+        rows = [address.row for address in addresses]
+        open_rows = {
+            bid: bank_list[bid].open_row for bid in set(bank_ids)
+        }
+        closed = controller.page_policy == "closed"
+        # Incremental FR-FCFS: instead of rescanning the remaining
+        # window each round (O(n²)), keep a min-heap of known row-hit
+        # indices with lazy invalidation.  The heap top is exactly the
+        # oldest pending hit; entries are re-validated on pop (a hit
+        # candidate dies when its bank moved on, a duplicate when it
+        # already issued).  Opening row r on bank b promotes precisely
+        # the pending requests grouped under (b, r), so each issue does
+        # O(log n) work instead of a fresh scan.
+        groups: dict = {}
+        for index in range(n):
+            key = (bank_ids[index], rows[index])
+            bucket = groups.get(key)
+            if bucket is None:
+                groups[key] = [index]
+            else:
+                bucket.append(index)
+        hit_heap: List[int] = [
+            index for index in range(n)
+            if open_rows[bank_ids[index]] == rows[index]
+        ]
+        heapify(hit_heap)
+        issued = [False] * n
+        oldest = 0
+        order: List[int] = []
+        burst_due = (
+            controller.refresh_enabled and controller._next_ref_at <= t0
+        )
+        for _ in range(n):
+            chosen = -1
+            while hit_heap:
+                index = hit_heap[0]
+                if (not issued[index]
+                        and open_rows[bank_ids[index]] == rows[index]):
+                    chosen = index
+                heappop(hit_heap)
+                if chosen >= 0:
+                    break
+            while issued[oldest]:
+                oldest += 1
+            if chosen < 0:
+                chosen = oldest
+            elif chosen != oldest:
+                self.reordered += 1
+            issued[chosen] = True
+            order.append(chosen)
+            if burst_due:
+                # First pick ran against pre-REF state; the burst (fired
+                # by the first submission in the object path) closes
+                # every row before any later pick.
+                for bid in open_rows:
+                    open_rows[bid] = None
+                burst_due = False
+            bid = bank_ids[chosen]
+            if closed:
+                open_rows[bid] = None
+            else:
+                row = rows[chosen]
+                open_rows[bid] = row
+                bucket = groups[(bid, row)]
+                if len(bucket) > 1:
+                    for index in bucket:
+                        if not issued[index]:
+                            heappush(hit_heap, index)
+        write_col = batch.is_write
+        dom_col = batch.domain
+        times = [t0] * n
+        return controller._submit_columnar_bulk(
+            [addresses[index] for index in order],
+            [line_col[index] for index in order],
+            [write_col[index] for index in order],
+            times,
+            [dom_col[index] for index in order],
+            n,
+            bank_ids=[bank_ids[index] for index in order],
+        )

@@ -30,8 +30,12 @@ class ControllerStats:
     uncore_moves: int = 0  # paper's uncore move executions
     throttle_stalls_ns: int = 0  # delay added by frequency-centric throttling
     interrupt_handler_failures: int = 0  # host handlers that raised mid-dispatch
+    columnar_fallbacks: int = 0  # columnar batches serviced via the object path
     total_request_latency_ns: int = 0
     busy_until_ns: int = 0  # completion time of the latest request
+    #: request-driven ACTs per trust domain (-1 = no domain); targeted /
+    #: neighbour refreshes issued by defenses are deliberately excluded
+    acts_by_domain: Dict[int, int] = field(default_factory=dict)
 
     @property
     def requests(self) -> int:
@@ -76,6 +80,8 @@ class ControllerStats:
             "uncore_moves": self.uncore_moves,
             "throttle_stalls_ns": self.throttle_stalls_ns,
             "interrupt_handler_failures": self.interrupt_handler_failures,
+            "columnar_fallbacks": self.columnar_fallbacks,
+            "act_domains": len(self.acts_by_domain),
             "average_latency_ns": round(self.average_latency_ns, 2),
             "energy_proxy": round(self.energy_proxy(), 1),
         }

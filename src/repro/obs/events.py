@@ -21,6 +21,7 @@ kind                      emitted when
 ``throttle_stall``        an ACT gate (BlockHammer-style) delays an ACT
 ``uncore_move``           the proposed uncore move copies a line (§4.2)
 ``sched_batch``           the batch scheduler issues one outstanding window
+``columnar_fallback``     a columnar batch fell back to the object/scalar path
 ``fault_injected``        the fault plane perturbed a hardware behaviour
 ``invariant_violation``   an invariant checker caught an inconsistency
 ``handler_error``         a host-OS interrupt handler raised an exception
@@ -49,6 +50,7 @@ BIT_FLIP = "bit_flip"
 THROTTLE_STALL = "throttle_stall"
 UNCORE_MOVE = "uncore_move"
 SCHED_BATCH = "sched_batch"
+COLUMNAR_FALLBACK = "columnar_fallback"
 FAULT_INJECTED = "fault_injected"
 INVARIANT_VIOLATION = "invariant_violation"
 HANDLER_ERROR = "handler_error"
@@ -68,6 +70,7 @@ EVENT_KINDS = (
     THROTTLE_STALL,
     UNCORE_MOVE,
     SCHED_BATCH,
+    COLUMNAR_FALLBACK,
     FAULT_INJECTED,
     INVARIANT_VIOLATION,
     HANDLER_ERROR,

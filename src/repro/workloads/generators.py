@@ -240,6 +240,14 @@ class WorkloadRunner:
         :meth:`~repro.mc.controller.MemoryController.submit_columnar`;
         the window's issue time advances to the batch completion time,
         exactly as the object path's windows do.
+
+        A short final remainder (``accesses`` not a multiple of ``mlp``)
+        is merged into the last full window rather than issued as its
+        own tiny batch: a ``min(mlp, accesses - issued)`` tail would
+        start a fresh batch at the previous window's completion time and
+        split a row-hit run across the boundary (the stub batch re-pays
+        the open-row bookkeeping its run already earned).  The last
+        window is therefore ``mlp``..``2*mlp - 1`` accesses wide.
         """
         from repro.sim.columnar import ColumnarBatch
 
@@ -258,7 +266,8 @@ class WorkloadRunner:
         now = start_ns
         issued = 0
         while issued < accesses:
-            window = min(mlp, accesses - issued)
+            remaining = accesses - issued
+            window = mlp if remaining >= 2 * mlp else remaining
             batch.clear()
             for _ in range(window):
                 vline, is_write = next(generator)
@@ -360,5 +369,48 @@ class SharedQueueRunner:
         issued = 0
         while issued < accesses:
             now = self.step(now)
+            issued += self.window
+        return now
+
+    def step_columnar(self, now: int, batch) -> int:
+        """Issue one shared window through the columnar fast path.
+
+        Draws the same round-robin interleave as :meth:`step` — each
+        source's generator advances identically — but fills the caller's
+        reusable :class:`~repro.sim.columnar.ColumnarBatch` instead of
+        constructing request objects, then hands the window to
+        :meth:`~repro.mc.scheduler.BatchScheduler.issue_columnar`.
+        """
+        batch.clear()
+        line_col = batch.line
+        write_col = batch.is_write
+        time_col = batch.issue_ns
+        dom_col = batch.domain
+        sources = self.sources
+        count = len(sources)
+        for index in range(self.window):
+            source = sources[index % count]
+            vline, is_write = next(source._generator)
+            source.stepped_accesses += 1
+            line_col.append(source.handle.physical_line(vline))
+            write_col.append(1 if is_write else 0)
+            time_col.append(now)
+            dom_col.append(source.handle.asid)
+        done = self.scheduler.issue_columnar(batch)
+        self.steps += 1
+        return done if done > now else now
+
+    def run_columnar(self, accesses: int, start_ns: int = 0) -> int:
+        """Columnar twin of :meth:`run`: same windows, same finish time,
+        serviced through the struct-of-arrays engine."""
+        if accesses < 1:
+            raise ValueError("accesses must be >= 1")
+        from repro.sim.columnar import ColumnarBatch
+
+        batch = ColumnarBatch()
+        now = start_ns
+        issued = 0
+        while issued < accesses:
+            now = self.step_columnar(now, batch)
             issued += self.window
         return now

@@ -1,0 +1,128 @@
+"""Registry-wide bulk == scalar differential.
+
+Every defense in ``ALL_DEFENSES``, on every platform preset that can
+host it, must produce ``RunMetrics`` bit-identical whether the workload
+is serviced through the columnar bulk engine or the object reference
+path.  The object path stays the oracle: the columnar leg is the one
+under test.
+
+Two side conditions ride along:
+
+* a defense that advertises ``supports_bulk_acts`` must never knock the
+  engine into a fallback (``mc.columnar_fallbacks`` stays 0);
+* a scalar-only defense must *always* take the ordered fallback — that
+  the metrics still match proves the segmented replay preserves
+  per-ACT interleaving.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.primitives import MissingPrimitiveError
+from repro.defenses import (
+    ALL_DEFENSES,
+    BankPartitionDefense,
+    GuardRowsDefense,
+)
+from repro.hostos.allocator import AllocationPolicy
+from repro.mc.controller import MemoryRequest
+from repro.sim import (
+    build_system,
+    ideal_platform,
+    legacy_platform,
+    proposed_platform,
+)
+from repro.sim.metrics import collect_metrics
+from repro.workloads import WorkloadRunner
+
+PLATFORMS = {
+    "legacy": legacy_platform,
+    "proposed": proposed_platform,
+    "ideal": ideal_platform,
+}
+
+ACCESSES = 600
+MLP = 8
+
+
+# Allocator-policy defenses refuse to attach unless the system was
+# built with their matching placement policy.
+POLICY_OF = {
+    BankPartitionDefense: AllocationPolicy.BANK_PARTITION,
+    GuardRowsDefense: AllocationPolicy.GUARD_ROWS,
+}
+
+
+def _build(platform, defense_cls):
+    overrides = {}
+    policy = POLICY_OF.get(defense_cls)
+    if policy is not None:
+        # Same shape the experiment sweeps use: these policies demand
+        # non-interleaved placement (§4.1).
+        overrides["allocation_policy"] = policy
+        overrides["mapping"] = "linear"
+    system = build_system(PLATFORMS[platform](scale=8, **overrides))
+    defense = defense_cls()
+    defense.attach(system)
+    handle = system.create_domain("tenant", pages=64)
+    runner = WorkloadRunner(system, handle, name="zipfian", mlp=MLP, seed=11)
+    return system, handle, runner, defense
+
+
+def _run(platform, defense_cls, columnar):
+    system, handle, runner, defense = _build(platform, defense_cls)
+    if columnar:
+        result = runner.run_columnar(ACCESSES)
+        elapsed = result.finished_ns
+    else:
+        # The object leg reproduces run_columnar's windowing exactly —
+        # same generator stream, same merged tail — through
+        # submit_batch, the reference implementation.
+        generator = runner._generator
+        controller = system.controller
+        now = 0
+        issued = 0
+        while issued < ACCESSES:
+            remaining = ACCESSES - issued
+            window = MLP if remaining >= 2 * MLP else remaining
+            requests = []
+            for _ in range(window):
+                vline, is_write = next(generator)
+                requests.append(MemoryRequest(
+                    time_ns=now,
+                    physical_line=handle.physical_line(vline),
+                    is_write=is_write,
+                    domain=handle.asid,
+                ))
+            completions = controller.submit_batch(requests)
+            done = max(c.ready_at_ns for c in completions)
+            if done > now:
+                now = done
+            issued += window
+        elapsed = now
+    metrics = collect_metrics(system, "diff", elapsed_ns=elapsed)
+    return metrics, system.controller.stats.columnar_fallbacks, defense
+
+
+@pytest.mark.parametrize("platform", sorted(PLATFORMS))
+@pytest.mark.parametrize(
+    "defense_cls", ALL_DEFENSES, ids=lambda cls: cls.name
+)
+def test_bulk_metrics_equal_scalar_oracle(defense_cls, platform):
+    try:
+        columnar, fallbacks, defense = _run(platform, defense_cls, True)
+    except MissingPrimitiveError:
+        pytest.skip(f"{defense_cls.name} needs primitives {platform} lacks")
+    reference, _, _ = _run(platform, defense_cls, False)
+    assert dataclasses.asdict(columnar) == dataclasses.asdict(reference)
+    assert columnar.requests > 0
+    if defense.supports_bulk_acts:
+        assert fallbacks == 0, (
+            f"{defense_cls.name} advertises bulk-safe ACT hooks but the "
+            f"engine fell back {fallbacks} times"
+        )
+    else:
+        # Scalar-only observers must have routed every batch through the
+        # ordered fallback (the equality above proves it was exact).
+        assert fallbacks > 0

@@ -101,7 +101,8 @@ def _run_workload(platform, columnar, accesses=1_600, mlp=8, profile=False):
         now = 0
         issued = 0
         while issued < accesses:
-            window = min(mlp, accesses - issued)
+            remaining = accesses - issued
+            window = mlp if remaining >= 2 * mlp else remaining
             requests = []
             for _ in range(window):
                 vline, is_write = next(generator)
@@ -147,3 +148,106 @@ def test_columnar_profiled_delegation_is_identical():
 def test_submit_columnar_empty_batch():
     system = build_system(legacy_platform(scale=8))
     assert system.controller.submit_columnar(ColumnarBatch()) == 0
+
+
+def test_uneven_tail_merges_into_last_window():
+    """Regression: ``accesses`` not a multiple of ``mlp`` must not issue
+    a stub batch that splits the final row-hit run.  accesses=13, mlp=8
+    → exactly one window of 13, and the differential still holds."""
+    columnar = _run_workload("legacy", columnar=True, accesses=13, mlp=8)
+    reference = _run_workload("legacy", columnar=False, accesses=13, mlp=8)
+    assert dataclasses.asdict(columnar) == dataclasses.asdict(reference)
+
+    # Count the windows directly: a 13-access run with mlp=8 is a single
+    # merged batch (no 8 + 5 split).
+    windows = []
+    system = build_system(legacy_platform(scale=8))
+    handle = system.create_domain("tenant", pages=64)
+    runner = WorkloadRunner(system, handle, name="sequential", mlp=8, seed=3)
+    original = system.controller.submit_columnar
+
+    def spying_submit(batch):
+        windows.append(len(batch))
+        return original(batch)
+
+    system.controller.submit_columnar = spying_submit
+    runner.run_columnar(13)
+    assert windows == [13]
+
+
+def _shared_queue_metrics(columnar, accesses=960, window=16):
+    """Four heterogeneous tenants through one FR-FCFS queue; both legs
+    draw the identical round-robin interleave."""
+    from repro.workloads import SharedQueueRunner
+
+    system = build_system(legacy_platform(scale=8))
+    sources = []
+    for index, workload in enumerate(
+        ("zipfian", "random", "sequential", "stride")
+    ):
+        handle = system.create_domain(f"tenant{index}", pages=32)
+        sources.append(WorkloadRunner(
+            system, handle, name=workload, mlp=4, seed=20 + index
+        ))
+    shared = SharedQueueRunner(system, sources, window=window)
+    if columnar:
+        elapsed = shared.run_columnar(accesses)
+    else:
+        elapsed = shared.run(accesses)
+    return collect_metrics(system, "diff", elapsed_ns=elapsed), system
+
+
+def test_shared_queue_columnar_equals_object_path():
+    """``SharedQueueRunner.run_columnar`` (→ ``issue_columnar`` → bulk
+    engine) must be metric-identical to ``run`` (→ ``issue`` →
+    ``submit``), including the FR-FCFS reorder decisions — and with no
+    stateful defense attached the fast path must never fall back."""
+    columnar, fast_system = _shared_queue_metrics(columnar=True)
+    reference, _ = _shared_queue_metrics(columnar=False)
+    assert dataclasses.asdict(columnar) == dataclasses.asdict(reference)
+    assert columnar.requests > 0 and columnar.acts > 0
+    assert fast_system.controller.stats.columnar_fallbacks == 0
+
+
+def test_shared_queue_columnar_fcfs_differential():
+    from repro.workloads import SharedQueueRunner
+
+    def leg(columnar):
+        system = build_system(legacy_platform(scale=8))
+        handles = [
+            system.create_domain(f"t{i}", pages=16) for i in range(2)
+        ]
+        sources = [
+            WorkloadRunner(system, handle, name="random", mlp=4, seed=5 + i)
+            for i, handle in enumerate(handles)
+        ]
+        shared = SharedQueueRunner(
+            system, sources, window=8, policy="fcfs"
+        )
+        elapsed = (
+            shared.run_columnar(400) if columnar else shared.run(400)
+        )
+        return collect_metrics(system, "diff", elapsed_ns=elapsed)
+
+    assert dataclasses.asdict(leg(True)) == dataclasses.asdict(leg(False))
+
+
+def test_uneven_tail_keeps_row_hit_run_unsplit():
+    """The merged tail must preserve row locality across the old 8/5
+    boundary: a sequential stream in one merged window sees at least as
+    many row hits as the split issue order did."""
+    def hits_for(accesses, mlp):
+        system = build_system(legacy_platform(scale=8))
+        handle = system.create_domain("tenant", pages=64)
+        runner = WorkloadRunner(
+            system, handle, name="sequential", mlp=mlp, seed=3
+        )
+        runner.run_columnar(accesses)
+        return system.controller.stats.row_hits
+
+    merged = hits_for(13, 8)
+    # Reference: force the old split shape by running 8 then 5 through
+    # two independent systems' worth of accesses is not comparable, so
+    # compare against the same stream driven with mlp=13 (identical
+    # single window) — merged tail must match it exactly.
+    assert merged == hits_for(13, 13)
