@@ -3,7 +3,8 @@
 
 For each defense in the registry, drive one attack-shape iteration (a
 double-sided hammer through ``run_rounds_columnar``) with the defense
-attached, then inspect ``mc.columnar_fallbacks``:
+attached — **with tracing and profiling enabled** — then inspect
+``mc.columnar_fallbacks``:
 
 * a defense that advertises ``supports_bulk_acts`` must cause **zero**
   fallbacks — if one appears, a code change silently knocked the bulk
@@ -11,7 +12,12 @@ attached, then inspect ``mc.columnar_fallbacks``:
 * a scalar-only defense (``supports_bulk_acts = False``) must be
   serviced entirely through the counted ordered fallback — if the
   count is zero, its strict per-ACT ordering guarantee was silently
-  dropped.
+  dropped;
+* under **no** defense may ``mc.columnar_fallbacks.trace`` or
+  ``mc.columnar_fallbacks.profiler`` be nonzero: observability rides
+  the bulk path (columnar trace records, ``disturb_bulk`` profiler
+  phases), so an attached sink or profiler demoting a batch means the
+  vectorized tracing regressed to the old guard.
 
 Defenses whose primitives the legacy platform lacks are reported as
 skipped (that refusal is itself paper behavior, §4).
@@ -36,6 +42,7 @@ def main() -> int:
     from repro.core.primitives import MissingPrimitiveError
     from repro.defenses import ALL_DEFENSES, BankPartitionDefense, GuardRowsDefense
     from repro.hostos.allocator import AllocationPolicy
+    from repro.obs import CountingSink
     from repro.sim import legacy_platform, proposed_platform
 
     policy_of = {
@@ -69,13 +76,28 @@ def main() -> int:
             )
             continue
         system = scenario.system
+        sink = CountingSink()
+        system.obs.trace.set_sink(sink)
+        system.enable_profiling()
         planner = AttackPlanner(system, scenario.attacker)
         plan = planner.plan(scenario.victim, "double-sided")
         attacker = Attacker(system, scenario.attacker, plan)
         attacker.run_rounds_columnar(ROUNDS)
+        snapshot = system.controller.stats.snapshot()
         fallbacks = system.controller.stats.columnar_fallbacks
         bulk = defense.supports_bulk_acts
-        if bulk and fallbacks:
+        obs_demotions = (
+            snapshot["columnar_fallbacks.trace"]
+            + snapshot["columnar_fallbacks.profiler"]
+        )
+        if obs_demotions:
+            failures.append(
+                f"{defense_cls.name}: tracing/profiling demoted the bulk "
+                f"path ({obs_demotions} observability fallbacks) — "
+                f"columnar observability regressed to the old guard"
+            )
+            verdict = "FAIL"
+        elif bulk and fallbacks:
             failures.append(
                 f"{defense_cls.name}: advertises bulk-safe ACT hooks but "
                 f"caused {fallbacks} columnar fallbacks"
@@ -91,7 +113,8 @@ def main() -> int:
             verdict = "ok"
         print(
             f"  {verdict:<5} {defense_cls.name:<22} "
-            f"bulk={'yes' if bulk else 'no ':<3} fallbacks={fallbacks}"
+            f"bulk={'yes' if bulk else 'no ':<3} fallbacks={fallbacks} "
+            f"events={sink.events_written}"
         )
     if failures:
         print("\nbulk fallback smoke FAILED:")

@@ -12,6 +12,14 @@ Three shapes cover the simulator's hot paths end to end:
 A fourth section times the seeded-replication runner serially vs. via
 :mod:`repro.analysis.parallel` and checks the results are identical.
 
+``--trace`` re-runs every shape with a real :class:`JsonlSink`
+attached — the *traced columnar* numbers — plus a traced **object
+path** leg (the scalar ``submit``/``issue`` entry points) per shape, and
+records the ratio as ``columnar_speedup``.  The guard: traced columnar
+must stay at least ``--min-traced-speedup`` (default 1.5x) above the
+traced object path, or the run exits non-zero — observability that
+demotes the fast path is a regression, not a feature.
+
 Results append to ``benchmarks/BENCH_core.json`` — a *trajectory* file:
 one entry per recorded run, so future PRs can track regressions.  The
 ``--quick`` mode shrinks the workloads and skips the JSON write; it
@@ -111,10 +119,23 @@ def _measure(
     )
 
 
+def _attach_trace(system, trace_dir, name: str, object_path: bool):
+    """Attach a real JSONL sink (the traced bench legs write actual
+    trace files, not a stub) and return it for closing."""
+    from repro.obs.trace import JsonlSink
+
+    suffix = "-object" if object_path else ""
+    sink = JsonlSink(Path(trace_dir) / f"{name}{suffix}.jsonl")
+    system.obs.trace.set_sink(sink)
+    return sink
+
+
 def bench_streaming(
     accesses: int = 60_000,
     profile: bool = False,
     warmup: Optional[int] = None,
+    trace_dir=None,
+    object_path: bool = False,
 ) -> ShapeResult:
     """One tenant streaming reads through the columnar request pipeline
     (struct-of-arrays batches into ``submit_columnar`` — the memory-bound
@@ -124,6 +145,10 @@ def bench_streaming(
     same shape on a throwaway system, unmeasured: a cold first pass runs
     20-60% slow (adaptive-interpreter and allocator warm-up), which
     would otherwise dominate shape-to-shape comparisons.
+
+    ``trace_dir`` attaches a :class:`JsonlSink` writing there;
+    ``object_path`` drives the scalar entry point instead of the
+    columnar one (the traced-overhead comparison leg).
     """
     from repro.sim import build_system, legacy_platform
     from repro.workloads import WorkloadRunner
@@ -131,25 +156,40 @@ def bench_streaming(
     if warmup is None:
         warmup = accesses // 8
     if warmup:
-        bench_streaming(accesses=warmup, profile=False, warmup=0)
+        bench_streaming(
+            accesses=warmup, profile=False, warmup=0,
+            object_path=object_path, trace_dir=trace_dir,
+        )
     system = build_system(legacy_platform(scale=8))
+    sink = (
+        _attach_trace(system, trace_dir, "streaming", object_path)
+        if trace_dir is not None else None
+    )
     profiler = system.enable_profiling() if profile else None
     tenant = system.create_domain("tenant", pages=128)
     runner = WorkloadRunner(system, tenant, name="sequential", mlp=8, seed=5)
-    return _measure(
-        "streaming", system, lambda: runner.run_columnar(accesses), profiler
+    work = (
+        (lambda: runner.run(accesses)) if object_path
+        else (lambda: runner.run_columnar(accesses))
     )
+    result = _measure("streaming", system, work, profiler)
+    if sink is not None:
+        sink.close()
+    return result
 
 
 def bench_attack(
     rounds: int = 12_000,
     profile: bool = False,
     warmup: Optional[int] = None,
+    trace_dir=None,
+    object_path: bool = False,
 ) -> ShapeResult:
     """A double-sided hammer: the flush+load ACT path plus the
     disturbance oracle, driven through the columnar batch engine
     (``run_rounds_columnar`` — the bulk ``on_activate_bulk`` accrual
-    path).  ``warmup`` as in :func:`bench_streaming`."""
+    path).  ``warmup``/``trace_dir``/``object_path`` as in
+    :func:`bench_streaming`."""
     from repro.analysis.scenarios import build_scenario
     from repro.attacks import Attacker, AttackPlanner
     from repro.sim import legacy_platform
@@ -157,37 +197,58 @@ def bench_attack(
     if warmup is None:
         warmup = rounds // 8
     if warmup:
-        bench_attack(rounds=warmup, profile=False, warmup=0)
+        bench_attack(
+            rounds=warmup, profile=False, warmup=0,
+            object_path=object_path, trace_dir=trace_dir,
+        )
     scenario = build_scenario(
         legacy_platform(scale=8), interleaved_allocation=True
     )
     system = scenario.system
+    sink = (
+        _attach_trace(system, trace_dir, "attack", object_path)
+        if trace_dir is not None else None
+    )
     profiler = system.enable_profiling() if profile else None
     planner = AttackPlanner(system, scenario.attacker)
     plan = planner.plan(scenario.victim, "double-sided")
     attacker = Attacker(system, scenario.attacker, plan)
-    return _measure(
-        "attack", system,
-        lambda: attacker.run_rounds_columnar(rounds), profiler,
+    work = (
+        (lambda: attacker.run_rounds(rounds)) if object_path
+        else (lambda: attacker.run_rounds_columnar(rounds))
     )
+    result = _measure("attack", system, work, profiler)
+    if sink is not None:
+        sink.close()
+    return result
 
 
 def bench_multi_tenant(
     accesses: int = 40_000,
     profile: bool = False,
     warmup: Optional[int] = None,
+    trace_dir=None,
+    object_path: bool = False,
 ) -> ShapeResult:
     """Four tenants feeding one FR-FCFS queue, serviced columnar
     (``SharedQueueRunner.run_columnar`` → ``issue_columnar`` → the bulk
-    engine).  ``warmup`` as in :func:`bench_streaming`."""
+    engine).  ``warmup``/``trace_dir``/``object_path`` as in
+    :func:`bench_streaming`."""
     from repro.sim import build_system, legacy_platform
     from repro.workloads import SharedQueueRunner, WorkloadRunner
 
     if warmup is None:
         warmup = accesses // 8
     if warmup:
-        bench_multi_tenant(accesses=warmup, profile=False, warmup=0)
+        bench_multi_tenant(
+            accesses=warmup, profile=False, warmup=0,
+            object_path=object_path, trace_dir=trace_dir,
+        )
     system = build_system(legacy_platform(scale=8))
+    sink = (
+        _attach_trace(system, trace_dir, "multi_tenant", object_path)
+        if trace_dir is not None else None
+    )
     profiler = system.enable_profiling() if profile else None
     sources = []
     for index, workload in enumerate(
@@ -200,10 +261,14 @@ def bench_multi_tenant(
             )
         )
     shared = SharedQueueRunner(system, sources, window=16, policy="fr-fcfs")
-    return _measure(
-        "multi_tenant", system,
-        lambda: shared.run_columnar(accesses), profiler,
+    work = (
+        (lambda: shared.run(accesses)) if object_path
+        else (lambda: shared.run_columnar(accesses))
     )
+    result = _measure("multi_tenant", system, work, profiler)
+    if sink is not None:
+        sink.close()
+    return result
 
 
 def bench_replication(
@@ -277,24 +342,52 @@ def run_bench(
     label: str = "",
     profile: bool = False,
     cache=None,
+    trace: bool = False,
 ) -> Dict[str, object]:
-    """Run every section and return one trajectory entry."""
+    """Run every section and return one trajectory entry.
+
+    ``trace=True`` attaches a real :class:`JsonlSink` to every shape
+    (traced columnar) and additionally times a traced *object-path* leg
+    per shape; each shape row then carries ``object_requests_per_s`` and
+    ``columnar_speedup`` so the trajectory records how much of the
+    vectorized win survives with tracing on.
+    """
+    import tempfile
+
+    sections = [
+        (bench_streaming, {"accesses": 2_000} if quick else {}),
+        (bench_attack, {"rounds": 400} if quick else {}),
+        (bench_multi_tenant, {"accesses": 2_000} if quick else {}),
+    ]
+    shape_rows: Dict[str, Dict[str, object]] = {}
+    if trace:
+        with tempfile.TemporaryDirectory() as trace_dir:
+            for bench_fn, kwargs in sections:
+                columnar = bench_fn(
+                    profile=profile, trace_dir=trace_dir, **kwargs
+                )
+                scalar = bench_fn(
+                    profile=False, trace_dir=trace_dir,
+                    object_path=True, **kwargs
+                )
+                row = columnar.as_dict()
+                row["object_requests_per_s"] = round(
+                    scalar.requests_per_s, 1
+                )
+                row["columnar_speedup"] = round(
+                    columnar.requests_per_s / scalar.requests_per_s, 3
+                ) if scalar.requests_per_s > 0 else 0.0
+                shape_rows[columnar.name] = row
+    else:
+        for bench_fn, kwargs in sections:
+            result = bench_fn(profile=profile, **kwargs)
+            shape_rows[result.name] = result.as_dict()
     if quick:
-        shapes = [
-            bench_streaming(accesses=2_000, profile=profile),
-            bench_attack(rounds=400, profile=profile),
-            bench_multi_tenant(accesses=2_000, profile=profile),
-        ]
         replication = bench_replication(
             seeds=(101, 102), jobs=jobs if jobs is not None else 2,
             accesses=500, cache=cache,
         )
     else:
-        shapes = [
-            bench_streaming(profile=profile),
-            bench_attack(profile=profile),
-            bench_multi_tenant(profile=profile),
-        ]
         replication = bench_replication(jobs=jobs, cache=cache)
     return {
         "label": label or ("quick" if quick else "full"),
@@ -304,7 +397,8 @@ def run_bench(
             "cpus": os.cpu_count() or 1,
             "platform": sys.platform,
         },
-        "shapes": {shape.name: shape.as_dict() for shape in shapes},
+        "traced": trace,
+        "shapes": shape_rows,
         "replication": replication,
     }
 
@@ -403,6 +497,18 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
              "(default: 0.05)",
     )
     parser.add_argument(
+        "--trace", action="store_true",
+        help="attach a JsonlSink to every shape (traced columnar) and "
+             "also time a traced object-path leg; records "
+             "object_requests_per_s and columnar_speedup per shape",
+    )
+    parser.add_argument(
+        "--min-traced-speedup", type=float, default=1.5,
+        help="with --trace: minimum traced-columnar / traced-object "
+             "requests/s ratio per shape; exit non-zero below it "
+             "(default: 1.5)",
+    )
+    parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="OPT-IN: serve the replication section from this result "
              "cache (a warm cache times lookups, not the runner — "
@@ -439,9 +545,11 @@ def run_from_args(args: argparse.Namespace) -> int:
         from repro.analysis.cache import ResultCache
 
         cache = ResultCache(args.cache_dir)
+    traced = getattr(args, "trace", False)
     entry = run_bench(
         quick=args.quick, jobs=args.jobs, label=args.label,
         profile=getattr(args, "profile", False), cache=cache,
+        trace=traced,
     )
     print(json.dumps(entry, indent=2))
     if not args.quick:
@@ -453,6 +561,17 @@ def run_from_args(args: argparse.Namespace) -> int:
         print("ERROR: parallel replication diverged from serial",
               file=sys.stderr)
         status = 1
+    if traced:
+        floor = getattr(args, "min_traced_speedup", 1.5)
+        for name, shape in entry["shapes"].items():
+            speedup = float(shape.get("columnar_speedup", 0.0))
+            if speedup < floor:
+                print(
+                    f"REGRESSION: {name}: traced columnar only "
+                    f"{speedup:.2f}x the traced object path "
+                    f"(floor {floor:.2f}x)", file=sys.stderr,
+                )
+                status = 1
     if baseline is not None:
         failures = check_against_baseline(
             entry, baseline, tolerance=args.tolerance

@@ -372,6 +372,109 @@ def _cmd_replicate(args) -> int:
     return 0
 
 
+def _cmd_status(args) -> int:
+    from repro.runtime import (
+        JournalError,
+        load_journal,
+        read_telemetry,
+        telemetry_path,
+    )
+    from repro.runtime.telemetry import merge_metric_snapshots
+
+    try:
+        snapshot = load_journal(args.journal)
+    except JournalError as error:
+        print(f"repro status: error: {error}", file=sys.stderr)
+        return 2
+    header = snapshot.header
+    events = read_telemetry(telemetry_path(args.journal))
+
+    started: set = set()
+    in_flight: set = set()
+    retried_seeds: set = set()
+    failed_seeds: set = set()
+    retries = cached = 0
+    last_eta = None
+    first_ns = last_ns = None
+    runtime_metrics = {}
+    for event in events:
+        if first_ns is None:
+            first_ns = event.time_ns
+        last_ns = event.time_ns
+        if event.kind == "campaign_finished":
+            runtime_metrics = dict(event.data.get("runtime") or {})
+            continue
+        seed = event.data.get("seed")
+        if event.kind == "seed_started":
+            started.add(seed)
+            in_flight.add(seed)
+        elif event.kind == "seed_finished":
+            in_flight.discard(seed)
+            eta = event.data.get("eta_s")
+            if eta is not None:
+                last_eta = eta
+        elif event.kind == "seed_retried":
+            in_flight.discard(seed)
+            retried_seeds.add(seed)
+            retries += 1
+        elif event.kind == "seed_failed":
+            in_flight.discard(seed)
+            failed_seeds.add(seed)
+        elif event.kind == "seed_cached":
+            cached += 1
+
+    done = [s for s in header.seeds if s in snapshot.completed]
+    title = header.experiment or "campaign"
+    print(f"{title} campaign ({header.fingerprint}): "
+          f"{len(done)}/{len(header.seeds)} seeds done")
+    print(f"  in-flight: {len(in_flight)}"
+          + (f" ({', '.join(str(s) for s in sorted(in_flight))})"
+             if in_flight else ""))
+    print(f"  retried:   {len(retried_seeds)} seed"
+          f"{'s' if len(retried_seeds) != 1 else ''} "
+          f"({retries} retries)")
+    print(f"  failed:    {len(failed_seeds)}")
+    print(f"  cached:    {cached}")
+    if last_eta is not None and len(done) < len(header.seeds):
+        print(f"  ETA:       {last_eta} s")
+
+    merged = merge_metric_snapshots(
+        [snapshot.worker_metrics[s] for s in header.seeds
+         if s in snapshot.worker_metrics]
+    ) if snapshot.worker_metrics else {}
+    for key, value in runtime_metrics.items():
+        merged.setdefault(key, value)
+    requests = merged.get("mc.reads", 0) + merged.get("mc.writes", 0)
+    if requests and first_ns is not None and last_ns is not None \
+            and last_ns > first_ns:
+        rate = requests / ((last_ns - first_ns) / 1e9)
+        print(f"  req/s:     {rate:,.0f} "
+              f"(simulated requests over campaign wall clock)")
+    reasons = sorted(
+        (
+            (key.split(".")[-1], value)
+            for key, value in merged.items()
+            if key.startswith("mc.columnar_fallbacks.") and value
+        ),
+        key=lambda item: (-item[1], item[0]),
+    )
+    if reasons:
+        print("  top fallback reasons: " + ", ".join(
+            f"{name}={count}" for name, count in reasons
+        ))
+    if merged:
+        print(f"  merged metrics ({len(snapshot.worker_metrics)} seed "
+              f"snapshot"
+              f"{'s' if len(snapshot.worker_metrics) != 1 else ''}):")
+        for key in sorted(merged):
+            value = merged[key]
+            shown = f"{value:.4g}" if isinstance(value, float) else value
+            print(f"    {key} = {shown}")
+    else:
+        print("  (no worker metrics journaled yet)")
+    return 0
+
+
 def _cmd_trace(args) -> int:
     import dataclasses
     from pathlib import Path
@@ -381,7 +484,7 @@ def _cmd_trace(args) -> int:
         AttackReplicationSpec,
     )
     from repro.dram.presets import by_name
-    from repro.obs import JsonlSink, observe
+    from repro.obs import JsonlSink, SamplingSink, observe
 
     spec = dataclasses.replace(
         REPLICATION_SPECS[args.experiment.upper()], scale=args.scale
@@ -402,9 +505,13 @@ def _cmd_trace(args) -> int:
     path.parent.mkdir(parents=True, exist_ok=True)
     sink_holder: List[JsonlSink] = []
 
-    def make_sink() -> JsonlSink:
+    def make_sink():
         sink = JsonlSink(path)
         sink_holder.append(sink)
+        if args.sample_every_n:
+            # Deterministic ACT thinning: keep every Nth activate (the
+            # phase seeded per run), ground-truth kinds always pass.
+            return SamplingSink(sink, args.sample_every_n, seed=args.seed)
         return sink
 
     with observe(
@@ -422,14 +529,16 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_inspect(args) -> int:
-    from repro.obs import read_jsonl, render_summary, summarize_events
+    from repro.obs import expand_events, iter_jsonl, render_summary, summarize_events
 
+    # Stream: one event in memory at a time, so a multi-gigabyte trace
+    # (or a columnar one — bulk records expand lazily) inspects in
+    # bounded memory.
     try:
-        events = read_jsonl(args.trace)
+        summary = summarize_events(expand_events(iter_jsonl(args.trace)))
     except (OSError, ValueError) as error:
         print(f"repro inspect: error: {error}", file=sys.stderr)
         return 2
-    summary = summarize_events(events)
     print(render_summary(
         summary, top=args.top, timeline_limit=args.timeline,
     ))
@@ -507,6 +616,19 @@ def _cmd_faults(args) -> int:
 
 
 def _cmd_report(args) -> int:
+    if args.campaign is not None:
+        from repro.runtime import JournalError, write_run_report
+
+        try:
+            json_path, md_path = write_run_report(
+                args.campaign, args.output
+            )
+        except JournalError as error:
+            print(f"repro report: error: {error}", file=sys.stderr)
+            return 2
+        print(f"wrote {json_path}", file=sys.stderr)
+        print(f"wrote {md_path}", file=sys.stderr)
+        return 0
     markdown = generate_report(
         scale=args.scale,
         progress=lambda eid: print(f"running {eid}...", file=sys.stderr),
@@ -562,6 +684,12 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser = sub.add_parser("report", help="run everything, emit markdown")
     report_parser.add_argument("--scale", type=int, default=64)
     report_parser.add_argument("-o", "--output", default=None)
+    report_parser.add_argument(
+        "--campaign", default=None, metavar="JOURNAL",
+        help="instead of running experiments, write the deterministic "
+             "end-of-campaign run report (JSON + markdown) for this "
+             "journal and its telemetry sidecar",
+    )
 
     bench_parser = sub.add_parser(
         "bench", help="benchmark the simulator's core hot paths",
@@ -638,6 +766,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep the platform's default ACT-counter threshold instead "
              "of arming interrupts at MAC/8 (attack traces only)",
     )
+    trace_parser.add_argument(
+        "--sample-every-n", type=int, default=None, metavar="N",
+        help="record every Nth activate (deterministic, seeded phase); "
+             "interrupts and bit flips always pass through",
+    )
 
     faults_parser = sub.add_parser(
         "faults",
@@ -698,6 +831,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="prune: keep at most the newest N entries",
     )
 
+    status_parser = sub.add_parser(
+        "status",
+        help="inspect a campaign journal and its telemetry sidecar "
+             "(read-only: safe while the campaign is still running)",
+    )
+    status_parser.add_argument(
+        "journal", help="campaign journal written with replicate --journal",
+    )
+
     inspect_parser = sub.add_parser(
         "inspect",
         help="summarize a JSONL event trace (aggressors, interrupts, flips)",
@@ -725,6 +867,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "bench": _cmd_bench,
         "replicate": _cmd_replicate,
         "trace": _cmd_trace,
+        "status": _cmd_status,
         "inspect": _cmd_inspect,
         "faults": _cmd_faults,
         "cache": _cmd_cache,

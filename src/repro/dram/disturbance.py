@@ -256,6 +256,7 @@ class DisturbanceTracker:
         domains: Optional[Sequence[Optional[int]]] = None,
         rows: Optional[Sequence[int]] = None,
         bank_ids: Optional[Sequence[int]] = None,
+        out_positions: Optional[List[int]] = None,
     ) -> List[BitFlip]:
         """Record a whole vector of ACTs; return the flips in event order.
 
@@ -274,16 +275,22 @@ class DisturbanceTracker:
         dict walk with one lexsorted event array and a cumulative sum
         per victim group.  Small batches (and numpy-less installs) run
         the scalar twin instead — behaviour is identical either way.
+
+        ``out_positions``, when given, receives one batch position (the
+        index of the causing ACT within ``addresses``) per *returned*
+        flip, in lockstep with the returned list — the trace layer uses
+        this to interleave flip events back into per-ACT order when
+        expanding a bulk record.
         """
         count = len(addresses)
         if count == 0:
             return []
         if _np is None or count < _BULK_MIN_ACTS:
             return self._bulk_scalar_fused(
-                addresses, times, domains, rows, count
+                addresses, times, domains, rows, count, out_positions
             )
         return self._on_activate_bulk_np(
-            addresses, times, domains, rows, count, bank_ids
+            addresses, times, domains, rows, count, bank_ids, out_positions
         )
 
     def _bulk_scalar_fused(
@@ -293,6 +300,7 @@ class DisturbanceTracker:
         domains: Optional[Sequence[Optional[int]]],
         rows: Optional[Sequence[int]],
         count: int,
+        out_positions: Optional[List[int]] = None,
     ) -> List[BitFlip]:
         """Scalar twin with the per-call overhead of :meth:`on_activate`
         fused out: one loop, maps and profile constants hoisted once.
@@ -334,6 +342,8 @@ class DisturbanceTracker:
                         )
                         if flip is not None:
                             flips.append(flip)
+                            if out_positions is not None:
+                                out_positions.append(index)
                 continue
             low = row - blast_radius
             if low < subarray_start:
@@ -357,6 +367,8 @@ class DisturbanceTracker:
                     )
                     if flip is not None:
                         flips.append(flip)
+                        if out_positions is not None:
+                            out_positions.append(index)
         return flips
 
     def _on_activate_bulk_np(
@@ -367,6 +379,7 @@ class DisturbanceTracker:
         rows: Optional[Sequence[int]],
         count: int,
         bank_ids: Optional[Sequence[int]] = None,
+        out_positions: Optional[List[int]] = None,
     ) -> List[BitFlip]:
         """Numpy body of :meth:`on_activate_bulk`.
 
@@ -539,6 +552,8 @@ class DisturbanceTracker:
             )
             if flip is not None:
                 flips.append(flip)
+                if out_positions is not None:
+                    out_positions.append(act)
         for victim_key in trip_reverts:
             tripped.pop(victim_key, None)
         return flips

@@ -32,6 +32,7 @@ from repro.mc.counters import (
 )
 from repro.mc.stats import ControllerStats
 from repro.obs import events as _ev
+from repro.obs.columnar import ColumnarTraceRecord, flip_payload
 from repro.obs.profiler import PhaseProfiler
 from repro.obs.trace import TraceBus
 
@@ -538,32 +539,39 @@ class MemoryController:
         boundaries (miss/conflict) delegate to the device so disturbance
         physics and defense hooks fire per activation as always.
 
-        Tracing and profiling need the per-request records, so an
-        enabled trace bus or profiler routes the batch through the
-        object path — bit-identical by construction.  When every ACT
-        subscriber provides a bulk twin the batch runs on the fully
+        Tracing and profiling ride the fast path: the bulk engine
+        defers per-ACT trace data into the same columns it already
+        keeps and emits one
+        :class:`~repro.obs.columnar.ColumnarTraceRecord` per flushed
+        segment (``TraceBus.emit_bulk``), whose expansion is
+        bit-identical to the scalar event stream; an attached profiler
+        is fed the columnar phases (``translate_bulk`` /
+        ``disturb_bulk``) instead of forcing a demotion.  When every
+        ACT subscriber provides a bulk twin the batch runs on the fully
         vectorized engine (:meth:`_submit_columnar_bulk`); a scalar-only
         observer routes it through the ordered per-request columnar loop
-        instead.  Either delegation is counted in
-        ``mc.columnar_fallbacks`` and emits a ``columnar_fallback``
-        trace event carrying the reason.  (DMA never reaches this path:
-        the columnar container refuses DMA requests by construction.)
+        instead — counted in ``mc.columnar_fallbacks`` (total and
+        ``mc.columnar_fallbacks.scalar_observer``) and emitting a
+        ``columnar_fallback`` trace event carrying the reason.  (DMA
+        never reaches this path: the columnar container refuses DMA
+        requests by construction.)
         """
         line_col = batch.line
         n = len(line_col)
         if n == 0:
             return 0
-        if self.profiler is not None or self.trace.enabled:
-            self._note_columnar_fallback(
-                "profiler" if self.profiler is not None else "trace",
-                n, batch.issue_ns[0],
+        profiler = self.profiler
+        if profiler is None:
+            addresses = self.mapper.lines_to_ddr_bulk(line_col)
+        else:
+            t0 = _time.perf_counter()
+            addresses = self.mapper.lines_to_ddr_bulk(line_col)
+            profiler.add(
+                "translate_bulk", _time.perf_counter() - t0, calls=n
             )
-            completions = self.submit_batch(batch.to_requests())
-            return max(c.ready_at_ns for c in completions)
-        addresses = self.mapper.lines_to_ddr_bulk(line_col)
         if None in self._act_observer_bulk:
             self._note_columnar_fallback(
-                "stateful-defense", n, batch.issue_ns[0]
+                "scalar_observer", n, batch.issue_ns[0]
             )
             return self._submit_columnar_scalar(batch, addresses)
         return self._submit_columnar_bulk(
@@ -575,9 +583,11 @@ class MemoryController:
         self, reason: str, size: int, time_ns: int
     ) -> None:
         """A columnar batch is being serviced via the object/scalar
-        path: count it (``mc.columnar_fallbacks``) and put the reason on
-        the trace so silent delegation is diagnosable."""
-        self.stats.columnar_fallbacks += 1
+        path: count it — total plus the per-reason
+        ``mc.columnar_fallbacks.<reason>`` breakdown (reasons drawn from
+        :data:`repro.mc.stats.FALLBACK_REASONS`) — and put the same
+        reason on the trace so silent delegation is diagnosable."""
+        self.stats.note_columnar_fallback(reason)
         if self.trace.enabled:
             self.trace.emit(
                 _ev.COLUMNAR_FALLBACK, time_ns, reason=reason, size=size,
@@ -591,6 +601,9 @@ class MemoryController:
         per-ACT counter, per-ACT observers — so stateful subscribers
         (vendor TRR samplers, scalar-only defense observers) see events
         in precisely the order the object path would deliver them.
+        When tracing, the per-request events are emitted inline at the
+        same points (and with the same payloads) as
+        :meth:`_trace_access`.
         """
         line_col = batch.line
         n = len(line_col)
@@ -605,6 +618,8 @@ class MemoryController:
         closed = self.page_policy == "closed"
         refresh_enabled = self.refresh_enabled
         stats = self.stats
+        trace = self.trace
+        tracing = trace.enabled
         write_col = batch.is_write
         time_col = batch.issue_ns
         dom_col = batch.domain
@@ -644,14 +659,14 @@ class MemoryController:
                 if domain < 0:
                     domain = None
                 now = time_ns
+                throttled = 0
                 if gates:
-                    throttled = 0
                     for gate in gates:
                         throttled += gate(address, now, domain)
                     if throttled:
                         now += throttled
                         stats.throttle_stalls_ns += throttled
-                data_at_bank, _flips = access_mapped(
+                data_at_bank, flips = access_mapped(
                     bank, address, now, domain
                 )
             bus_free = bus[address.channel]
@@ -663,6 +678,40 @@ class MemoryController:
             if closed:
                 bank.precharge(data_at_bank)
             if will_act:
+                if tracing:
+                    # Inline of _trace_access for the columnar request
+                    # shape (hits emit nothing on the scalar path, so
+                    # the hit branch above stays event-free).
+                    trace.emit(
+                        _ev.ACT, now,
+                        channel=address.channel, rank=address.rank,
+                        bank=address.bank, row=row,
+                        line=line_col[i], domain=domain, dma=False,
+                    )
+                    if open_row is not None:
+                        trace.emit(
+                            _ev.ROW_CONFLICT, now,
+                            channel=address.channel, rank=address.rank,
+                            bank=address.bank, row=row,
+                            closed_row=open_row,
+                            line=line_col[i], domain=domain,
+                        )
+                    if throttled:
+                        trace.emit(
+                            _ev.THROTTLE_STALL, time_ns,
+                            channel=address.channel, rank=address.rank,
+                            bank=address.bank, row=row,
+                            stall_ns=throttled, domain=domain,
+                        )
+                    for flip in flips:
+                        trace.emit(
+                            _ev.BIT_FLIP, flip.time_ns,
+                            victim=list(flip.victim),
+                            aggressor=list(flip.aggressor),
+                            aggressor_domain=flip.aggressor_domain,
+                            victim_domains=sorted(flip.victim_domains),
+                            bits=flip.flipped_bits,
+                        )
                 self._note_act(address, done, line_col[i], domain, False)
 
             if write_col[i]:
@@ -721,6 +770,14 @@ class MemoryController:
         In-DRAM mitigations (:attr:`DramDevice.mitigation`) stay inline
         per ACT: their tables are only *read* at refresh bursts, which
         the engine always runs on flushed state.
+
+        With tracing enabled the engine stays on this path: per-ACT
+        trace data (service time, stall, closed row, line) rides in
+        parallel deferred columns and each flushed segment goes out as
+        one :class:`~repro.obs.columnar.ColumnarTraceRecord` whose
+        expansion reproduces the scalar event stream exactly — segments
+        break at refresh boundaries and counter overflows, the very
+        points where the scalar path would interleave foreign events.
         """
         device = self.device
         timings = device.timings
@@ -748,6 +805,11 @@ class MemoryController:
                 for a in addresses
             ]
 
+        trace = self.trace
+        tracing = trace.enabled
+        profiler = self.profiler
+        perf = _time.perf_counter
+
         # Deferred ACT event columns, flushed together: logical address,
         # internal row (remapped configs only), ACT completion time for
         # the tracker, request completion time for observers, domain.
@@ -757,17 +819,60 @@ class MemoryController:
         act_t: List[int] = []
         act_done: List[int] = []
         act_dom: List[Optional[int]] = []
+        # Trace-only parallel columns: post-throttle service time (the
+        # scalar ACT event timestamp), stall, closed row, physical line.
+        act_now: List[int] = []
+        act_stall: List[int] = []
+        act_closed: List[Optional[int]] = []
+        act_line: List[int] = []
         have_observers = bool(self._act_observers)
 
         def flush_events() -> None:
+            nonlocal act_addr, act_row, act_bid, act_t, act_done, act_dom
+            nonlocal act_now, act_stall, act_closed, act_line
             if not act_t:
                 return
             # Rows and flat bank ids ride along as plain int columns so
             # the tracker's numpy kernel skips its attribute walks.
-            tracker.on_activate_bulk(
-                act_addr, act_t, act_dom,
-                rows=act_row, bank_ids=act_bid,
-            )
+            if profiler is not None:
+                d0 = perf()
+            if tracing:
+                flip_positions: List[int] = []
+                flips = tracker.on_activate_bulk(
+                    act_addr, act_t, act_dom,
+                    rows=act_row, bank_ids=act_bid,
+                    out_positions=flip_positions,
+                )
+            else:
+                tracker.on_activate_bulk(
+                    act_addr, act_t, act_dom,
+                    rows=act_row, bank_ids=act_bid,
+                )
+            if profiler is not None:
+                profiler.add("disturb_bulk", perf() - d0, calls=len(act_t))
+            if tracing:
+                # The record takes ownership of the deferred columns —
+                # they are *rebound* below, never cleared, so handing
+                # them over without copies is safe (the record is frozen
+                # and nothing mutates its columns after construction).
+                trace.emit_bulk(ColumnarTraceRecord(
+                    time_ns=act_now[0],
+                    channel=[a.channel for a in act_addr],
+                    rank=[a.rank for a in act_addr],
+                    bank=[a.bank for a in act_addr],
+                    row=[a.row for a in act_addr],
+                    line=act_line,
+                    domain=act_dom,
+                    act_ns=act_now,
+                    stall_ns=act_stall,
+                    closed_row=act_closed,
+                    flip_pos=flip_positions,
+                    flips=[flip_payload(flip) for flip in flips],
+                ))
+                act_now = []
+                act_stall = []
+                act_closed = []
+                act_line = []
             if have_observers:
                 observers = self._act_observers
                 observer_bulk = self._act_observer_bulk
@@ -784,12 +889,12 @@ class MemoryController:
                         for k in range(len(act_done)):
                             scalar(act_addr[k], act_done[k], act_dom[k],
                                    False)
-            act_addr.clear()
-            act_row.clear()
-            act_bid.clear()
-            act_t.clear()
-            act_done.clear()
-            act_dom.clear()
+            act_addr = []
+            act_row = []
+            act_bid = []
+            act_t = []
+            act_done = []
+            act_dom = []
 
         # Hoisted per-channel counter state; pending = ACTs counted
         # locally but not yet settled into the counter object.
@@ -846,8 +951,8 @@ class MemoryController:
                 if domain < 0:
                     domain = None
                 now = time_ns
+                throttled = 0
                 if gates:
-                    throttled = 0
                     for gate in gates:
                         throttled += gate(address, now, domain)
                     if throttled:
@@ -886,6 +991,11 @@ class MemoryController:
                 act_bid.append(bank_ids[i])
                 act_t.append(data_at_bank)
                 act_dom.append(domain)
+                if tracing:
+                    act_now.append(now)
+                    act_stall.append(throttled)
+                    act_closed.append(open_row)
+                    act_line.append(line_col[i])
             bus_free = bus[channel]
             transfer_start = (
                 data_at_bank if data_at_bank > bus_free else bus_free
@@ -917,7 +1027,18 @@ class MemoryController:
                     counter = counters[channel]
                     counter.absorb(pending - 1)
                     ch_pending[channel] = 0
-                    counter.on_act(done, line_col[i], False)
+                    interrupt = counter.on_act(done, line_col[i], False)
+                    if tracing and interrupt is not None:
+                        # Same position as the scalar stream: after the
+                        # flushed record (which ends with this ACT and
+                        # its flips) and any handler-emitted events.
+                        trace.emit(
+                            _ev.ACT_INTERRUPT, interrupt.time_ns,
+                            channel=interrupt.channel,
+                            count=interrupt.count_at_overflow,
+                            line=interrupt.physical_line,
+                            dma=interrupt.from_dma,
+                        )
                     # Handlers may have re-entered the controller:
                     # re-read everything hoisted.
                     next_ref = self._next_ref_at

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 from heapq import heapify, heappop, heappush
+from time import perf_counter
 from typing import List, Sequence
 
 from repro.mc.controller import CompletedRequest, MemoryController, MemoryRequest
@@ -121,13 +122,18 @@ class BatchScheduler:
         submission's effect on its bank's open row is deterministic) and
         then runs the whole permuted window through the controller's
         bulk engine.  That simulation is only exact when nothing else
-        can touch bank state mid-window, so the fast path requires: no
-        profiler/trace, every ACT subscriber bulk-capable, no interrupt
-        handlers (they may re-enter the controller and close rows), and
-        a single shared issue time (the scheduler's windows are
-        simultaneously outstanding by construction).  Anything else
-        delegates to :meth:`issue` — counted in
-        ``mc.columnar_fallbacks`` with the blocking reason.
+        can touch bank state mid-window, so the fast path requires:
+        every ACT subscriber bulk-capable, no interrupt handlers (they
+        may re-enter the controller and close rows), and a single
+        shared issue time (the scheduler's windows are simultaneously
+        outstanding by construction).  Anything else delegates to
+        :meth:`issue` — counted in ``mc.columnar_fallbacks`` (total and
+        per-reason) with the blocking reason.  Tracing and profiling
+        are *not* fallback reasons: the bulk engine emits columnar
+        trace records whose expansion matches the scalar stream, this
+        method emits the same ``sched_batch`` event :meth:`issue`
+        would, and an attached profiler times the selection scan under
+        the ``schedule_columnar`` phase.
 
         A periodic REF burst due at the window start needs no fallback:
         with a uniform issue time the whole burst executes inside the
@@ -148,18 +154,14 @@ class BatchScheduler:
         time_col = batch.issue_ns
         t0 = time_col[0]
         fallback = None
-        if controller.profiler is not None:
-            fallback = "profiler"
-        elif controller.trace.enabled:
-            fallback = "trace"
-        elif None in controller._act_observer_bulk:
-            fallback = "stateful-defense"
+        if None in controller._act_observer_bulk:
+            fallback = "scalar_observer"
         elif any(c._handlers for c in controller.counters.values()):
-            fallback = "interrupt-handlers"
+            fallback = "interrupt_handlers"
         else:
             for i in range(1, n):
                 if time_col[i] != t0:
-                    fallback = "mixed-times"
+                    fallback = "mixed_times"
                     break
         if fallback is not None:
             # The batch-fault seam has not been consumed yet: plain
@@ -167,10 +169,24 @@ class BatchScheduler:
             controller._note_columnar_fallback(fallback, n, t0)
             completions = self.issue(batch.to_requests())
             return max(c.ready_at_ns for c in completions)
+        trace = controller.trace
+        if trace.enabled:
+            # Same event, same time, same position (before the fault
+            # seam) as issue()'s emission — all issue times equal t0 on
+            # this path, so min(time_ns) is t0.
+            trace.emit(SCHED_BATCH, t0, size=n, policy=self.policy)
         if controller.batch_fault is not None:
             t0 += controller.batch_fault(t0, n)
         device = controller.device
-        addresses = controller.mapper.lines_to_ddr_bulk(line_col)
+        profiler = controller.profiler
+        if profiler is None:
+            addresses = controller.mapper.lines_to_ddr_bulk(line_col)
+            p1 = 0.0
+        else:
+            p0 = perf_counter()
+            addresses = controller.mapper.lines_to_ddr_bulk(line_col)
+            p1 = perf_counter()
+            profiler.add("translate_bulk", p1 - p0, calls=n)
         geometry = device.geometry
         ranks_per_channel = geometry.ranks_per_channel
         banks_per_rank = geometry.banks_per_rank
@@ -254,6 +270,8 @@ class BatchScheduler:
         write_col = batch.is_write
         dom_col = batch.domain
         times = [t0] * n
+        if profiler is not None:
+            profiler.add("schedule_columnar", perf_counter() - p1, calls=n)
         return controller._submit_columnar_bulk(
             [addresses[index] for index in order],
             [line_col[index] for index in order],

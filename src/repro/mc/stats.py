@@ -12,6 +12,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+#: the fixed vocabulary of columnar-demotion reasons; every one is a
+#: ``mc.columnar_fallbacks.<reason>`` key in :meth:`ControllerStats.snapshot`
+#: (present at 0 even when it never fired) and rides verbatim on the
+#: ``columnar_fallback`` trace event
+FALLBACK_REASONS = (
+    "trace",
+    "profiler",
+    "scalar_observer",
+    "interrupt_handlers",
+    "mixed_times",
+    "dma",
+)
+
 
 @dataclass
 class ControllerStats:
@@ -36,6 +49,15 @@ class ControllerStats:
     #: request-driven ACTs per trust domain (-1 = no domain); targeted /
     #: neighbour refreshes issued by defenses are deliberately excluded
     acts_by_domain: Dict[int, int] = field(default_factory=dict)
+    #: per-reason breakdown of ``columnar_fallbacks`` (see
+    #: :data:`FALLBACK_REASONS`); the total stays authoritative
+    columnar_fallback_reasons: Dict[str, int] = field(default_factory=dict)
+
+    def note_columnar_fallback(self, reason: str) -> None:
+        """Count one columnar demotion under its reason."""
+        self.columnar_fallbacks += 1
+        reasons = self.columnar_fallback_reasons
+        reasons[reason] = reasons.get(reason, 0) + 1
 
     @property
     def requests(self) -> int:
@@ -67,8 +89,22 @@ class ControllerStats:
         )
 
     def snapshot(self) -> Dict[str, float]:
-        """Plain-dict view for tables and result serialization."""
+        """Plain-dict view for tables and result serialization.
+
+        Every fallback reason in :data:`FALLBACK_REASONS` is always
+        present (``columnar_fallbacks.<reason>``, 0 when clean) so
+        ``assert_covers`` pins the whole vocabulary and a smoke test can
+        assert ``mc.columnar_fallbacks.trace == 0`` without key errors.
+        """
+        reasons = self.columnar_fallback_reasons
+        per_reason = {
+            f"columnar_fallbacks.{reason}": reasons.get(reason, 0)
+            for reason in FALLBACK_REASONS
+        }
+        for reason, count in reasons.items():
+            per_reason.setdefault(f"columnar_fallbacks.{reason}", count)
         return {
+            **per_reason,
             "reads": self.reads,
             "writes": self.writes,
             "dma_requests": self.dma_requests,

@@ -21,6 +21,7 @@ from repro.obs.events import (
     ACT_INTERRUPT,
     BIT_FLIP,
     CAMPAIGN_RESUME,
+    COLUMNAR_ACTS,
     EVENT_KINDS,
     FAULT_INJECTED,
     HANDLER_ERROR,
@@ -30,11 +31,13 @@ from repro.obs.events import (
     ROW_CONFLICT,
     SCHED_BATCH,
     TARGETED_REFRESH,
+    TELEMETRY_KINDS,
     THROTTLE_STALL,
     TraceEvent,
     UNCORE_MOVE,
     WORKER_RETRY,
 )
+from repro.obs.columnar import ColumnarTraceRecord, expand_events, flip_payload
 from repro.obs.inspect import TraceSummary, render_summary, summarize_events
 from repro.obs.profiler import PhaseProfiler
 from repro.obs.registry import MetricsRegistry
@@ -44,7 +47,9 @@ from repro.obs.trace import (
     JsonlSink,
     NullSink,
     RingBufferSink,
+    SamplingSink,
     TraceBus,
+    iter_jsonl,
     read_jsonl,
 )
 from repro.obs.runtime import Observability, observe
@@ -54,6 +59,8 @@ __all__ = [
     "ACT_INTERRUPT",
     "BIT_FLIP",
     "CAMPAIGN_RESUME",
+    "COLUMNAR_ACTS",
+    "ColumnarTraceRecord",
     "CountingSink",
     "EVENT_KINDS",
     "FAULT_INJECTED",
@@ -69,7 +76,9 @@ __all__ = [
     "ROW_CONFLICT",
     "RingBufferSink",
     "SCHED_BATCH",
+    "SamplingSink",
     "TARGETED_REFRESH",
+    "TELEMETRY_KINDS",
     "THROTTLE_STALL",
     "TimeSeries",
     "TimeSeriesSampler",
@@ -78,6 +87,9 @@ __all__ = [
     "TraceSummary",
     "UNCORE_MOVE",
     "WORKER_RETRY",
+    "expand_events",
+    "flip_payload",
+    "iter_jsonl",
     "observe",
     "read_jsonl",
     "render_summary",

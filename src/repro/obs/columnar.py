@@ -1,0 +1,264 @@
+"""Columnar trace records: struct-of-arrays tracing for the bulk path.
+
+The scalar request path emits one :class:`~repro.obs.events.TraceEvent`
+per ACT (plus its conflict/stall/flip satellites).  The vectorized
+columnar engine defers ACT side effects into per-segment columns, so
+per-ACT event construction would reintroduce exactly the object traffic
+the engine removed.  Instead the engine emits one
+:class:`ColumnarTraceRecord` per flushed segment — the same columns it
+already holds, plus the flip log with per-ACT positions — and the
+record's :meth:`~ColumnarTraceRecord.expand` materializes the per-ACT
+stream *bit-identical* to what the scalar path would have emitted
+(pinned by the differential suite in
+``tests/obs/test_trace_differential.py``).
+
+Each record covers only ACT elements (row-buffer hits emit no scalar
+events, so they never enter a record).  Per element ``i`` expansion
+yields, in scalar emission order:
+
+* ``act`` at ``act_ns[i]`` (the post-throttle service time);
+* ``row_conflict`` at ``act_ns[i]`` iff ``closed_row[i]`` is not None;
+* ``throttle_stall`` at ``act_ns[i] - stall_ns[i]`` iff ``stall_ns[i]``;
+* every ``bit_flip`` whose ``flip_pos`` entry is ``i``, at the flip's
+  own time.
+
+``flip_pos`` entries may name positions *between* elements (used by the
+sampling sink, which drops ACT elements but never flips): a flip at
+position ``p`` is emitted after element ``p`` and before element
+``p + 1``; ``p == -1`` emits before the first element.
+
+The columnar path never carries DMA requests (the batch container
+refuses them), so expanded ``act`` events always carry ``dma=False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.obs.events import (
+    ACT,
+    BIT_FLIP,
+    COLUMNAR_ACTS,
+    ROW_CONFLICT,
+    THROTTLE_STALL,
+    TraceEvent,
+)
+
+__all__ = [
+    "ColumnarTraceRecord",
+    "expand_events",
+    "flip_payload",
+]
+
+
+def flip_payload(flip) -> Dict[str, object]:
+    """The JSON-native ``bit_flip`` payload of one oracle flip, with the
+    flip's own timestamp under ``t`` (the scalar emission keys of
+    ``MemoryController._trace_access``, exactly)."""
+    return {
+        "t": flip.time_ns,
+        "victim": list(flip.victim),
+        "aggressor": list(flip.aggressor),
+        "aggressor_domain": flip.aggressor_domain,
+        "victim_domains": sorted(flip.victim_domains),
+        "bits": flip.flipped_bits,
+    }
+
+
+@dataclass(frozen=True)
+class ColumnarTraceRecord:
+    """One bulk segment's ACT stream as parallel columns.
+
+    ``time_ns`` is the record's own timestamp (the first element's
+    ``act_ns``, or the segment issue time for an empty record); the
+    per-element times live in the columns.  All columns have equal
+    length; ``flips`` holds ``bit_flip`` payload dicts (each with its
+    own ``t``) in emission order, with ``flip_pos[k]`` naming the
+    element position flip ``k`` belongs to.
+    """
+
+    time_ns: int
+    channel: List[int]
+    rank: List[int]
+    bank: List[int]
+    row: List[int]
+    line: List[int]
+    domain: List[Optional[int]]
+    act_ns: List[int]
+    stall_ns: List[int]
+    closed_row: List[Optional[int]]
+    flip_pos: List[int] = field(default_factory=list)
+    flips: List[Dict[str, object]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.channel)
+
+    @property
+    def events_total(self) -> int:
+        """How many scalar events :meth:`expand` will yield."""
+        total = len(self.channel) + len(self.flips)
+        for closed in self.closed_row:
+            if closed is not None:
+                total += 1
+        for stall in self.stall_ns:
+            if stall:
+                total += 1
+        return total
+
+    # ------------------------------------------------------------------
+    # Expansion (the scalar-equivalence contract)
+    # ------------------------------------------------------------------
+
+    def expand(self) -> Iterator[TraceEvent]:
+        """Yield the exact per-ACT event stream the scalar path emits."""
+        flip_pos = self.flip_pos
+        flips = self.flips
+        total_flips = len(flips)
+        cursor = 0
+        for i in range(len(self.channel)):
+            while cursor < total_flips and flip_pos[cursor] < i:
+                payload = dict(flips[cursor])
+                yield TraceEvent(BIT_FLIP, int(payload.pop("t")), payload)
+                cursor += 1
+            channel = self.channel[i]
+            rank = self.rank[i]
+            bank = self.bank[i]
+            row = self.row[i]
+            line = self.line[i]
+            domain = self.domain[i]
+            now = self.act_ns[i]
+            yield TraceEvent(ACT, now, {
+                "channel": channel, "rank": rank, "bank": bank,
+                "row": row, "line": line, "domain": domain, "dma": False,
+            })
+            closed = self.closed_row[i]
+            if closed is not None:
+                yield TraceEvent(ROW_CONFLICT, now, {
+                    "channel": channel, "rank": rank, "bank": bank,
+                    "row": row, "closed_row": closed,
+                    "line": line, "domain": domain,
+                })
+            stall = self.stall_ns[i]
+            if stall:
+                yield TraceEvent(THROTTLE_STALL, now - stall, {
+                    "channel": channel, "rank": rank, "bank": bank,
+                    "row": row, "stall_ns": stall, "domain": domain,
+                })
+            while cursor < total_flips and flip_pos[cursor] == i:
+                payload = dict(flips[cursor])
+                yield TraceEvent(BIT_FLIP, int(payload.pop("t")), payload)
+                cursor += 1
+        while cursor < total_flips:
+            payload = dict(flips[cursor])
+            yield TraceEvent(BIT_FLIP, int(payload.pop("t")), payload)
+            cursor += 1
+
+    # ------------------------------------------------------------------
+    # Sampling support
+    # ------------------------------------------------------------------
+
+    def thin(self, keep: Sequence[bool]) -> Optional["ColumnarTraceRecord"]:
+        """Drop the elements where ``keep`` is False, keeping *every*
+        flip (the sampler never drops ground truth).
+
+        Kept flips are re-anchored so expansion order is preserved: a
+        flip whose element was dropped attaches between the surviving
+        neighbours (position ``-1`` if none precede it).  Returns
+        ``None`` when nothing — no element, no flip — survives.
+        """
+        if len(keep) != len(self.channel):
+            raise ValueError("keep mask length must match record length")
+        if all(keep) or not self.channel:
+            return self if (self.channel or self.flips) else None
+        new_index: List[int] = []  # old position -> (kept count <= pos) - 1
+        kept = -1
+        indices: List[int] = []
+        for old, flag in enumerate(keep):
+            if flag:
+                kept += 1
+                indices.append(old)
+            new_index.append(kept)
+        if kept < 0 and not self.flips:
+            return None
+        return ColumnarTraceRecord(
+            time_ns=self.act_ns[indices[0]] if indices else self.time_ns,
+            channel=[self.channel[i] for i in indices],
+            rank=[self.rank[i] for i in indices],
+            bank=[self.bank[i] for i in indices],
+            row=[self.row[i] for i in indices],
+            line=[self.line[i] for i in indices],
+            domain=[self.domain[i] for i in indices],
+            act_ns=[self.act_ns[i] for i in indices],
+            stall_ns=[self.stall_ns[i] for i in indices],
+            closed_row=[self.closed_row[i] for i in indices],
+            flip_pos=[
+                (new_index[pos] if pos >= 0 else -1)
+                for pos in self.flip_pos
+            ],
+            flips=[dict(payload) for payload in self.flips],
+        )
+
+    # ------------------------------------------------------------------
+    # JSONL round-trip
+    # ------------------------------------------------------------------
+
+    def as_event(self) -> TraceEvent:
+        """The record as a single ``columnar_acts`` trace event (one
+        JSONL line; :func:`expand_events` recognises it on read).
+
+        The event *aliases* the record's columns rather than copying
+        them — records are frozen and no producer mutates a column after
+        construction, so the alias is safe and keeps the per-flush cost
+        of JSONL encoding at one pass instead of two.
+        """
+        return TraceEvent(COLUMNAR_ACTS, self.time_ns, {
+            "channel": self.channel,
+            "rank": self.rank,
+            "bank": self.bank,
+            "row": self.row,
+            "line": self.line,
+            "domain": self.domain,
+            "act_ns": self.act_ns,
+            "stall_ns": self.stall_ns,
+            "closed_row": self.closed_row,
+            "flip_pos": self.flip_pos,
+            "flips": self.flips,
+        })
+
+    @classmethod
+    def from_event(cls, event: TraceEvent) -> "ColumnarTraceRecord":
+        """Inverse of :meth:`as_event` (lossless through JSONL)."""
+        if event.kind != COLUMNAR_ACTS:
+            raise ValueError(
+                f"not a columnar_acts event: {event.kind!r}"
+            )
+        data = event.data
+        return cls(
+            time_ns=event.time_ns,
+            channel=[int(v) for v in data["channel"]],
+            rank=[int(v) for v in data["rank"]],
+            bank=[int(v) for v in data["bank"]],
+            row=[int(v) for v in data["row"]],
+            line=[int(v) for v in data["line"]],
+            domain=[None if v is None else int(v) for v in data["domain"]],
+            act_ns=[int(v) for v in data["act_ns"]],
+            stall_ns=[int(v) for v in data["stall_ns"]],
+            closed_row=[
+                None if v is None else int(v) for v in data["closed_row"]
+            ],
+            flip_pos=[int(v) for v in data["flip_pos"]],
+            flips=[dict(payload) for payload in data["flips"]],
+        )
+
+
+def expand_events(events: Iterable[TraceEvent]) -> Iterator[TraceEvent]:
+    """Pass scalar events through; expand ``columnar_acts`` records in
+    place.  Streaming-safe: consumes and yields one event at a time, so
+    ``repro inspect`` can summarize arbitrarily large traces at bounded
+    memory."""
+    for event in events:
+        if event.kind == COLUMNAR_ACTS:
+            yield from ColumnarTraceRecord.from_event(event).expand()
+        else:
+            yield event

@@ -29,11 +29,26 @@ kind                      emitted when
 ``pool_respawn``          the supervisor replaced a broken worker pool
 ``campaign_resume``       a campaign continued from an on-disk journal
 ``cache_hit``             a seed's result came from the result cache
+``columnar_acts``         one bulk segment's ACT stream as a batch record
+``campaign_started``      a supervised campaign began mapping seeds
+``seed_started``          a seed was handed to a worker (or serial attempt)
+``seed_finished``         a seed's result was delivered and journaled
+``seed_retried``          a seed burned an attempt and was requeued
+``seed_failed``           a seed exhausted its retry budget
+``seed_cached``           a seed was satisfied from the result cache
+``campaign_finished``     the supervised map over all seeds returned
 ========================  ====================================================
 
-The last four are *harness* events: they come from the
-:mod:`repro.runtime` supervisor, not the simulated platform, so their
-``time_ns`` is wall-clock nanoseconds rather than simulated time.
+The ``worker_retry``..``cache_hit`` block and the whole
+``campaign_*``/``seed_*`` family are *harness* events: they come from
+the :mod:`repro.runtime` supervisor, not the simulated platform, so
+their ``time_ns`` is wall-clock nanoseconds rather than simulated time.
+
+``columnar_acts`` is special: it is a *batch* record (see
+:class:`repro.obs.columnar.ColumnarTraceRecord`) carrying whole columns
+of ACT data for one bulk segment.  ``expand()`` materializes the exact
+per-ACT ``act``/``row_conflict``/``throttle_stall``/``bit_flip`` stream
+the scalar path would have emitted.
 """
 
 from __future__ import annotations
@@ -58,6 +73,25 @@ WORKER_RETRY = "worker_retry"
 POOL_RESPAWN = "pool_respawn"
 CAMPAIGN_RESUME = "campaign_resume"
 CACHE_HIT = "cache_hit"
+COLUMNAR_ACTS = "columnar_acts"
+CAMPAIGN_STARTED = "campaign_started"
+SEED_STARTED = "seed_started"
+SEED_FINISHED = "seed_finished"
+SEED_RETRIED = "seed_retried"
+SEED_FAILED = "seed_failed"
+SEED_CACHED = "seed_cached"
+CAMPAIGN_FINISHED = "campaign_finished"
+
+#: the campaign-telemetry vocabulary, in lifecycle order
+TELEMETRY_KINDS = (
+    CAMPAIGN_STARTED,
+    SEED_STARTED,
+    SEED_FINISHED,
+    SEED_RETRIED,
+    SEED_FAILED,
+    SEED_CACHED,
+    CAMPAIGN_FINISHED,
+)
 
 #: every kind the simulator emits, in documentation order
 EVENT_KINDS = (
@@ -78,7 +112,8 @@ EVENT_KINDS = (
     POOL_RESPAWN,
     CAMPAIGN_RESUME,
     CACHE_HIT,
-)
+    COLUMNAR_ACTS,
+) + TELEMETRY_KINDS
 
 
 @dataclass(frozen=True)

@@ -98,15 +98,31 @@ def observe(
 
 
 def attach_ambient(system: "System") -> None:
-    """Hook called from ``System.__init__``: apply the innermost active
-    observation plan, if any."""
+    """Hook called from ``System.__init__``: apply the active observation
+    plans, if any.
+
+    Nested ``observe`` blocks compose rather than shadow: the *innermost*
+    plan that provides a sink factory (and, independently, a sampling
+    interval) wins that setting, but **every** active plan's session
+    records the system.  An inner metrics-only ``observe()`` (the
+    campaign workers use one to capture registry snapshots) therefore
+    never steals systems from an outer plan that configured tracing."""
     if not _ACTIVE:
         return
-    plan = _ACTIVE[-1]
-    if plan.sink_factory is not None:
-        sink = plan.sink_factory()
+    sink_plan = None
+    sample_plan = None
+    for plan in reversed(_ACTIVE):
+        if sink_plan is None and plan.sink_factory is not None:
+            sink_plan = plan
+        if sample_plan is None and plan.sample_interval_ns is not None:
+            sample_plan = plan
+        if sink_plan is not None and sample_plan is not None:
+            break
+    if sink_plan is not None:
+        sink = sink_plan.sink_factory()
         system.obs.trace.set_sink(sink)
-        plan.session.sinks.append(sink)
-    if plan.sample_interval_ns is not None:
-        system.obs.enable_sampling(plan.sample_interval_ns)
-    plan.session.systems.append(system)
+        sink_plan.session.sinks.append(sink)
+    if sample_plan is not None:
+        system.obs.enable_sampling(sample_plan.sample_interval_ns)
+    for plan in _ACTIVE:
+        plan.session.systems.append(system)

@@ -24,13 +24,19 @@ from collections import deque
 from pathlib import Path
 from typing import Deque, Dict, Iterable, List, Optional, Union
 
-from repro.obs.events import TraceEvent
+from repro.obs.events import ACT, ROW_CONFLICT, THROTTLE_STALL, TraceEvent
+
+if False:  # typing only, avoids an import cycle at runtime
+    from repro.obs.columnar import ColumnarTraceRecord  # pragma: no cover
 
 
 class NullSink:
     """Discard everything (the disabled state; emitters never reach it)."""
 
     def write(self, event: TraceEvent) -> None:  # pragma: no cover - unused
+        pass
+
+    def write_bulk(self, record) -> None:  # pragma: no cover - unused
         pass
 
     def close(self) -> None:
@@ -54,6 +60,11 @@ class RingBufferSink:
         self._buffer.append(event)
         self.events_written += 1
 
+    def write_bulk(self, record: "ColumnarTraceRecord") -> None:
+        """Buffer one bulk segment as a single ``columnar_acts`` event
+        (costing one ring slot, however many ACTs it covers)."""
+        self.write(record.as_event())
+
     def close(self) -> None:
         pass
 
@@ -68,6 +79,13 @@ class RingBufferSink:
         return counts
 
 
+#: One shared encoder for every sink: ``json.dumps(obj, sort_keys=True)``
+#: constructs a fresh ``JSONEncoder`` on *every* call, which is pure
+#: overhead on the traced hot path (one line per bulk segment).  The
+#: cached bound method emits byte-identical output.
+_ENCODE_SORTED = json.JSONEncoder(sort_keys=True).encode
+
+
 class JsonlSink:
     """Append events to a JSONL file, one event per line.
 
@@ -76,11 +94,16 @@ class JsonlSink:
     event and must be :meth:`close`\\ d (the ``observe`` context manager
     does this) before another process reads it.
 
-    The sink is crash-consistent: the stream is line-buffered and every
-    event goes down in a single ``write`` call, so a killed process
-    leaves at most one torn *final* line — which :func:`read_jsonl`
-    tolerates — never an interleaved or mid-file corruption.  ``close``
-    flushes and fsyncs so a clean shutdown is durable on disk.
+    The sink is crash-consistent: a single writer appends sequential
+    ``write`` calls, so whatever reaches the file is a prefix of the
+    event stream — a killed process leaves at most one torn *final*
+    line (which :func:`read_jsonl` tolerates), never an interleaved or
+    mid-file corruption.  The stream is block-buffered (per-line
+    flushing costs a syscall per event on the bulk path), so a kill can
+    also lose recently buffered complete lines; ``close`` flushes and
+    fsyncs so a clean shutdown is durable on disk.  Live tailing goes
+    through the campaign telemetry stream, which flushes per record —
+    not through trace sinks.
     """
 
     def __init__(self, path: Union[str, Path]) -> None:
@@ -92,12 +115,19 @@ class JsonlSink:
     def write(self, event: TraceEvent) -> None:
         if self._stream is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._stream = self.path.open("w", buffering=1)
+            self._stream = self.path.open("w")
         self._stream.write(
-            json.dumps(event.as_json_dict(), sort_keys=True) + "\n"
+            _ENCODE_SORTED(event.as_json_dict()) + "\n"
         )
         self.events_written += 1
         self._counts[event.kind] = self._counts.get(event.kind, 0) + 1
+
+    def write_bulk(self, record: "ColumnarTraceRecord") -> None:
+        """Encode one bulk segment as a single ``columnar_acts`` JSONL
+        line — same crash consistency as :meth:`write` (one ``write``
+        call per line), a fraction of the bytes and encode calls of the
+        expanded stream.  ``repro inspect`` re-expands on read."""
+        self.write(record.as_event())
 
     def close(self) -> None:
         if self._stream is not None:
@@ -131,6 +161,38 @@ class CountingSink:
         if self.inner is not None:
             self.inner.write(event)
 
+    def write_bulk(self, record: "ColumnarTraceRecord") -> None:
+        """Count the *expanded* kinds — the conservation checks in
+        :mod:`repro.faults.invariants` reconcile ``act`` counts against
+        architectural counters, and a bulk record is exactly
+        ``events_total`` scalar events."""
+        counts = self._counts
+        acts = len(record.channel)
+        if acts:
+            counts[ACT] = counts.get(ACT, 0) + acts
+        conflicts = sum(
+            1 for closed in record.closed_row if closed is not None
+        )
+        if conflicts:
+            counts[ROW_CONFLICT] = counts.get(ROW_CONFLICT, 0) + conflicts
+        stalls = sum(1 for stall in record.stall_ns if stall)
+        if stalls:
+            counts[THROTTLE_STALL] = (
+                counts.get(THROTTLE_STALL, 0) + stalls
+            )
+        flips = len(record.flips)
+        if flips:
+            from repro.obs.events import BIT_FLIP
+            counts[BIT_FLIP] = counts.get(BIT_FLIP, 0) + flips
+        self.events_written += record.events_total
+        if self.inner is not None:
+            inner_bulk = getattr(self.inner, "write_bulk", None)
+            if inner_bulk is not None:
+                inner_bulk(record)
+            else:
+                for event in record.expand():
+                    self.inner.write(event)
+
     def close(self) -> None:
         if self.inner is not None:
             self.inner.close()
@@ -142,8 +204,79 @@ class CountingSink:
         return self._counts.get(kind, 0)
 
 
+class SamplingSink:
+    """Deterministic 1-in-``every`` ACT sampler in front of any sink.
+
+    Element-level sampling with a global ACT index: ACT number ``k``
+    (counted across the whole run) is kept iff ``k % every == phase``
+    where ``phase = seed % every`` — same seed, same trace, always.  A
+    kept ACT keeps its satellite ``row_conflict``/``throttle_stall``
+    events; **every other kind passes through unsampled** (``bit_flip``
+    is ground truth, harness events are rare).  Bulk records are thinned
+    by the same global index (:meth:`ColumnarTraceRecord.thin`), so
+    sampling commutes with expansion: sampling the scalar stream and
+    expanding a sampled bulk stream yield the same events.
+    """
+
+    def __init__(
+        self, inner: "TraceSink", every: int, seed: int = 0
+    ) -> None:
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.inner = inner
+        self.every = every
+        self.phase = seed % every
+        self.acts_seen = 0
+        self.acts_kept = 0
+        self._keep_last = False
+
+    def write(self, event: TraceEvent) -> None:
+        kind = event.kind
+        if kind == ACT:
+            keep = (self.acts_seen % self.every) == self.phase
+            self.acts_seen += 1
+            self._keep_last = keep
+            if keep:
+                self.acts_kept += 1
+                self.inner.write(event)
+        elif kind == ROW_CONFLICT or kind == THROTTLE_STALL:
+            if self._keep_last:
+                self.inner.write(event)
+        else:
+            self.inner.write(event)
+
+    def write_bulk(self, record: "ColumnarTraceRecord") -> None:
+        count = len(record.channel)
+        every = self.every
+        phase = self.phase
+        base = self.acts_seen
+        keep = [((base + i) % every) == phase for i in range(count)]
+        self.acts_seen += count
+        if count:
+            self._keep_last = keep[-1]
+        thinned = record.thin(keep)
+        if thinned is None:
+            return
+        self.acts_kept += len(thinned.channel)
+        inner_bulk = getattr(self.inner, "write_bulk", None)
+        if inner_bulk is not None:
+            inner_bulk(thinned)
+        else:
+            for event in thinned.expand():
+                self.inner.write(event)
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        inner_counts = getattr(self.inner, "counts_by_kind", None)
+        return inner_counts() if inner_counts is not None else {}
+
+
 #: anything with write(event) + close()
-TraceSink = Union[NullSink, RingBufferSink, JsonlSink, CountingSink]
+TraceSink = Union[
+    NullSink, RingBufferSink, JsonlSink, CountingSink, SamplingSink
+]
 
 
 class TraceBus:
@@ -172,6 +305,32 @@ class TraceBus:
         unguarded call on a disabled bus is harmless but wasteful."""
         self.sink.write(TraceEvent(kind=kind, time_ns=time_ns, data=data))
         self.emitted += 1
+
+    def emit_bulk(self, record: "ColumnarTraceRecord") -> None:
+        """Write one bulk segment.  Sinks providing ``write_bulk`` get
+        the record whole (one encode per segment); anything else — a
+        user-supplied scalar sink — receives the expanded per-ACT
+        stream, so bulk emission never changes what a sink observes,
+        only how cheaply.  ``emitted`` counts expanded events either
+        way, keeping traced-vs-untraced accounting path-independent."""
+        write_bulk = getattr(self.sink, "write_bulk", None)
+        if write_bulk is not None:
+            write_bulk(record)
+        else:
+            write = self.sink.write
+            for event in record.expand():
+                write(event)
+        self.emitted += record.events_total
+
+    def sample_every_n(self, every: int, seed: int = 0) -> SamplingSink:
+        """Wrap the current sink in a deterministic 1-in-``every`` ACT
+        sampler (see :class:`SamplingSink`); returns the wrapper.  The
+        bus must already have a real sink attached."""
+        if isinstance(self.sink, NullSink):
+            raise ValueError("attach a sink before sampling")
+        sampler = SamplingSink(self.sink, every, seed)
+        self.set_sink(sampler)
+        return sampler
 
 
 def read_jsonl(path: Union[str, Path]) -> List[TraceEvent]:

@@ -32,9 +32,17 @@ from repro.runtime.journal import (
     CampaignHeader,
     CampaignJournal,
     JournalError,
+    JournalSnapshot,
     campaign_fingerprint,
+    load_journal,
     peek_header,
     spec_signature,
+)
+from repro.runtime.report import (
+    build_run_report,
+    render_run_report,
+    summarize_telemetry,
+    write_run_report,
 )
 from repro.runtime.supervisor import (
     SeedFailure,
@@ -43,6 +51,13 @@ from repro.runtime.supervisor import (
     SupervisorPolicy,
     backoff_delay,
 )
+from repro.runtime.telemetry import (
+    CampaignTelemetry,
+    CapturedScenario,
+    merge_metric_snapshots,
+    read_telemetry,
+    telemetry_path,
+)
 
 __all__ = [
     "CampaignHeader",
@@ -50,16 +65,27 @@ __all__ = [
     "CampaignInterrupted",
     "CampaignJournal",
     "CampaignResult",
+    "CampaignTelemetry",
+    "CapturedScenario",
     "JournalError",
+    "JournalSnapshot",
     "SCHEMA_VERSION",
     "SeedFailure",
     "SupervisedOutcome",
     "Supervisor",
     "SupervisorPolicy",
     "backoff_delay",
+    "build_run_report",
     "campaign_fingerprint",
+    "load_journal",
+    "merge_metric_snapshots",
     "peek_header",
+    "read_telemetry",
     "rebuild_spec",
+    "render_run_report",
     "run_campaign",
     "spec_signature",
+    "summarize_telemetry",
+    "telemetry_path",
+    "write_run_report",
 ]

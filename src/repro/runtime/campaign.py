@@ -37,7 +37,13 @@ from repro.analysis.stats import (
     ScenarioFn,
     merge_replications,
 )
-from repro.obs.events import CACHE_HIT, CAMPAIGN_RESUME
+from repro.obs.events import (
+    CACHE_HIT,
+    CAMPAIGN_FINISHED,
+    CAMPAIGN_RESUME,
+    CAMPAIGN_STARTED,
+    SEED_CACHED,
+)
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import TraceBus
 from repro.runtime.journal import (
@@ -52,6 +58,11 @@ from repro.runtime.supervisor import (
     Supervisor,
     SupervisorPolicy,
 )
+from repro.runtime.telemetry import (
+    CampaignTelemetry,
+    merge_metric_snapshots,
+    telemetry_path,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.analysis.cache import ResultCache
@@ -64,6 +75,12 @@ class CampaignResult:
     seeds: List[int]
     completed: Dict[int, Mapping[str, Number]]
     failures: Dict[int, SeedFailure] = field(default_factory=dict)
+    #: per-seed worker registry snapshots (``capture_metrics`` runs;
+    #: cached seeds have none — their workers never ran)
+    worker_metrics: Dict[int, Dict[str, Number]] = field(default_factory=dict)
+    #: campaign-level metrics: worker snapshots merged in seed order
+    #: (ints sum, floats average) plus the supervisor's ``runtime.*``
+    metrics: Dict[str, Number] = field(default_factory=dict)
     #: seeds skipped because the journal already had their results
     resumed: int = 0
     #: seeds served from the content-addressed result cache
@@ -138,6 +155,7 @@ def run_campaign(
     trace: Optional[TraceBus] = None,
     metrics: Optional[MetricsRegistry] = None,
     cache: Optional["ResultCache"] = None,
+    capture_metrics: bool = True,
 ) -> CampaignResult:
     """Run (or resume) one campaign under supervision.
 
@@ -151,17 +169,24 @@ def run_campaign(
     the worker pool, and their fresh results are stored on delivery.
     Cached seeds bypass the supervisor entirely, so they can neither
     time out nor retry — a fully warm campaign forks no workers.
+
+    A journaled campaign additionally streams lifecycle telemetry to
+    the ``<journal>.telemetry`` sidecar (``python -m repro status``
+    reads it live), and ``capture_metrics=True`` ships each worker's
+    registry snapshot back with its result: snapshots ride on the
+    journal records and merge into ``CampaignResult.metrics``.  Cached
+    and previously-journaled-without-metrics seeds contribute no
+    snapshot (their workers never ran under capture).
     """
     seeds = [int(seed) for seed in seeds]
     if not seeds:
         raise ValueError("need at least one seed")
     fingerprint = campaign_fingerprint(spec, seeds, experiment)
-    supervisor = Supervisor(
-        policy=policy, trace=trace, metrics=metrics, fingerprint=fingerprint
-    )
 
     journal: Optional[CampaignJournal] = None
+    telemetry: Optional[CampaignTelemetry] = None
     completed: Dict[int, Mapping[str, Number]] = {}
+    worker_metrics: Dict[int, Dict[str, Number]] = {}
     resumed = 0
     if journal_path is not None:
         journal_path = Path(journal_path)
@@ -169,20 +194,37 @@ def run_campaign(
             journal = CampaignJournal.resume(journal_path)
             journal.verify(fingerprint)
             completed = dict(journal.completed)
+            worker_metrics = dict(journal.worker_metrics)
             resumed = len(completed)
-            supervisor._count("seeds_resumed", resumed)
-            supervisor._emit(
-                CAMPAIGN_RESUME,
-                fingerprint=fingerprint,
-                completed=resumed,
-                remaining=len(seeds) - resumed,
-            )
         else:
             journal = CampaignJournal.create(
                 journal_path, spec, seeds, experiment
             )
+        telemetry = CampaignTelemetry(
+            telemetry_path(journal_path), append=resume
+        )
     elif resume:
         raise JournalError("resume requested without a journal path")
+
+    supervisor = Supervisor(
+        policy=policy, trace=trace, metrics=metrics,
+        fingerprint=fingerprint, telemetry=telemetry,
+    )
+    if resumed:
+        supervisor._count("seeds_resumed", resumed)
+        supervisor._emit(
+            CAMPAIGN_RESUME,
+            fingerprint=fingerprint,
+            completed=resumed,
+            remaining=len(seeds) - resumed,
+        )
+    supervisor._telemetry(
+        CAMPAIGN_STARTED,
+        fingerprint=fingerprint,
+        experiment=experiment,
+        seeds=len(seeds),
+        resumed=resumed,
+    )
 
     cache_hits = 0
     use_cache = False
@@ -207,52 +249,90 @@ def run_campaign(
             supervisor._emit(
                 CACHE_HIT, fingerprint=fingerprint, seed=seed
             )
+            supervisor._telemetry(SEED_CACHED, seed=seed)
 
-    def on_result(seed: int, result: Mapping[str, Number]) -> None:
+    def on_result(
+        seed: int,
+        result: Mapping[str, Number],
+        snapshot: Optional[Mapping[str, Number]] = None,
+    ) -> None:
         completed[seed] = result
+        if snapshot is not None:
+            worker_metrics[seed] = dict(snapshot)
         if journal is not None:
-            journal.record(seed, result)
+            journal.record(seed, result, metrics=snapshot)
         if use_cache:
             assert cache is not None
             cache.put(spec, seed, result)
+
+    def finish(outcome: SupervisedOutcome) -> CampaignResult:
+        result = _build_result(
+            seeds, completed, worker_metrics, outcome, supervisor,
+            resumed, cache_hits,
+            journal_path if journal is not None else None,
+        )
+        supervisor._telemetry(
+            CAMPAIGN_FINISHED,
+            fingerprint=fingerprint,
+            completed=len(result.completed),
+            failed=len(result.failures),
+            retries=result.retries,
+            respawns=result.respawns,
+            timeouts=result.timeouts,
+            cache_hits=result.cache_hits,
+            degraded=result.degraded,
+            runtime=supervisor.metrics.snapshot(),
+        )
+        if journal is not None:
+            journal.close()
+        if telemetry is not None:
+            telemetry.close()
+        return result
 
     remaining = [s for s in seeds if s not in completed]
     outcome = SupervisedOutcome()
     try:
         if remaining:
             outcome = supervisor.map(
-                spec, remaining, jobs=jobs, on_result=on_result
+                spec, remaining, jobs=jobs, on_result=on_result,
+                capture_metrics=capture_metrics,
             )
     except KeyboardInterrupt:
         partial = _build_result(
-            seeds, completed, outcome, resumed, cache_hits,
+            seeds, completed, worker_metrics, outcome, supervisor,
+            resumed, cache_hits,
             journal_path if journal is not None else None,
         )
         if journal is not None:
             journal.close()
+        if telemetry is not None:
+            telemetry.close()
         raise CampaignInterrupted(
             partial, journal_path if journal is not None else None
         ) from None
-    if journal is not None:
-        journal.close()
-    return _build_result(
-        seeds, completed, outcome, resumed, cache_hits,
-        journal_path if journal is not None else None,
-    )
+    return finish(outcome)
 
 
 def _build_result(
     seeds: List[int],
     completed: Dict[int, Mapping[str, Number]],
+    worker_metrics: Dict[int, Dict[str, Number]],
     outcome: SupervisedOutcome,
+    supervisor: Supervisor,
     resumed: int,
     cache_hits: int,
     journal_path: Optional[Path],
 ) -> CampaignResult:
+    snapshots = [worker_metrics[s] for s in seeds if s in worker_metrics]
+    merged = merge_metric_snapshots(snapshots) if snapshots else {}
+    for key, value in supervisor.metrics.snapshot().items():
+        merged.setdefault(key, value)
     return CampaignResult(
         seeds=list(seeds),
         completed=dict(completed),
         failures=dict(outcome.failures),
+        worker_metrics=dict(worker_metrics),
+        metrics=merged,
         resumed=resumed,
         cache_hits=cache_hits,
         retries=outcome.retries,

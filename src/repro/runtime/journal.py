@@ -158,6 +158,59 @@ def _read_lines(path: Path) -> Tuple[List[Dict[str, object]], int]:
     return payloads, clean_end
 
 
+@dataclass(frozen=True)
+class JournalSnapshot:
+    """A read-only view of one journal: header + everything recorded.
+
+    Unlike :meth:`CampaignJournal.resume`, loading a snapshot never
+    mutates the file (no torn-line truncation, no append handle), so
+    ``python -m repro status`` can safely inspect the journal of a
+    campaign that is still running in another process.
+    """
+
+    header: CampaignHeader
+    completed: Dict[int, Dict[str, Number]]
+    worker_metrics: Dict[int, Dict[str, Number]]
+
+    def pending(self) -> List[int]:
+        return [
+            s for s in self.header.seeds if s not in self.completed
+        ]
+
+
+def load_journal(path: Union[str, Path]) -> JournalSnapshot:
+    """Read a journal without touching it (see :class:`JournalSnapshot`)."""
+    path = Path(path)
+    if not path.exists():
+        raise JournalError(f"no journal at {path}")
+    payloads, _ = _read_lines(path)
+    if not payloads:
+        raise JournalError(f"{path}: empty journal")
+    header = CampaignHeader.from_json_dict(payloads[0])
+    known = set(header.seeds)
+    completed: Dict[int, Dict[str, Number]] = {}
+    worker_metrics: Dict[int, Dict[str, Number]] = {}
+    for payload in payloads[1:]:
+        try:
+            seed = int(payload["seed"])  # type: ignore[arg-type]
+            result = dict(payload["result"])  # type: ignore[arg-type]
+        except (KeyError, TypeError, ValueError) as error:
+            raise JournalError(
+                f"{path}: malformed record {payload!r}: {error}"
+            ) from None
+        if seed not in known:
+            raise JournalError(
+                f"{path}: record for seed {seed} not in campaign seeds"
+            )
+        completed[seed] = result
+        metrics = payload.get("metrics")
+        if metrics is not None:
+            worker_metrics[seed] = dict(metrics)  # type: ignore[arg-type]
+    return JournalSnapshot(
+        header=header, completed=completed, worker_metrics=worker_metrics
+    )
+
+
 def peek_header(path: Union[str, Path]) -> CampaignHeader:
     """Read just the header of an existing journal."""
     path = Path(path)
@@ -183,6 +236,9 @@ class CampaignJournal:
         self.path = Path(path)
         self.header = header
         self.completed: Dict[int, Dict[str, Number]] = {}
+        #: per-seed worker registry snapshots, for records that carried
+        #: one (seeds served from the result cache never do)
+        self.worker_metrics: Dict[int, Dict[str, Number]] = {}
         self._stream = None
 
     # ------------------------------------------------------------------
@@ -241,6 +297,9 @@ class CampaignJournal:
                     f"{path}: record for seed {seed} not in campaign seeds"
                 )
             journal.completed[seed] = result
+            metrics = payload.get("metrics")
+            if metrics is not None:
+                journal.worker_metrics[seed] = dict(metrics)  # type: ignore
         journal._stream = path.open("a", buffering=1)
         return journal
 
@@ -257,9 +316,21 @@ class CampaignJournal:
     # Recording
     # ------------------------------------------------------------------
 
-    def record(self, seed: int, result: Mapping[str, Number]) -> None:
-        """Durably append one completed seed."""
-        self._append_line({"seed": int(seed), "result": dict(result)})
+    def record(
+        self,
+        seed: int,
+        result: Mapping[str, Number],
+        metrics: Optional[Mapping[str, Number]] = None,
+    ) -> None:
+        """Durably append one completed seed (optionally with the
+        worker's registry snapshot riding on the same record)."""
+        payload: Dict[str, object] = {
+            "seed": int(seed), "result": dict(result),
+        }
+        if metrics is not None:
+            payload["metrics"] = dict(metrics)
+            self.worker_metrics[int(seed)] = dict(metrics)
+        self._append_line(payload)
         self.completed[int(seed)] = dict(result)
 
     def _append_line(self, payload: Dict[str, object]) -> None:

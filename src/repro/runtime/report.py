@@ -1,0 +1,232 @@
+"""End-of-campaign run report: one deterministic artifact per campaign.
+
+``python -m repro report --campaign <journal>`` (and the library entry
+point :func:`write_run_report`) folds everything a finished — or still
+running — campaign left on disk into a machine-readable JSON report and
+a human-readable markdown rendering:
+
+* the journal: seeds, completion state, per-seed results merged into
+  aggregates (bit-identical to the in-memory fold, because journal
+  records round-trip through JSON exactly);
+* worker metrics: per-seed registry snapshots merged campaign-wide
+  (ints sum, floats average — see
+  :func:`~repro.runtime.telemetry.merge_metric_snapshots`);
+* the telemetry sidecar: lifecycle counts (started/finished/retried/
+  failed/cached), wall-clock span, and the final ``runtime.*`` snapshot
+  the ``campaign_finished`` record carried.
+
+The report is a pure function of the files, so rerunning it over the
+same journal yields byte-identical JSON — CI can diff it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.analysis.stats import merge_replications
+from repro.obs.events import (
+    CAMPAIGN_FINISHED,
+    SEED_CACHED,
+    SEED_FAILED,
+    SEED_FINISHED,
+    SEED_RETRIED,
+    SEED_STARTED,
+    TraceEvent,
+)
+from repro.runtime.journal import JournalSnapshot, load_journal
+from repro.runtime.telemetry import (
+    merge_metric_snapshots,
+    read_telemetry,
+    telemetry_path,
+)
+
+#: bump when the report layout changes
+REPORT_SCHEMA = 1
+
+
+def summarize_telemetry(events: List[TraceEvent]) -> Dict[str, object]:
+    """Lifecycle digest of one telemetry stream (deterministic)."""
+    counts: Dict[str, int] = {}
+    retried_seeds: List[int] = []
+    failed_seeds: List[int] = []
+    runtime: Dict[str, object] = {}
+    last_eta: Optional[float] = None
+    for event in events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+        if event.kind == SEED_RETRIED:
+            retried_seeds.append(int(event.data["seed"]))
+        elif event.kind == SEED_FAILED:
+            failed_seeds.append(int(event.data["seed"]))
+        elif event.kind == SEED_FINISHED:
+            eta = event.data.get("eta_s")
+            if eta is not None:
+                last_eta = float(eta)
+        elif event.kind == CAMPAIGN_FINISHED:
+            runtime = dict(event.data.get("runtime") or {})
+    span_ns = (
+        events[-1].time_ns - events[0].time_ns if len(events) > 1 else 0
+    )
+    return {
+        "events": len(events),
+        "counts_by_kind": {k: counts[k] for k in sorted(counts)},
+        "seeds_started": counts.get(SEED_STARTED, 0),
+        "seeds_finished": counts.get(SEED_FINISHED, 0),
+        "seeds_cached": counts.get(SEED_CACHED, 0),
+        "retried_seeds": sorted(set(retried_seeds)),
+        "failed_seeds": sorted(set(failed_seeds)),
+        "last_eta_s": last_eta,
+        "wall_span_ns": span_ns,
+        "runtime": {k: runtime[k] for k in sorted(runtime)},
+    }
+
+
+def build_run_report(
+    journal: Union[str, Path, JournalSnapshot],
+    telemetry: Optional[List[TraceEvent]] = None,
+) -> Dict[str, object]:
+    """Assemble the campaign report from on-disk state.
+
+    ``journal`` may be a path (the telemetry sidecar is discovered next
+    to it) or an already-loaded :class:`JournalSnapshot` (pass
+    ``telemetry`` explicitly then).
+    """
+    if not isinstance(journal, JournalSnapshot):
+        path = Path(journal)
+        snapshot = load_journal(path)
+        if telemetry is None:
+            telemetry = read_telemetry(telemetry_path(path))
+    else:
+        snapshot = journal
+        telemetry = telemetry or []
+    header = snapshot.header
+    seeds = header.seeds
+    done = [s for s in seeds if s in snapshot.completed]
+    runs = [snapshot.completed[s] for s in done]
+    aggregates: Dict[str, object] = {}
+    if runs:
+        aggregates = {
+            name: {
+                "mean": agg.mean,
+                "stdev": agg.stdev,
+                "min": agg.minimum,
+                "max": agg.maximum,
+                "samples": agg.samples,
+            }
+            for name, agg in sorted(merge_replications(runs).items())
+        }
+    worker_snapshots = [
+        snapshot.worker_metrics[s]
+        for s in seeds
+        if s in snapshot.worker_metrics
+    ]
+    merged = (
+        merge_metric_snapshots(worker_snapshots) if worker_snapshots else {}
+    )
+    return {
+        "schema": REPORT_SCHEMA,
+        "campaign": {
+            "experiment": header.experiment,
+            "fingerprint": header.fingerprint,
+            "seeds": list(seeds),
+            "completed": len(done),
+            "pending": snapshot.pending(),
+            "metrics_seeds": len(worker_snapshots),
+        },
+        "metrics": {k: merged[k] for k in sorted(merged)},
+        "aggregates": aggregates,
+        "telemetry": summarize_telemetry(telemetry),
+    }
+
+
+def render_run_report(report: Dict[str, object]) -> str:
+    """Markdown rendering of :func:`build_run_report`'s output."""
+    campaign = report["campaign"]
+    telemetry = report["telemetry"]
+    metrics = report["metrics"]
+    aggregates = report["aggregates"]
+    lines: List[str] = []
+    title = campaign["experiment"] or "campaign"
+    lines.append(f"# Campaign report: {title}")
+    lines.append("")
+    lines.append(f"- fingerprint: `{campaign['fingerprint']}`")
+    lines.append(
+        f"- seeds: {campaign['completed']}/{len(campaign['seeds'])} "
+        f"complete"
+        + (
+            f" (pending: {', '.join(str(s) for s in campaign['pending'])})"
+            if campaign["pending"] else ""
+        )
+    )
+    lines.append(
+        f"- lifecycle: {telemetry['seeds_started']} started, "
+        f"{telemetry['seeds_finished']} finished, "
+        f"{telemetry['seeds_cached']} cached, "
+        f"{len(telemetry['retried_seeds'])} retried, "
+        f"{len(telemetry['failed_seeds'])} failed"
+    )
+    if telemetry["wall_span_ns"]:
+        lines.append(
+            f"- wall clock: {telemetry['wall_span_ns'] / 1e9:.3f} s"
+        )
+    if telemetry["runtime"]:
+        lines.append("")
+        lines.append("## Runtime")
+        lines.append("")
+        lines.append("| counter | value |")
+        lines.append("| --- | ---: |")
+        for key, value in telemetry["runtime"].items():
+            lines.append(f"| {key} | {value} |")
+    if metrics:
+        lines.append("")
+        lines.append("## Merged worker metrics")
+        lines.append("")
+        lines.append(
+            f"({campaign['metrics_seeds']} seed snapshot"
+            f"{'s' if campaign['metrics_seeds'] != 1 else ''}; "
+            f"integer counters summed, float gauges averaged)"
+        )
+        lines.append("")
+        lines.append("| metric | value |")
+        lines.append("| --- | ---: |")
+        for key, value in metrics.items():
+            shown = f"{value:.4g}" if isinstance(value, float) else value
+            lines.append(f"| {key} | {shown} |")
+    if aggregates:
+        lines.append("")
+        lines.append("## Result aggregates")
+        lines.append("")
+        lines.append("| observable | mean | stdev | min | max | n |")
+        lines.append("| --- | ---: | ---: | ---: | ---: | ---: |")
+        for name, agg in aggregates.items():
+            lines.append(
+                f"| {name} | {agg['mean']:.4g} | {agg['stdev']:.4g} "
+                f"| {agg['min']:.4g} | {agg['max']:.4g} "
+                f"| {agg['samples']} |"
+            )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_run_report(
+    journal_path: Union[str, Path],
+    output_base: Optional[Union[str, Path]] = None,
+) -> Tuple[Path, Path]:
+    """Write ``<base>.json`` and ``<base>.md`` for one journal; returns
+    both paths.  Default base: the journal path plus ``-report``."""
+    journal_path = Path(journal_path)
+    base = (
+        Path(output_base)
+        if output_base is not None
+        else journal_path.with_name(journal_path.name + "-report")
+    )
+    report = build_run_report(journal_path)
+    json_path = base.with_suffix(base.suffix + ".json")
+    md_path = base.with_suffix(base.suffix + ".md")
+    base.parent.mkdir(parents=True, exist_ok=True)
+    json_path.write_text(
+        json.dumps(report, sort_keys=True, indent=2) + "\n"
+    )
+    md_path.write_text(render_run_report(report))
+    return json_path, md_path

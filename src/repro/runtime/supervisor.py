@@ -40,9 +40,17 @@ from typing import Callable, Deque, Dict, List, Mapping, Optional, Sequence
 
 from repro.analysis.parallel import effective_workers, resolve_jobs
 from repro.analysis.stats import Number, ScenarioFn
-from repro.obs.events import POOL_RESPAWN, WORKER_RETRY
+from repro.obs.events import (
+    POOL_RESPAWN,
+    SEED_FAILED,
+    SEED_FINISHED,
+    SEED_RETRIED,
+    SEED_STARTED,
+    WORKER_RETRY,
+)
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import TraceBus
+from repro.runtime.telemetry import CampaignTelemetry, CapturedScenario
 
 
 @dataclass(frozen=True)
@@ -104,6 +112,8 @@ class SupervisedOutcome:
 
     results: Dict[int, Mapping[str, Number]] = field(default_factory=dict)
     failures: Dict[int, SeedFailure] = field(default_factory=dict)
+    #: per-seed worker registry snapshots (``capture_metrics=True`` only)
+    worker_metrics: Dict[int, Dict[str, Number]] = field(default_factory=dict)
     retries: int = 0
     respawns: int = 0
     timeouts: int = 0
@@ -134,11 +144,17 @@ class Supervisor:
         trace: Optional[TraceBus] = None,
         metrics: Optional[MetricsRegistry] = None,
         fingerprint: str = "",
+        telemetry: Optional[CampaignTelemetry] = None,
     ) -> None:
         self.policy = policy or SupervisorPolicy()
         self.trace = trace or TraceBus()
         self.metrics = metrics or MetricsRegistry()
         self.fingerprint = fingerprint
+        self.telemetry = telemetry
+        self._capture = False
+        self._started_monotonic = 0.0
+        self._total_seeds = 0
+        self._done_seeds = 0
 
     # ------------------------------------------------------------------
     # Observability helpers
@@ -151,6 +167,23 @@ class Supervisor:
     def _count(self, name: str, amount: int = 1) -> None:
         self.metrics.counter(f"runtime.{name}").add(amount)
 
+    def _telemetry(self, kind: str, **data: object) -> None:
+        if self.telemetry is not None:
+            self.telemetry.emit(kind, **data)
+
+    def _eta_s(self) -> Optional[float]:
+        """Remaining-seconds estimate from the completed-seed rate.
+
+        Pure progress arithmetic: with ``done`` seeds finished in
+        ``elapsed`` wall seconds, the remaining seeds finish in
+        ``remaining * elapsed / done`` at the same rate.  ``None`` until
+        the first completion (no rate to extrapolate)."""
+        if self._done_seeds <= 0 or self._total_seeds <= 0:
+            return None
+        elapsed = time.monotonic() - self._started_monotonic
+        remaining = self._total_seeds - self._done_seeds
+        return round(remaining * elapsed / self._done_seeds, 3)
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
@@ -160,7 +193,8 @@ class Supervisor:
         scenario: ScenarioFn,
         seeds: Sequence[int],
         jobs: Optional[int] = None,
-        on_result: Optional[Callable[[int, Mapping[str, Number]], None]] = None,
+        on_result: Optional[Callable[..., None]] = None,
+        capture_metrics: bool = False,
     ) -> SupervisedOutcome:
         """Supervised equivalent of ``pool.map(scenario, seeds)``.
 
@@ -168,11 +202,23 @@ class Supervisor:
         ``outcome.failures``.  ``KeyboardInterrupt`` tears the pool down
         and propagates; everything already completed has been delivered
         through ``on_result``.
+
+        ``capture_metrics=True`` wraps the scenario in
+        :class:`~repro.runtime.telemetry.CapturedScenario`: each seed
+        additionally ships its systems' registry snapshot back, landing
+        in ``outcome.worker_metrics[seed]``, and ``on_result`` is called
+        with three arguments ``(seed, result, metrics)`` instead of two.
         """
         seeds = [int(seed) for seed in seeds]
         outcome = SupervisedOutcome()
         if not seeds:
             return outcome
+        self._capture = capture_metrics
+        self._started_monotonic = time.monotonic()
+        self._total_seeds = len(seeds)
+        self._done_seeds = 0
+        if capture_metrics:
+            scenario = CapturedScenario(scenario)
         workers = effective_workers(resolve_jobs(jobs), len(seeds))
         if workers <= 1:
             self._run_serial(scenario, seeds, outcome, on_result)
@@ -200,6 +246,7 @@ class Supervisor:
         while queue:
             seed = queue.popleft()
             attempts[seed] += 1
+            self._telemetry(SEED_STARTED, seed=seed, attempt=attempts[seed])
             try:
                 result = scenario(seed)
             except KeyboardInterrupt:
@@ -266,6 +313,9 @@ class Supervisor:
                     deadlines[future] = (
                         now + policy.timeout_s
                         if policy.timeout_s is not None else None
+                    )
+                    self._telemetry(
+                        SEED_STARTED, seed=seed, attempt=attempts[seed]
                     )
                 if not inflight:
                     # Everything pending is backing off; sleep it out.
@@ -421,6 +471,7 @@ class Supervisor:
             if gate > 0:
                 time.sleep(gate)
             attempts[seed] += 1
+            self._telemetry(SEED_STARTED, seed=seed, attempt=attempts[seed])
             try:
                 result = scenario(seed)
             except KeyboardInterrupt:
@@ -438,10 +489,28 @@ class Supervisor:
     # ------------------------------------------------------------------
 
     def _complete(self, seed, result, outcome, on_result) -> None:
+        metrics: Optional[Dict[str, Number]] = None
+        if self._capture:
+            # CapturedScenario envelope: unwrap the flat result and keep
+            # the worker's registry snapshot beside it.
+            metrics = dict(result["metrics"])
+            result = result["result"]
+            outcome.worker_metrics[seed] = metrics
         outcome.results[seed] = result
         self._count("seeds_completed")
+        self._done_seeds += 1
+        self._telemetry(
+            SEED_FINISHED,
+            seed=seed,
+            done=self._done_seeds,
+            total=self._total_seeds,
+            eta_s=self._eta_s(),
+        )
         if on_result is not None:
-            on_result(seed, result)
+            if self._capture:
+                on_result(seed, result, metrics)
+            else:
+                on_result(seed, result)
 
     def _requeue(
         self, seed, attempts, queue, outcome, reason,
@@ -455,12 +524,20 @@ class Supervisor:
                 seed=seed, attempts=attempt, reason=reason
             )
             self._count("seeds_failed")
+            self._telemetry(
+                SEED_FAILED, seed=seed, attempts=attempt, reason=reason
+            )
             return
         delay = backoff_delay(self.fingerprint, seed, attempt, self.policy)
         outcome.retries += 1
         self._count("worker_retries")
         self._emit(
             WORKER_RETRY,
+            seed=seed, attempt=attempt, reason=reason,
+            delay_s=round(delay, 6),
+        )
+        self._telemetry(
+            SEED_RETRIED,
             seed=seed, attempt=attempt, reason=reason,
             delay_s=round(delay, 6),
         )

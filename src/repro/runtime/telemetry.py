@@ -1,0 +1,161 @@
+"""Live campaign telemetry: the journal's heartbeat sidecar.
+
+The result journal records *what finished*; this module records *what is
+happening*.  A :class:`CampaignTelemetry` stream is a JSONL sidecar next
+to the journal (``<journal>.telemetry``) carrying the campaign lifecycle
+— ``campaign_started``, per-seed ``seed_started`` / ``seed_finished``
+(with an ETA derived from completed-seed rates) / ``seed_retried`` /
+``seed_failed`` / ``seed_cached``, and ``campaign_finished`` — each line
+flushed and fsync'd like a journal record, so ``python -m repro status``
+can watch a campaign *mid-flight* from another terminal and a crash
+leaves at most one torn final line.
+
+Record shape is deliberately the trace-event wire format
+(``{"kind": ..., "t": ..., **data}`` with wall-clock ``time_ns``), so
+the existing :func:`repro.obs.trace.iter_jsonl` reader — torn-final-line
+tolerance included — parses a telemetry stream unchanged.
+
+The module also carries the worker-metrics plumbing: a picklable
+:class:`CapturedScenario` wrapper that runs one seed inside an ambient
+:func:`~repro.obs.runtime.observe` block and ships the built systems'
+:class:`~repro.obs.registry.MetricsRegistry` snapshots back with the
+result, plus :func:`merge_metric_snapshots` which folds those per-seed
+snapshots into one campaign-level metrics map without ever dropping a
+key (``assert_covers`` enforced).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.analysis.stats import Number, ScenarioFn
+from repro.obs.events import TraceEvent
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import iter_jsonl
+
+#: the sidecar lives next to its journal under this suffix
+TELEMETRY_SUFFIX = ".telemetry"
+
+
+def telemetry_path(journal_path: Union[str, Path]) -> Path:
+    """Where the telemetry sidecar of a journal lives."""
+    return Path(str(journal_path) + TELEMETRY_SUFFIX)
+
+
+class CampaignTelemetry:
+    """Append-only fsync'd JSONL stream of campaign lifecycle events."""
+
+    def __init__(self, path: Union[str, Path], append: bool = False) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._stream = self.path.open("a" if append else "w", buffering=1)
+        self.events_written = 0
+
+    def emit(self, kind: str, **data: object) -> None:
+        """Durably append one lifecycle event (wall-clock ``time_ns``)."""
+        if self._stream is None:
+            return
+        payload = {"kind": kind, "t": time.time_ns(), **data}
+        self._stream.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._stream.flush()
+        os.fsync(self._stream.fileno())
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "CampaignTelemetry":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_telemetry(path: Union[str, Path]) -> List[TraceEvent]:
+    """Load a telemetry sidecar; missing or empty files are simply *no
+    events yet* (a campaign that has not started), never an error."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    try:
+        return list(iter_jsonl(path))
+    except ValueError:
+        # iter_jsonl treats a file with no valid line as an error; for a
+        # heartbeat stream that just means nothing has been written yet.
+        return []
+
+
+# ----------------------------------------------------------------------
+# Worker-side metrics capture
+# ----------------------------------------------------------------------
+
+
+class CapturedScenario:
+    """Picklable wrapper: run one seed, ship its metrics back too.
+
+    ``scenario(seed)`` normally returns a flat result mapping and throws
+    its systems — registries and all — away.  The wrapper opens an
+    ambient :func:`~repro.obs.runtime.observe` block (which registers
+    every system built inside, configuring nothing), runs the scenario,
+    and returns ``{"result": ..., "metrics": ...}`` where ``metrics`` is
+    the merged registry snapshot of those systems.  Exceptions pass
+    through untouched so the supervisor's retry ladder sees them as
+    usual.
+    """
+
+    __slots__ = ("scenario",)
+
+    def __init__(self, scenario: ScenarioFn) -> None:
+        self.scenario = scenario
+
+    def __getstate__(self):
+        return self.scenario
+
+    def __setstate__(self, state) -> None:
+        self.scenario = state
+
+    def __call__(self, seed: int) -> Dict[str, object]:
+        from repro.obs.runtime import observe
+
+        with observe() as session:
+            result = self.scenario(seed)
+        snapshots = [
+            system.obs.metrics.snapshot() for system in session.systems
+        ]
+        metrics = merge_metric_snapshots(snapshots) if snapshots else {}
+        return {"result": result, "metrics": metrics}
+
+
+def merge_metric_snapshots(
+    snapshots: Sequence[Mapping[str, Number]],
+) -> Dict[str, Number]:
+    """Fold registry snapshots into one map: ints sum, floats average.
+
+    Integer counters (ACTs, fallbacks, cache hits) are totals, so they
+    add; float gauges (hit rates, average latencies) are already
+    normalized, so they mean over the snapshots that carry them.  The
+    fold is deterministic in ``snapshots`` order, and ``assert_covers``
+    guarantees the merge can never silently drop a key any input had.
+    """
+    values: Dict[str, List[Number]] = {}
+    for snapshot in snapshots:
+        for key, value in snapshot.items():
+            values.setdefault(key, []).append(value)
+    merged: Dict[str, Number] = {}
+    for key, samples in values.items():
+        if any(isinstance(sample, float) for sample in samples):
+            merged[key] = sum(samples) / len(samples)
+        else:
+            merged[key] = sum(samples)
+    if snapshots:
+        registry = MetricsRegistry()
+        registry.register_group("merged", merged)
+        for snapshot in snapshots:
+            registry.assert_covers(list(snapshot.keys()), "merged")
+    return merged

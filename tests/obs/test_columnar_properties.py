@@ -1,0 +1,210 @@
+"""Property tests for the columnar trace record algebra.
+
+Hypothesis generates arbitrary well-formed bulk records (monotone ACT
+times, optional conflicts/stalls, flips anchored at non-decreasing
+element positions) and checks the laws the rest of the observability
+stack leans on:
+
+* ``as_event``/``from_event`` round-trips losslessly — including
+  through real JSON text, which is what the JSONL sink writes;
+* ``events_total`` is exactly the expanded stream length;
+* ``expand_events`` expands batch records in place and passes scalar
+  events through untouched;
+* ``CountingSink.write_bulk`` counts precisely the expanded kinds;
+* deterministic sampling **commutes with expansion**: sampling the
+  scalar stream and expanding a sampled bulk stream produce the same
+  events, for any ``every``/``seed`` and across record boundaries.
+"""
+
+import json
+from collections import Counter
+from itertools import accumulate
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import (
+    ColumnarTraceRecord,
+    CountingSink,
+    SamplingSink,
+    TraceBus,
+    expand_events,
+)
+from repro.obs.events import ACT, TraceEvent
+
+
+@st.composite
+def trace_records(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    start = draw(st.integers(min_value=0, max_value=10**9))
+    gaps = draw(st.lists(
+        st.integers(min_value=1, max_value=200), min_size=n, max_size=n
+    ))
+    act_ns = list(accumulate(gaps, initial=start))[1:]
+    stall_ns = draw(st.lists(
+        st.one_of(st.just(0), st.integers(min_value=1, max_value=50)),
+        min_size=n, max_size=n,
+    ))
+    closed_row = draw(st.lists(
+        st.one_of(st.none(), st.integers(min_value=0, max_value=255)),
+        min_size=n, max_size=n,
+    ))
+    coord = st.lists(
+        st.integers(min_value=0, max_value=7), min_size=n, max_size=n
+    )
+    domain = draw(st.lists(
+        st.one_of(st.none(), st.integers(min_value=0, max_value=3)),
+        min_size=n, max_size=n,
+    ))
+    flip_count = draw(st.integers(min_value=0, max_value=6))
+    flip_pos = sorted(draw(st.lists(
+        st.integers(min_value=0, max_value=n - 1),
+        min_size=flip_count, max_size=flip_count,
+    )))
+    flips = []
+    for k in range(flip_count):
+        flips.append({
+            "t": act_ns[flip_pos[k]] + draw(
+                st.integers(min_value=0, max_value=5)
+            ),
+            "victim": [draw(st.integers(0, 7)) for _ in range(3)],
+            "aggressor": [draw(st.integers(0, 7)) for _ in range(3)],
+            "aggressor_domain": draw(
+                st.one_of(st.none(), st.integers(0, 3))
+            ),
+            "victim_domains": sorted(draw(st.sets(
+                st.integers(0, 3), max_size=2
+            ))),
+            "bits": draw(st.integers(min_value=1, max_value=8)),
+        })
+    return ColumnarTraceRecord(
+        time_ns=act_ns[0],
+        channel=draw(coord),
+        rank=draw(coord),
+        bank=draw(coord),
+        row=draw(st.lists(
+            st.integers(min_value=0, max_value=255), min_size=n, max_size=n
+        )),
+        line=draw(st.lists(
+            st.integers(min_value=0, max_value=1023), min_size=n, max_size=n
+        )),
+        domain=domain,
+        act_ns=act_ns,
+        stall_ns=stall_ns,
+        closed_row=closed_row,
+        flip_pos=flip_pos,
+        flips=flips,
+    )
+
+
+class _Collector:
+    """Scalar-only sink (no write_bulk): forces the expand fallback."""
+
+    def __init__(self):
+        self.events = []
+
+    def write(self, event):
+        self.events.append(event)
+
+    def close(self):
+        pass
+
+
+@settings(deadline=None, max_examples=80)
+@given(trace_records())
+def test_record_round_trips_through_json(record):
+    line = json.dumps(record.as_event().as_json_dict(), sort_keys=True)
+    revived = ColumnarTraceRecord.from_event(
+        TraceEvent.from_json_dict(json.loads(line))
+    )
+    assert revived == record
+    assert list(revived.expand()) == list(record.expand())
+
+
+@settings(deadline=None, max_examples=80)
+@given(trace_records())
+def test_events_total_matches_expansion(record):
+    expanded = list(record.expand())
+    assert record.events_total == len(expanded)
+    # Flip count and payloads survive expansion exactly.
+    flips = [e for e in expanded if e.kind == "bit_flip"]
+    assert len(flips) == len(record.flips)
+    assert [e.time_ns for e in flips] == [f["t"] for f in record.flips]
+
+
+@settings(deadline=None, max_examples=50)
+@given(trace_records())
+def test_expand_events_inlines_batch_records(record):
+    scalar = TraceEvent("act_interrupt", 7, {"row": 3})
+    stream = [scalar, record.as_event(), scalar]
+    expanded = list(expand_events(stream))
+    assert expanded == [scalar] + list(record.expand()) + [scalar]
+
+
+@settings(deadline=None, max_examples=80)
+@given(trace_records())
+def test_counting_sink_counts_expanded_kinds(record):
+    sink = CountingSink()
+    sink.write_bulk(record)
+    expected = Counter(event.kind for event in record.expand())
+    assert sink.counts_by_kind() == dict(expected)
+    assert sink.events_written == record.events_total
+
+
+@settings(deadline=None, max_examples=80)
+@given(
+    st.lists(trace_records(), min_size=1, max_size=3),
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=7),
+)
+def test_sampling_commutes_with_expansion(records, every, seed):
+    scalar_leg = SamplingSink(_Collector(), every, seed=seed)
+    bulk_leg = SamplingSink(_Collector(), every, seed=seed)
+    for record in records:
+        for event in record.expand():
+            scalar_leg.write(event)
+        bulk_leg.write_bulk(record)
+    assert bulk_leg.inner.events == scalar_leg.inner.events
+    assert bulk_leg.acts_seen == scalar_leg.acts_seen
+    assert bulk_leg.acts_kept == scalar_leg.acts_kept
+    # The sampler never drops ground truth.
+    kept_flips = sum(
+        1 for e in bulk_leg.inner.events if e.kind == "bit_flip"
+    )
+    assert kept_flips == sum(len(r.flips) for r in records)
+
+
+@settings(deadline=None, max_examples=50)
+@given(trace_records())
+def test_emit_bulk_expands_for_scalar_only_sinks(record):
+    collector = _Collector()
+    bus = TraceBus()
+    bus.set_sink(collector)
+    bus.emit_bulk(record)
+    assert collector.events == list(record.expand())
+    assert bus.emitted == record.events_total
+
+
+@settings(deadline=None, max_examples=50)
+@given(trace_records(), st.integers(min_value=1, max_value=4))
+def test_thin_keep_all_and_drop_all(record, every):
+    n = len(record.channel)
+    assert record.thin([True] * n) == record
+    dropped = record.thin([False] * n)
+    if record.flips:
+        assert dropped is not None
+        assert len(dropped.channel) == 0
+        assert all(pos == -1 for pos in dropped.flip_pos)
+        assert [e.kind for e in dropped.expand()] == (
+            ["bit_flip"] * len(record.flips)
+        )
+    else:
+        assert dropped is None
+
+
+@settings(deadline=None, max_examples=60)
+@given(trace_records())
+def test_expanded_acts_preserve_column_order(record):
+    acts = [e for e in record.expand() if e.kind == ACT]
+    assert [e.time_ns for e in acts] == list(record.act_ns)
+    assert [e.data["row"] for e in acts] == list(record.row)
+    assert all(e.data["dma"] is False for e in acts)

