@@ -40,22 +40,16 @@ def main() -> int:
     from repro.analysis.scenarios import build_scenario
     from repro.attacks import AttackPlanner, Attacker
     from repro.core.primitives import MissingPrimitiveError
-    from repro.defenses import ALL_DEFENSES, BankPartitionDefense, GuardRowsDefense
-    from repro.hostos.allocator import AllocationPolicy
+    from repro.defenses import ALL_DEFENSES
+    from repro.defenses.registry import build_overrides
     from repro.obs import CountingSink
     from repro.sim import legacy_platform, proposed_platform
 
-    policy_of = {
-        BankPartitionDefense: AllocationPolicy.BANK_PARTITION,
-        GuardRowsDefense: AllocationPolicy.GUARD_ROWS,
-    }
     failures = []
     for defense_cls in ALL_DEFENSES:
-        overrides = {}
-        policy = policy_of.get(defense_cls)
-        if policy is not None:
-            overrides["allocation_policy"] = policy
-            overrides["mapping"] = "linear"
+        # The registry knows which allocator-policy build overrides
+        # each defense demands — no hand-maintained map to go stale.
+        overrides = build_overrides(defense_cls)
         scenario = None
         # Legacy hardware first; the paper's proposals need the proposed
         # platform's MC primitives.
@@ -65,7 +59,7 @@ def main() -> int:
                 scenario = build_scenario(
                     platform(scale=8, **overrides),
                     defenses=[defense],
-                    interleaved_allocation=policy is None,
+                    interleaved_allocation=not overrides,
                 )
                 break
             except MissingPrimitiveError as error:

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""CI lint: the defense registry must be complete and unambiguous.
+
+Every harness in the repo — the E1/E4/E5/E13 sweeps, the faults CLI,
+the bulk-fallback smoke — derives its defense list from
+``repro.defenses.ALL_DEFENSES``.  A plugin that is written but never
+registered silently vanishes from *all* of them, so this lint walks
+every module in the ``repro.defenses`` package and checks:
+
+* every concrete ``Defense`` subclass (one that overrides the class-
+  level ``name``) is listed in ``ALL_DEFENSES``;
+* every concrete subclass is exported via ``repro.defenses.__all__``;
+* registry ``name``s are unique (they key CLI flags, metrics groups,
+  and cache entries);
+* ``DEFENSE_BY_NAME`` is exactly the name->class mirror of
+  ``ALL_DEFENSES``.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python scripts/defense_registry_lint.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+import sys
+
+
+def concrete_defense_classes():
+    """Import every repro.defenses submodule and yield the concrete
+    Defense subclasses it defines (public, with an overridden name)."""
+    import repro.defenses as package
+    from repro.defenses.base import Defense
+
+    for info in pkgutil.iter_modules(package.__path__):
+        importlib.import_module(f"repro.defenses.{info.name}")
+
+    def walk(cls):
+        for sub in cls.__subclasses__():
+            yield sub
+            yield from walk(sub)
+
+    seen = set()
+    for cls in walk(Defense):
+        if cls in seen:
+            continue
+        seen.add(cls)
+        if cls.__name__.startswith("_"):
+            continue  # private shared bases (e.g. _PolicyDefense)
+        if cls.name == Defense.name:
+            continue  # abstract intermediary: never overrode `name`
+        yield cls
+
+
+def main() -> int:
+    import repro.defenses as package
+    from repro.defenses import ALL_DEFENSES
+    from repro.defenses.registry import DEFENSE_BY_NAME
+
+    failures = []
+    concrete = sorted(concrete_defense_classes(), key=lambda c: c.__name__)
+    registered = set(ALL_DEFENSES)
+    exported = set(package.__all__)
+
+    for cls in concrete:
+        if cls not in registered:
+            failures.append(
+                f"{cls.__name__} (name={cls.name!r}) is not in ALL_DEFENSES"
+            )
+        if cls.__name__ not in exported:
+            failures.append(
+                f"{cls.__name__} is not exported in repro.defenses.__all__"
+            )
+
+    names = [cls.name for cls in ALL_DEFENSES]
+    duplicates = {name for name in names if names.count(name) > 1}
+    if duplicates:
+        failures.append(f"duplicate registry names: {sorted(duplicates)}")
+
+    mirror = {cls.name: cls for cls in ALL_DEFENSES}
+    if DEFENSE_BY_NAME != mirror:
+        failures.append("DEFENSE_BY_NAME does not mirror ALL_DEFENSES")
+
+    print(
+        f"defense registry lint: {len(concrete)} concrete classes, "
+        f"{len(ALL_DEFENSES)} registered, {len(names)} names"
+    )
+    if failures:
+        print("\ndefense registry lint FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("defense registry lint passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,18 +37,26 @@ from repro.core.primitives import (
 )
 from repro.core.taxonomy import TABLE_1, MitigationClass
 from repro.defenses import (
+    ALL_DEFENSES,
     AggressorRemapDefense,
     AnvilDefense,
     BankPartitionDefense,
     BlockHammerDefense,
+    BreakHammerDefense,
     CacheLineLockingDefense,
     GrapheneDefense,
     GuardRowsDefense,
     ParaDefense,
+    PracDefense,
     SubarrayIsolationDefense,
     TargetedRefreshDefense,
     TwiceDefense,
     VendorTrr,
+)
+from repro.defenses.registry import (
+    DEFENSE_BY_NAME,
+    build_overrides,
+    platform_for,
 )
 from repro.hostos.allocator import AllocationPolicy
 from repro.hostos.enclave import SystemLockupError
@@ -87,14 +95,33 @@ class ExperimentOutcome:
         return "\n\n".join(parts)
 
 
+def _hosting_config(defense_cls, scale: int) -> SystemConfig:
+    """The cheapest platform preset that hosts ``defense_cls``, with the
+    allocator-policy build overrides it demands — both derived from the
+    defense registry, so experiment sweeps follow ``ALL_DEFENSES``."""
+    overrides = build_overrides(defense_cls)
+    platform = platform_for(defense_cls)
+    if platform == "proposed":
+        return proposed_platform(scale=scale, **overrides)
+    config = legacy_platform(scale=scale, **overrides)
+    if platform == "legacy+primitives":
+        config = config.with_primitives(PrimitiveSet.proposed())
+    return config
+
+
 # ----------------------------------------------------------------------
 # E1 — Table 1: each primitive enables its defense class
 # ----------------------------------------------------------------------
 
 def run_e1(scale: int = 64) -> ExperimentOutcome:
-    """For each Table-1 row: the attack succeeds undefended, the software
-    defense cannot even attach without its primitive, and with the
-    primitive the defense eliminates cross-domain flips."""
+    """For each Table-1 row: the attack succeeds undefended, a defense
+    needing primitives cannot even attach without them (while the
+    self-contained next-generation mitigations attach anywhere), and
+    hosted properly the defense eliminates cross-domain flips.
+
+    The rows are the registry's ``table1_row`` declarations, so a new
+    defense opts into this matrix from its own class definition.
+    """
     table = Table(
         "E1 / paper Table 1 — primitive -> software defense matrix",
         (
@@ -103,81 +130,55 @@ def run_e1(scale: int = 64) -> ExperimentOutcome:
             "flips_with_defense",
         ),
     )
-    rows_config = [
-        (
-            MitigationClass.ISOLATION,
-            "subarray-isolated interleaving",
-            "subarray-aware allocation",
-            lambda: (proposed_platform(scale=scale), SubarrayIsolationDefense()),
-        ),
-        (
-            MitigationClass.FREQUENCY,
-            "precise ACT interrupt",
-            "aggressor remapping",
-            lambda: (
-                legacy_platform(scale=scale).with_primitives(
-                    PrimitiveSet.proposed()
-                ),
-                AggressorRemapDefense(),
-            ),
-        ),
-        (
-            MitigationClass.FREQUENCY,
-            "precise ACT interrupt + line locking",
-            "cache line locking",
-            lambda: (
-                legacy_platform(scale=scale).with_primitives(
-                    PrimitiveSet.proposed()
-                ),
-                CacheLineLockingDefense(),
-            ),
-        ),
-        (
-            MitigationClass.REFRESH,
-            "CPU refresh instruction",
-            "software victim refresh",
-            lambda: (
-                legacy_platform(scale=scale).with_primitives(
-                    PrimitiveSet.proposed()
-                ),
-                TargetedRefreshDefense(),
-            ),
-        ),
-    ]
-    all_ok = True
-    for mitigation_class, primitive_name, defense_name, make in rows_config:
-        # 1) undefended baseline on legacy hardware
-        baseline = build_scenario(legacy_platform(scale=scale))
-        base_result = run_attack(baseline, "double-sided")
-        undefended = base_result.cross_domain_flips
+    # 1) undefended baseline on legacy hardware (shared by every row)
+    baseline = build_scenario(legacy_platform(scale=scale))
+    undefended = run_attack(baseline, "double-sided").cross_domain_flips
 
-        # 2) the defense refuses to attach on legacy hardware
-        _config, defense_for_legacy = make()
+    all_ok = True
+    for cls in ALL_DEFENSES:
+        if cls.table1_row is None:
+            continue
+        primitive_name, defense_name = cls.table1_row
+        needs_primitives = bool(cls.requires)
+
+        # 2) a primitive-dependent defense refuses to attach on legacy
+        # hardware; a self-contained one (PRAC, BreakHammer) attaches
         legacy_system = build_system(legacy_platform(scale=scale))
         try:
-            defense_for_legacy.attach(legacy_system)
+            cls().attach(legacy_system)
             attach_fails = False
         except MissingPrimitiveError:
             attach_fails = True
         except RuntimeError:
             attach_fails = True  # policy prerequisites also absent
 
-        # 3) with the primitive, the defense stops the attack
-        config, defense = make()
-        scenario = build_scenario(config, defenses=[defense])
-        result = run_attack(scenario, "double-sided")
-        defended = result.cross_domain_flips
+        # 3) hosted on its platform, the defense stops the attack
+        scenario = build_scenario(
+            _hosting_config(cls, scale), defenses=[cls()]
+        )
+        defended = run_attack(scenario, "double-sided").cross_domain_flips
 
-        row_ok = undefended > 0 and attach_fails and defended == 0
+        row_ok = (
+            undefended > 0
+            and attach_fails == needs_primitives
+            and defended == 0
+        )
         all_ok = all_ok and row_ok
+        if attach_fails:
+            attach_column = "refused"
+        elif not needs_primitives:
+            attach_column = "n/a (none needed)"
+        else:
+            attach_column = "ATTACHED"
         table.add(
-            mitigation_class.value, primitive_name, defense_name,
-            undefended, "refused" if attach_fails else "ATTACHED",
-            defended,
+            cls.traits.mitigation_class.value, primitive_name,
+            defense_name, undefended, attach_column, defended,
         )
     table.add_note(
         "paper Table 1 rows checked as executable facts; 'refused' = "
-        "MissingPrimitiveError on today's hardware"
+        "MissingPrimitiveError on today's hardware; next-generation "
+        "in-DRAM/in-MC mitigations need no new primitive and attach "
+        "anywhere"
     )
     return ExperimentOutcome(
         experiment_id="E1",
@@ -186,9 +187,9 @@ def run_e1(scale: int = 64) -> ExperimentOutcome:
               "defense class the paper pairs with it (Table 1)",
         tables=[table],
         verdict=all_ok,
-        verdict_detail="every row: attack lands undefended, defense "
-                       "unattachable without primitive, 0 cross-domain "
-                       "flips with it" if all_ok else "see table",
+        verdict_detail="every row: attack lands undefended, attach "
+                       "refusal matches the primitive requirement, 0 "
+                       "cross-domain flips hosted" if all_ok else "see table",
     )
 
 
@@ -362,34 +363,26 @@ def run_e3(scale: int = 64, accesses: int = 12_000) -> ExperimentOutcome:
 def run_e4(scale: int = 64, full: bool = False) -> ExperimentOutcome:
     """Defense x attack matrix verifying the taxonomy's coverage claims:
     isolation stops cross- but not intra-domain flips; frequency and
-    refresh stop both; ANVIL misses DMA."""
-    prims_cfg = legacy_platform(scale=scale).with_primitives(PrimitiveSet.proposed())
+    refresh stop both; ANVIL misses DMA.
+
+    Rows come from the defense registry: the default run sweeps a core
+    subset (one representative per coverage story, plus the two
+    next-generation mitigations); ``full=True`` sweeps every registered
+    defense.
+    """
+    core = (
+        "subarray-isolation", "aggressor-remap", "blockhammer",
+        "targeted-refresh", "anvil", "vendor-trr", "prac", "breakhammer",
+    )
     defense_rows: List[Tuple[str, Callable[[], Sequence], SystemConfig]] = [
         ("none", lambda: [], legacy_platform(scale=scale)),
-        ("subarray-isolation", lambda: [SubarrayIsolationDefense()],
-         proposed_platform(scale=scale)),
-        ("aggressor-remap", lambda: [AggressorRemapDefense()], prims_cfg),
-        ("targeted-refresh", lambda: [TargetedRefreshDefense()], prims_cfg),
-        ("anvil", lambda: [AnvilDefense()], legacy_platform(scale=scale)),
-        ("vendor-trr", lambda: [VendorTrr(n_trackers=4)],
-         legacy_platform(scale=scale)),
     ]
-    if full:
-        defense_rows.extend([
-            ("blockhammer", lambda: [BlockHammerDefense()],
-             legacy_platform(scale=scale)),
-            ("para", lambda: [ParaDefense(probability=0.02, refresh_radius=2)],
-             legacy_platform(scale=scale)),
-            ("graphene", lambda: [GrapheneDefense()],
-             legacy_platform(scale=scale)),
-            ("twice", lambda: [TwiceDefense()], legacy_platform(scale=scale)),
-            ("line-locking", lambda: [CacheLineLockingDefense()], prims_cfg),
-            ("guard-rows", lambda: [GuardRowsDefense()],
-             legacy_platform(
-                 scale=scale, mapping="linear",
-                 allocation_policy=AllocationPolicy.GUARD_ROWS,
-             )),
-        ])
+    for cls in ALL_DEFENSES:
+        if not full and cls.name not in core:
+            continue
+        defense_rows.append(
+            (cls.name, (lambda c=cls: [c()]), _hosting_config(cls, scale))
+        )
     attacks = (
         ("double-sided", dict(pattern="double-sided")),
         ("many-sided(8)", dict(pattern="many-sided", sides=8)),
@@ -399,14 +392,21 @@ def run_e4(scale: int = 64, full: bool = False) -> ExperimentOutcome:
     table = Table(
         "E4 — taxonomy audit (cross-domain flips; intra column counts "
         "attacker-self flips)",
-        ("defense",) + tuple(name for name, _ in attacks),
+        ("defense",) + tuple(name for name, _ in attacks)
+        + ("peak_rows_tracked",),
     )
     cells: Dict[Tuple[str, str], int] = {}
     for defense_name, make_defenses, config in defense_rows:
         row_values = [defense_name]
+        peak_rows_tracked = "-"
+        overrides = (
+            build_overrides(DEFENSE_BY_NAME[defense_name])
+            if defense_name != "none" else {}
+        )
         for attack_name, kwargs in attacks:
             scenario = build_scenario(
-                config, defenses=make_defenses(), interleaved_allocation=True
+                config, defenses=make_defenses(),
+                interleaved_allocation=not overrides,
             )
             result = run_attack(scenario, **kwargs)
             count = (
@@ -416,9 +416,24 @@ def run_e4(scale: int = 64, full: bool = False) -> ExperimentOutcome:
             )
             cells[(defense_name, attack_name)] = count
             row_values.append(count)
+            if attack_name == "double-sided":
+                # tracker-occupancy story (satellite of cost()): peak
+                # rows tracked by per-row/per-epoch counters, surfaced
+                # via the defense's live counters
+                tracked = max(
+                    (
+                        d.counters.get("peak_rows_tracked", 0)
+                        for d in scenario.system.defenses
+                    ),
+                    default=0,
+                )
+                if tracked:
+                    peak_rows_tracked = tracked
+        row_values.append(peak_rows_tracked)
         table.add(*row_values)
     table.add_note("interleaved tenant allocation (8-page slabs) so "
-                   "many-sided patterns have targets")
+                   "many-sided patterns have targets; allocator-policy "
+                   "defenses use their own placement")
     checks = [
         cells[("none", "double-sided")] > 0,
         cells[("subarray-isolation", "double-sided")] == 0,
@@ -430,6 +445,11 @@ def run_e4(scale: int = 64, full: bool = False) -> ExperimentOutcome:
         cells[("targeted-refresh", "dma")] == 0,
         cells[("anvil", "double-sided")] == 0,
         cells[("anvil", "dma")] > 0,  # the §1 blind spot
+        # next-generation mitigations: full coverage, DMA included
+        cells[("prac", "double-sided")] == 0,
+        cells[("prac", "dma")] == 0,
+        cells[("breakhammer", "double-sided")] == 0,
+        cells[("breakhammer", "dma")] == 0,
     ]
     return ExperimentOutcome(
         experiment_id="E4",
@@ -468,13 +488,17 @@ def run_e5(scale: int = 64, generations: Sequence[str] = GENERATION_ORDER
         "E5 / section 3 — density scaling (cross-domain flips per window)",
         ("generation", "mac", "blast_radius", "undefended",
          "vendor_trr(fixed)", "para(fixed r=1)", "targeted-refresh(sw)",
-         "graphene_entries_needed"),
+         "prac(exact)", "breakhammer(+prac)",
+         "graphene_entries_needed", "prac_recoveries"),
     )
     curves: Dict[str, List[Tuple[str, float]]] = {
         "undefended": [], "vendor-trr": [], "para": [], "software": [],
+        "prac": [], "breakhammer": [],
     }
     sized_entries: List[Tuple[str, float]] = []
+    prac_recovery_curve: List[Tuple[str, float]] = []
     software_safe = True
+    nextgen_safe = True
     fixed_hw_leaks_on_dense = False
     for generation in generations:
         gen_scale = scale_for(preset_by_name(generation), cap=scale)
@@ -509,29 +533,63 @@ def run_e5(scale: int = 64, generations: Sequence[str] = GENERATION_ORDER
             base_cfg, lambda: [ParaDefense(probability=0.02, refresh_radius=1)]
         )
         software = strongest(sw_cfg, lambda: [TargetedRefreshDefense()])
+        breakhammer = strongest(base_cfg, lambda: [BreakHammerDefense()])
+
+        # PRAC sweeps the same spacings but additionally records its
+        # mitigation work: exact per-row counters keep flips at zero on
+        # every node, while the *recovery* traffic (and the per-row
+        # counter storage itself) is what density inflates.
+        prac = 0
+        prac_recoveries = 0
+        for spacing in (2, 4):
+            prac_defense = PracDefense()
+            scenario = build_scenario(
+                base_cfg, defenses=[prac_defense],
+                interleaved_allocation=True,
+            )
+            flips = run_attack(
+                scenario, "many-sided", sides=sides, spacing=spacing,
+            ).cross_domain_flips
+            prac = max(prac, flips)
+            prac_recoveries = max(
+                prac_recoveries,
+                prac_defense.counters.get("rows_recovered", 0),
+            )
 
         sizing_system = build_system(base_cfg)
         graphene = GrapheneDefense()
         entries = graphene.required_entries(sizing_system)
 
         table.add(generation, preset_mac, radius, undefended, trr, para,
-                  software, entries)
+                  software, prac, breakhammer, entries, prac_recoveries)
         curves["undefended"].append((generation, undefended))
         curves["vendor-trr"].append((generation, trr))
         curves["para"].append((generation, para))
         curves["software"].append((generation, software))
+        curves["prac"].append((generation, prac))
+        curves["breakhammer"].append((generation, breakhammer))
         sized_entries.append((generation, entries))
+        prac_recovery_curve.append((generation, prac_recoveries))
         software_safe = software_safe and software == 0
+        nextgen_safe = nextgen_safe and prac == 0 and breakhammer == 0
         if generation in ("lpddr4", "future") and (trr > 0 or para > 0):
             fixed_hw_leaks_on_dense = True
     figure = render_series(
         "E5 figure — Graphene tracker entries needed per bank vs generation",
         sized_entries, x_label="generation", y_label="entries",
     )
+    recovery_figure = render_series(
+        "E5 figure — PRAC recovery refreshes per attack window vs "
+        "generation",
+        prac_recovery_curve, x_label="generation", y_label="rows recovered",
+    )
     old = sized_entries[0][1]
     new = sized_entries[-1][1]
     cost_grows = new > old
-    verdict = software_safe and fixed_hw_leaks_on_dense and cost_grows
+    verdict = (
+        software_safe and nextgen_safe and fixed_hw_leaks_on_dense
+        and cost_grows
+    )
     return ExperimentOutcome(
         experiment_id="E5",
         title="density scaling of defenses",
@@ -539,12 +597,14 @@ def run_e5(scale: int = 64, generations: Sequence[str] = GENERATION_ORDER
               "fixed-capacity hardware defenses and inflates exact-"
               "tracker SRAM, while software defenses adapt (§3)",
         tables=[table],
-        figures=[figure],
+        figures=[figure, recovery_figure],
         verdict=verdict,
         verdict_detail=(
             f"software 0 flips on all generations: {software_safe}; "
+            f"PRAC/BreakHammer 0 flips on all generations: {nextgen_safe}; "
             f"fixed TRR/PARA leak on dense nodes: {fixed_hw_leaks_on_dense}; "
-            f"Graphene entries {old} -> {new} per bank"
+            f"Graphene entries {old} -> {new} per bank; PRAC recoveries "
+            f"{prac_recovery_curve[0][1]} -> {prac_recovery_curve[-1][1]}"
         ),
     )
 
@@ -1161,27 +1221,17 @@ def run_e13(scale: int = 8, accesses: int = 10_000,
     interrupt/throttle thresholds derive from the scaled MAC — a small
     scale keeps the defense reaction rates proportionate to real
     hardware instead of magnifying them (DESIGN.md section 3)."""
-    prims_cfg = legacy_platform(scale=scale).with_primitives(PrimitiveSet.proposed())
+    # Registry-driven: every defense in ALL_DEFENSES is billed at its
+    # constructor defaults on the platform its requirements dictate, so
+    # a new plugin shows up here (and in the verdict's raw material)
+    # without touching this harness.
     cases: List[Tuple[str, SystemConfig, Callable[[], Sequence]]] = [
         ("none", legacy_platform(scale=scale), lambda: []),
-        ("vendor-trr", legacy_platform(scale=scale),
-         lambda: [VendorTrr(n_trackers=4)]),
-        ("para", legacy_platform(scale=scale),
-         lambda: [ParaDefense(probability=0.02, refresh_radius=2)]),
-        ("blockhammer", legacy_platform(scale=scale),
-         lambda: [BlockHammerDefense()]),
-        ("graphene", legacy_platform(scale=scale), lambda: [GrapheneDefense()]),
-        ("anvil", legacy_platform(scale=scale), lambda: [AnvilDefense()]),
-        ("subarray-isolation", proposed_platform(scale=scale),
-         lambda: [SubarrayIsolationDefense()]),
-        ("aggressor-remap", prims_cfg, lambda: [AggressorRemapDefense()]),
-        ("line-locking", prims_cfg, lambda: [CacheLineLockingDefense()]),
-        ("targeted-refresh", prims_cfg, lambda: [TargetedRefreshDefense()]),
-        ("bank-partition", legacy_platform(
-            scale=scale, mapping="linear",
-            allocation_policy=AllocationPolicy.BANK_PARTITION),
-         lambda: [BankPartitionDefense()]),
     ]
+    for cls in ALL_DEFENSES:
+        cases.append(
+            (cls.name, _hosting_config(cls, scale), (lambda c=cls: [c()]))
+        )
     table = Table(
         "E13 — benign multi-tenant overhead of every defense",
         ("defense", "workload", "slowdown", "extra_acts_pct",

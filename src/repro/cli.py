@@ -22,23 +22,7 @@ from repro.analysis.report import generate_report
 from repro.analysis.scenarios import build_scenario, run_attack
 from repro.attacks.patterns import PATTERN_NAMES
 from repro.core.primitives import PrimitiveSet
-from repro.defenses import (
-    AggressorRemapDefense,
-    CriticalRowGuardDefense,
-    AnvilDefense,
-    BankPartitionDefense,
-    BlockHammerDefense,
-    CacheLineLockingDefense,
-    GrapheneDefense,
-    GuardRowsDefense,
-    ParaDefense,
-    SamplingTrr,
-    SubarrayIsolationDefense,
-    TargetedRefreshDefense,
-    TwiceDefense,
-    VendorTrr,
-)
-from repro.hostos.allocator import AllocationPolicy
+from repro.defenses.registry import DEFENSE_BY_NAME, apply_build_overrides
 from repro.sim import (
     SystemConfig,
     ideal_platform,
@@ -46,23 +30,9 @@ from repro.sim import (
     proposed_platform,
 )
 
-#: CLI name -> zero-argument defense factory
-DEFENSE_FACTORIES: Dict[str, Callable] = {
-    "subarray-isolation": SubarrayIsolationDefense,
-    "bank-partition": BankPartitionDefense,
-    "guard-rows": GuardRowsDefense,
-    "aggressor-remap": AggressorRemapDefense,
-    "line-locking": CacheLineLockingDefense,
-    "blockhammer": BlockHammerDefense,
-    "targeted-refresh": TargetedRefreshDefense,
-    "anvil": AnvilDefense,
-    "para": ParaDefense,
-    "graphene": GrapheneDefense,
-    "twice": TwiceDefense,
-    "vendor-trr": VendorTrr,
-    "sampling-trr": SamplingTrr,
-    "critical-row-guard": CriticalRowGuardDefense,
-}
+#: CLI name -> zero-argument defense factory, derived from the registry
+#: so a newly registered defense is immediately a valid ``--defense``
+DEFENSE_FACTORIES: Dict[str, Callable] = dict(DEFENSE_BY_NAME)
 
 
 def _platform_config(name: str, scale: int, defense: Optional[str]) -> SystemConfig:
@@ -79,14 +49,8 @@ def _platform_config(name: str, scale: int, defense: Optional[str]) -> SystemCon
         config = ideal_platform(scale=scale)
     else:  # pragma: no cover - argparse restricts choices
         raise ValueError(name)
-    if defense == "bank-partition":
-        config = config.with_mapping("linear").with_policy(
-            AllocationPolicy.BANK_PARTITION
-        )
-    elif defense == "guard-rows":
-        config = config.with_mapping("linear").with_policy(
-            AllocationPolicy.GUARD_ROWS
-        )
+    if defense is not None:
+        config = apply_build_overrides(config, DEFENSE_BY_NAME[defense])
     return config
 
 

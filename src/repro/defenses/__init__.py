@@ -9,9 +9,19 @@ Baselines the paper positions against:
 ``GrapheneDefense``, ``TwiceDefense`` (in-MC), ``AnvilDefense``,
 ``BankPartitionDefense``, ``GuardRowsDefense`` (software on today's
 hardware).
+
+Next-generation mitigations (post-paper, same lifecycle):
+``PracDefense`` (in-DRAM per-row counters), ``BreakHammerDefense``
+(suspect-domain throttling layered on a base mitigation).
+
+``repro.defenses.registry`` derives the name→class map, per-defense
+build overrides, and platform placement from ``ALL_DEFENSES`` so every
+downstream sweep (CLI, faults harness, experiments, smokes) picks up a
+new defense by registration alone.
 """
 
 from repro.defenses.base import Defense, DefenseCost
+from repro.defenses.breakhammer import BreakHammerDefense
 from repro.defenses.enclave_guard import EnclaveGuardDefense, verify_placement
 from repro.defenses.frequency import (
     AggressorRemapDefense,
@@ -24,6 +34,7 @@ from repro.defenses.isolation import (
     GuardRowsDefense,
     SubarrayIsolationDefense,
 )
+from repro.defenses.prac import PracDefense
 from repro.defenses.refresh_centric import (
     AnvilDefense,
     GrapheneDefense,
@@ -50,6 +61,8 @@ ALL_DEFENSES = (
     SamplingTrr,
     EnclaveGuardDefense,
     CriticalRowGuardDefense,
+    PracDefense,
+    BreakHammerDefense,
 )
 
 __all__ = [
@@ -58,6 +71,7 @@ __all__ = [
     "AnvilDefense",
     "BankPartitionDefense",
     "BlockHammerDefense",
+    "BreakHammerDefense",
     "CacheLineLockingDefense",
     "CriticalRowGuardDefense",
     "Defense",
@@ -68,6 +82,7 @@ __all__ = [
     "GrapheneDefense",
     "GuardRowsDefense",
     "ParaDefense",
+    "PracDefense",
     "SubarrayIsolationDefense",
     "TargetedRefreshDefense",
     "TwiceDefense",

@@ -53,6 +53,18 @@ class Defense(abc.ABC):
     traits: DefenseTraits
     #: primitives that must be present to attach
     requires: Tuple[Primitive, ...] = ()
+    #: Optional Table-1 pairing ``(mc-primitive label, defense label)``
+    #: — declaring it opts the defense into experiment E1's executable
+    #: Table-1 matrix (undefended baseline flips, attach behaviour on
+    #: bare legacy hardware, zero flips once hosted).  ``None`` keeps
+    #: the defense out of E1.
+    table1_row: Optional[Tuple[str, str]] = None
+    #: Names of counters (keys into ``self.counters``) that count
+    #: *triggered mitigations* — neighbor refreshes issued, rows
+    #: recovered, TRR targets refreshed.  Wrappers that score trust
+    #: domains by mitigation pressure (BreakHammer) read these to
+    #: attribute blame generically, whatever the base tracker is.
+    mitigation_counters: Tuple[str, ...] = ()
     #: Whether the defense's ACT-path hooks are safe under the MC's bulk
     #: (columnar) engine.  True for defenses whose hooks are inline-safe
     #: there — act gates, interrupt subscriptions, in-DRAM mitigations,

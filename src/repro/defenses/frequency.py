@@ -98,6 +98,9 @@ class BlockHammerDefense(Defense):
             epochs_per_window = 2
             fraction = 0.8 / (amplification * epochs_per_window)
         self._threshold = max(1, int(system.profile.mac * fraction))
+        # surfaced from the first gated ACT on; pre-seeded so the metric
+        # exists (as 0) even for workloads that never activate a row
+        self.counters["peak_rows_tracked"] = self._peak_rows_tracked
         system.controller.add_act_gate(self._gate)
 
     def cost(self) -> DefenseCost:
@@ -124,18 +127,22 @@ class BlockHammerDefense(Defense):
         row = address.row_key()
         count = self._counts.get(row, 0) + 1
         self._counts[row] = count
-        self._peak_rows_tracked = max(self._peak_rows_tracked, len(self._counts))
+        if len(self._counts) > self._peak_rows_tracked:
+            self._peak_rows_tracked = len(self._counts)
+            self.counters["peak_rows_tracked"] = self._peak_rows_tracked
         if count <= self._threshold:
             return 0
         # Blacklisted: pace the row so it gains at most ~1/8 of its safe
         # budget for the rest of the epoch (the budget itself already
-        # carries the amplification/epoch margin).
+        # carries the amplification/epoch margin).  Floor at 1 ns: near
+        # epoch end the quotient rounds to 0, and an unfloored gate would
+        # let a blacklisted row stream ACTs at full rate — unthrottled
+        # *and* uncounted.
         remaining_time = max(1, self._epoch_end - now)
         trickle_budget = max(1, self._threshold // 8)
-        delay = remaining_time // trickle_budget
-        if delay:
-            self.bump("throttled_acts")
-            self.bump("throttle_delay_ns", delay)
+        delay = max(1, remaining_time // trickle_budget)
+        self.bump("throttled_acts")
+        self.bump("throttle_delay_ns", delay)
         return delay
 
 
@@ -151,6 +158,7 @@ class AggressorRemapDefense(Defense):
     """
 
     name = "aggressor-remap"
+    table1_row = ("precise ACT interrupt", "aggressor remapping")
     traits = DefenseTraits(
         mitigation_class=MitigationClass.FREQUENCY,
         location="software",
@@ -246,6 +254,7 @@ class CacheLineLockingDefense(Defense):
     """
 
     name = "line-locking"
+    table1_row = ("precise ACT interrupt + line locking", "cache line locking")
     traits = DefenseTraits(
         mitigation_class=MitigationClass.FREQUENCY,
         location="software",

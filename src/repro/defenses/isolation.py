@@ -52,6 +52,7 @@ class SubarrayIsolationDefense(_PolicyDefense):
     """The paper's isolation proposal (§4.1, Fig. 2)."""
 
     name = "subarray-isolation"
+    table1_row = ("subarray-isolated interleaving", "subarray-aware allocation")
     policy = AllocationPolicy.SUBARRAY_AWARE
     traits = DefenseTraits(
         mitigation_class=MitigationClass.ISOLATION,

@@ -79,6 +79,8 @@ class TargetedRefreshDefense(Defense):
     """
 
     name = "targeted-refresh"
+    table1_row = ("CPU refresh instruction", "software victim refresh")
+    mitigation_counters = ("victim_refreshes", "ref_neighbors_issued")
     traits = DefenseTraits(
         mitigation_class=MitigationClass.REFRESH,
         location="software",
@@ -252,6 +254,7 @@ class ParaDefense(Defense):
     Stateless in-MC hardware; the radius is frozen at design time."""
 
     name = "para"
+    mitigation_counters = ("neighbor_refreshes",)
     traits = DefenseTraits(
         mitigation_class=MitigationClass.REFRESH,
         location="mc",
@@ -313,6 +316,7 @@ class GrapheneDefense(Defense):
     """
 
     name = "graphene"
+    mitigation_counters = ("neighbor_refreshes",)
     traits = DefenseTraits(
         mitigation_class=MitigationClass.REFRESH,
         location="mc",

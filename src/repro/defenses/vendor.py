@@ -53,6 +53,7 @@ class VendorTrr(Defense):
     """
 
     name = "vendor-trr"
+    mitigation_counters = ("trr_targets_refreshed",)
     traits = DefenseTraits(
         mitigation_class=MitigationClass.REFRESH,
         location="dram",
@@ -145,6 +146,7 @@ class SamplingTrr(Defense):
     """
 
     name = "sampling-trr"
+    mitigation_counters = ("trr_targets_refreshed",)
     traits = VendorTrr.traits
     requires: Tuple[Primitive, ...] = ()
 

@@ -90,8 +90,22 @@ def run_cell(
         invariant_level=spec.invariant_level,
     )
     defenses = [_make_defense(defense_name)] if defense_name else []
+    interleaved = True
+    if defense_name:
+        from repro.defenses.registry import (
+            DEFENSE_BY_NAME,
+            apply_build_overrides,
+            build_overrides,
+        )
+
+        cls = DEFENSE_BY_NAME[defense_name]
+        # Allocator-policy defenses (bank partitioning, guard rows)
+        # refuse to attach unless the system is built with their
+        # placement policy — which is inherently non-interleaved.
+        config = apply_build_overrides(config, cls)
+        interleaved = not build_overrides(cls)
     scenario = build_scenario(
-        config, defenses=defenses, interleaved_allocation=True
+        config, defenses=defenses, interleaved_allocation=interleaved
     )
     # Attack under benign noise via the cooperative engine: the victim's
     # traffic goes through the batch scheduler (so the stall injector has
@@ -229,12 +243,8 @@ def report_to_json(report: Dict[str, object]) -> str:
 
 
 def _make_defense(name: str):
-    from repro.cli import DEFENSE_FACTORIES
+    # Resolved from the defense registry (derived from ALL_DEFENSES),
+    # not a hand-maintained map that goes stale as the zoo grows.
+    from repro.defenses.registry import make_defense
 
-    try:
-        factory = DEFENSE_FACTORIES[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown defense {name!r}; known: {sorted(DEFENSE_FACTORIES)}"
-        ) from None
-    return factory()
+    return make_defense(name)

@@ -20,12 +20,8 @@ import dataclasses
 import pytest
 
 from repro.core.primitives import MissingPrimitiveError
-from repro.defenses import (
-    ALL_DEFENSES,
-    BankPartitionDefense,
-    GuardRowsDefense,
-)
-from repro.hostos.allocator import AllocationPolicy
+from repro.defenses import ALL_DEFENSES
+from repro.defenses.registry import build_overrides
 from repro.mc.controller import MemoryRequest
 from repro.sim import (
     build_system,
@@ -46,22 +42,11 @@ ACCESSES = 600
 MLP = 8
 
 
-# Allocator-policy defenses refuse to attach unless the system was
-# built with their matching placement policy.
-POLICY_OF = {
-    BankPartitionDefense: AllocationPolicy.BANK_PARTITION,
-    GuardRowsDefense: AllocationPolicy.GUARD_ROWS,
-}
-
-
 def _build(platform, defense_cls):
-    overrides = {}
-    policy = POLICY_OF.get(defense_cls)
-    if policy is not None:
-        # Same shape the experiment sweeps use: these policies demand
-        # non-interleaved placement (§4.1).
-        overrides["allocation_policy"] = policy
-        overrides["mapping"] = "linear"
+    # Allocator-policy defenses refuse to attach unless the system was
+    # built with their matching placement policy; the registry knows
+    # which overrides each defense demands (§4.1).
+    overrides = build_overrides(defense_cls)
     system = build_system(PLATFORMS[platform](scale=8, **overrides))
     defense = defense_cls()
     defense.attach(system)

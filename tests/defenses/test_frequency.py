@@ -60,6 +60,39 @@ class TestBlockHammer:
         with pytest.raises(ValueError):
             BlockHammerDefense(threshold_fraction=1.5)
 
+    def test_blacklisted_row_pays_delay_even_at_epoch_end(self, legacy_config):
+        """Regression: near the epoch boundary the trickle quotient
+        rounds to zero, and an unfloored gate let a blacklisted row
+        stream ACTs at full rate — unthrottled and uncounted."""
+        from repro.dram.geometry import DdrAddress
+
+        system = build_system(legacy_config)
+        defense = BlockHammerDefense()
+        defense.attach(system)
+        address = DdrAddress(channel=0, rank=0, bank=0, row=10, column=0)
+        now = defense._epoch_end - 1  # 1 ns left in the epoch
+        for _ in range(defense._threshold):
+            assert defense._gate(address, now, None) == 0
+        delay = defense._gate(address, now, None)
+        assert delay >= 1
+        assert defense.counters["throttled_acts"] == 1
+        assert defense.counters["throttle_delay_ns"] >= 1
+
+    def test_peak_rows_tracked_preseeded_at_attach(self, legacy_config):
+        system = build_system(legacy_config)
+        defense = BlockHammerDefense()
+        defense.attach(system)
+        assert defense.counters["peak_rows_tracked"] == 0
+
+    def test_peak_rows_tracked_surfaced_in_counters(self, legacy_config):
+        scenario, _result = attack_with(legacy_config, [BlockHammerDefense()])
+        defense = scenario.defenses[0]
+        assert defense.counters["peak_rows_tracked"] > 0
+        assert (
+            defense.counters["peak_rows_tracked"]
+            == defense._peak_rows_tracked
+        )
+
 
 class TestAggressorRemap:
     def test_requires_primitives(self, legacy_config):

@@ -51,11 +51,13 @@ def test_paper_defenses_all_require_primitives():
         AggressorRemapDefense,
         AnvilDefense,
         BlockHammerDefense,
+        BreakHammerDefense,
         CacheLineLockingDefense,
         CriticalRowGuardDefense,
         EnclaveGuardDefense,
         GrapheneDefense,
         ParaDefense,
+        PracDefense,
         SamplingTrr,
         SubarrayIsolationDefense,
         TargetedRefreshDefense,
@@ -71,8 +73,60 @@ def test_paper_defenses_all_require_primitives():
     baselines = (
         VendorTrr, SamplingTrr, ParaDefense, BlockHammerDefense,
         GrapheneDefense, TwiceDefense, AnvilDefense,
+        PracDefense, BreakHammerDefense,
     )
     for cls in proposed:
         assert cls.requires, cls.name
     for cls in baselines:
         assert not cls.requires, cls.name
+
+
+class TestRegistryCompleteness:
+    """Mirrors scripts/defense_registry_lint.py so a missing
+    registration fails the test suite, not just the CI lint step."""
+
+    def test_every_concrete_subclass_registered(self):
+        import importlib.util
+        import pathlib
+
+        lint_path = (
+            pathlib.Path(__file__).resolve().parents[2]
+            / "scripts" / "defense_registry_lint.py"
+        )
+        spec = importlib.util.spec_from_file_location(
+            "defense_registry_lint", lint_path
+        )
+        lint = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(lint)
+        concrete = set(lint.concrete_defense_classes())
+        assert concrete == set(ALL_DEFENSES)
+
+    def test_every_registered_class_exported(self):
+        import repro.defenses as package
+
+        for cls in ALL_DEFENSES:
+            assert cls.__name__ in package.__all__, cls.__name__
+
+    def test_names_unique(self):
+        names = [cls.name for cls in ALL_DEFENSES]
+        assert len(names) == len(set(names))
+
+    def test_by_name_mirrors_all_defenses(self):
+        from repro.defenses.registry import DEFENSE_BY_NAME
+
+        assert DEFENSE_BY_NAME == {cls.name: cls for cls in ALL_DEFENSES}
+
+    def test_faults_cli_constructs_every_entry(self):
+        """The faults CLI's defense factory must cover the whole
+        registry — any registered plugin can be differentially tested."""
+        from repro.defenses.registry import DEFENSE_BY_NAME
+        from repro.faults.diff import _make_defense
+
+        for name, cls in DEFENSE_BY_NAME.items():
+            assert isinstance(_make_defense(name), cls)
+
+    def test_unknown_name_rejected_with_catalog(self):
+        from repro.defenses.registry import make_defense
+
+        with pytest.raises(ValueError, match="prac"):
+            make_defense("not-a-defense")

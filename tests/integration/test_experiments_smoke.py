@@ -54,6 +54,23 @@ def test_render_is_stable_text():
     assert "verdict" in rendered
 
 
+def test_e4_core_matrix_and_tracker_column():
+    from repro.analysis import run_e4
+
+    outcome = run_e4()
+    assert outcome.verdict, outcome.render()
+    table = outcome.tables[0]
+    rows = {row[0]: dict(zip(table.columns, row)) for row in table.rows}
+    # the next-generation mitigations ride the registry into the matrix
+    for name in ("prac", "breakhammer"):
+        assert name in rows
+        assert rows[name]["double-sided"] == 0
+        assert rows[name]["dma"] == 0
+    # BlockHammer's tracker peak is surfaced as a table column
+    assert rows["blockhammer"]["peak_rows_tracked"] > 0
+    assert rows["none"]["peak_rows_tracked"] == "-"
+
+
 def test_e5_density_scaling_subset():
     from repro.analysis import run_e5
 
