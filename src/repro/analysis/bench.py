@@ -9,8 +9,10 @@ Three shapes cover the simulator's hot paths end to end:
 * ``multi_tenant``  — four tenants through the shared FR-FCFS queue
   (``submit_batch`` and the scheduler).
 
-A fourth section times the seeded-replication runner serially vs. via
-:mod:`repro.analysis.parallel` and checks the results are identical.
+A fourth section times the seeded-replication runner serially, via
+:mod:`repro.analysis.parallel`, via the supervisor, and via the
+campaign service (``service_overhead``), and checks the results are
+identical across all four.
 
 ``--trace`` re-runs every shape with a real :class:`JsonlSink`
 attached — the *traced columnar* numbers — plus a traced **object
@@ -271,6 +273,33 @@ def bench_multi_tenant(
     return result
 
 
+def _service_replication(spec, seeds: Sequence[int], cache) -> List:
+    """Run the replication set through the campaign service (submit →
+    serve → drain) in a throwaway service root and return the per-seed
+    results in seed order, read back from the job's journal."""
+    import tempfile
+
+    from repro.runtime.journal import CampaignJournal
+    from repro.runtime.service import CampaignService, ServiceConfig
+
+    with tempfile.TemporaryDirectory() as root:
+        service = CampaignService(
+            root,
+            config=ServiceConfig(max_inflight=1, poll_s=0.005),
+            cache_dir=cache.root if cache is not None else None,
+            use_cache=cache is not None,
+        )
+        admission = service.submit(spec, seeds, experiment="bench")
+        service.serve(drain_and_exit=True)
+        journal = CampaignJournal.resume(
+            service.journal_path(admission.job_id)
+        )
+        try:
+            return [journal.completed.get(seed) for seed in seeds]
+        finally:
+            journal.close()
+
+
 def bench_replication(
     seeds: Sequence[int] = REPLICATION_SEEDS,
     jobs: Optional[int] = None,
@@ -278,17 +307,21 @@ def bench_replication(
     cache=None,
 ) -> Dict[str, object]:
     """Time an E13-representative replication set serially, through the
-    plain process pool, and through the :mod:`repro.runtime` supervisor
-    (no faults injected), and verify all three produce identical
-    results.  ``supervised_overhead`` is the fault-free cost of
-    supervision relative to the plain pool — the number the resilience
-    work must keep inside the bench guard.
+    plain process pool, through the :mod:`repro.runtime` supervisor
+    (no faults injected), and through the campaign service (submit →
+    serve → drain, one worker fork), and verify all four produce
+    identical results.  ``supervised_overhead`` is the fault-free cost
+    of supervision relative to the plain pool; ``service_overhead`` is
+    the same ratio for the full service path — queue append, admission,
+    fork, journal, result merge — the number the service work must keep
+    inside the bench guard.
 
     ``cache`` (a :class:`~repro.analysis.cache.ResultCache`) is
-    **opt-in**: a warm cache makes all three legs serve hits instead of
-    computing, so the timings then measure cache lookups, not the
-    runner — which is exactly what the warm-vs-cold comparison wants
-    and exactly what a regression guard must never do by default.
+    **opt-in**: a warm cache makes every leg serve hits instead of
+    computing (the service leg then completes inline without forking),
+    so the timings then measure cache lookups, not the runner — which
+    is exactly what the warm-vs-cold comparison wants and exactly what
+    a regression guard must never do by default.
     """
     from repro.analysis.parallel import (
         BenignReplicationSpec,
@@ -315,21 +348,27 @@ def bench_replication(
         else:
             outcome = Supervisor().map(spec, seeds, jobs=workers)
             supervised = [outcome.results.get(seed) for seed in seeds]
+    with timer.measure("service"):
+        service = _service_replication(spec, seeds, cache)
 
     serial_wall = timer.seconds("serial")
     parallel_wall = timer.seconds("parallel")
     supervised_wall = timer.seconds("supervised")
+    service_wall = timer.seconds("service")
     result: Dict[str, object] = {
         "seeds": len(seeds),
         "jobs": workers,
         "serial_wall_s": round(serial_wall, 4),
         "parallel_wall_s": round(parallel_wall, 4),
         "supervised_wall_s": round(supervised_wall, 4),
+        "service_wall_s": round(service_wall, 4),
         "speedup": round(serial_wall / parallel_wall, 3)
         if parallel_wall > 0 else 0.0,
         "supervised_overhead": round(supervised_wall / parallel_wall, 3)
         if parallel_wall > 0 else 0.0,
-        "identical": serial == parallel == supervised,
+        "service_overhead": round(service_wall / parallel_wall, 3)
+        if parallel_wall > 0 else 0.0,
+        "identical": serial == parallel == supervised == service,
     }
     if cache is not None:
         result["cache"] = cache.counters()

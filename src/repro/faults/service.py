@@ -1,0 +1,149 @@
+"""Chaos injectors for the campaign service: break it like production.
+
+:class:`~repro.faults.crash.CrashingSpec` sabotages individual
+*workers*; this module sabotages the **service layer** around them —
+the queue log, the journal disk, and the processes themselves.  Each
+injector produces exactly one of the failure modes the service's
+recovery matrix (``docs/RESILIENCE.md``) promises to survive:
+
+=====================  =================================================
+injector               failure it models
+=====================  =================================================
+:func:`sigkill`        a worker or service process dying mid-write
+:func:`sigkill_after`  the same, on a timer while the victim runs
+:func:`tear_queue_tail`  power loss mid-append: a torn final queue op
+:class:`journal_disk_full`  ``ENOSPC`` on the Nth journal append
+:func:`hang_job_spec`  a wedged worker that will never finish
+=====================  =================================================
+
+Everything here is deterministic and marker/env driven, so the chaos
+tests (``tests/runtime/test_service_chaos.py``) and the CI smoke
+(``scripts/serve_smoke.py``) replay the same failures every run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import threading
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.runtime.journal import CHAOS_ENOSPC_ENV
+
+#: a torn queue op: valid JSON prefix, no terminating newline — exactly
+#: what a SIGKILL between ``write`` and completing the line leaves
+TORN_FRAGMENT = b'{"op": "state", "id": "torn-mid-'
+
+
+def sigkill(process: Union[int, subprocess.Popen]) -> None:
+    """SIGKILL a process *now* — no cleanup handlers, no drain.
+
+    Accepts a pid or a ``Popen``; a pid that is a process-group leader
+    takes its whole group down (the service's workers), mirroring an
+    OOM-killer or a ``kill -9`` on the service.
+    """
+    pid = process if isinstance(process, int) else process.pid
+    try:
+        os.killpg(os.getpgid(pid), signal.SIGKILL)
+    except (OSError, PermissionError):
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except OSError:
+            pass  # already gone — the failure we wanted
+    if isinstance(process, subprocess.Popen):
+        process.wait()
+
+
+def sigkill_after(
+    process: subprocess.Popen,
+    delay_s: float,
+    when: Optional[Path] = None,
+) -> threading.Thread:
+    """Arm a timer that SIGKILLs ``process`` while it runs.
+
+    With ``when`` set, the timer additionally waits (up to ``delay_s``
+    extra) for that file to exist before killing — e.g. a job's journal,
+    so the kill provably lands *mid-job* rather than before the victim
+    got anywhere.  Returns the (daemon) killer thread; join it to know
+    the kill happened.
+    """
+
+    def _kill() -> None:
+        time.sleep(delay_s)
+        if when is not None:
+            deadline = time.monotonic() + max(delay_s, 1.0)
+            while not when.exists() and time.monotonic() < deadline:
+                time.sleep(0.01)
+        if process.poll() is None:
+            sigkill(process)
+
+    thread = threading.Thread(target=_kill, daemon=True)
+    thread.start()
+    return thread
+
+
+def tear_queue_tail(
+    queue_path: Union[str, Path], fragment: bytes = TORN_FRAGMENT
+) -> int:
+    """Append a torn (newline-less) fragment to a queue log.
+
+    Models a crash mid-append.  The queue contract says the next locked
+    append truncates the fragment away and readers never fold it; the
+    chaos tests assert both.  Returns the byte offset the fragment
+    starts at (i.e. the size the log must shrink back to).
+    """
+    queue_path = Path(queue_path)
+    if fragment.endswith(b"\n"):
+        raise ValueError("a torn fragment must not end in a newline")
+    offset = queue_path.stat().st_size
+    with queue_path.open("ab") as stream:
+        stream.write(fragment)
+        stream.flush()
+        os.fsync(stream.fileno())
+    return offset
+
+
+class journal_disk_full:
+    """Context manager: the Nth-next journal append raises ``ENOSPC``.
+
+    Drives the :data:`~repro.runtime.journal.CHAOS_ENOSPC_ENV` hook —
+    append budget ``n`` means ``n`` appends succeed and the one after
+    fails, in *every* process inheriting the environment (each process
+    counts its own appends, so a respawned worker gets a fresh budget —
+    which is exactly the retry-after-cleanup path the service takes).
+    """
+
+    def __init__(self, appends_before_full: int) -> None:
+        if appends_before_full < 0:
+            raise ValueError("appends_before_full must be >= 0")
+        self.appends_before_full = appends_before_full
+        self._previous: Optional[str] = None
+
+    def __enter__(self) -> "journal_disk_full":
+        self._previous = os.environ.get(CHAOS_ENOSPC_ENV)
+        os.environ[CHAOS_ENOSPC_ENV] = str(self.appends_before_full)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._previous is None:
+            os.environ.pop(CHAOS_ENOSPC_ENV, None)
+        else:
+            os.environ[CHAOS_ENOSPC_ENV] = self._previous
+
+
+def hang_job_spec(spec, seeds, hang_s: float = 3600.0):
+    """A job spec whose chosen seeds wedge for ``hang_s`` seconds.
+
+    Thin veneer over :class:`~repro.faults.crash.CrashingSpec` in
+    ``hang`` mode, shaped for service tests: submit the returned spec,
+    watch the per-seed timeout (or a SIGTERM drain's grace deadline)
+    fire.
+    """
+    from repro.faults.crash import CrashingSpec
+
+    return CrashingSpec(
+        spec=spec, crash_seeds=tuple(seeds), mode="hang", hang_s=hang_s
+    )

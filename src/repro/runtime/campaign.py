@@ -89,6 +89,9 @@ class CampaignResult:
     respawns: int = 0
     timeouts: int = 0
     degraded: bool = False
+    #: a graceful drain (SIGTERM) stopped the campaign early; the
+    #: journal holds everything that finished, resume runs the rest
+    drained: bool = False
     journal_path: Optional[Path] = None
 
     @property
@@ -156,8 +159,18 @@ def run_campaign(
     metrics: Optional[MetricsRegistry] = None,
     cache: Optional["ResultCache"] = None,
     capture_metrics: bool = True,
+    drain_on_sigterm: bool = False,
 ) -> CampaignResult:
     """Run (or resume) one campaign under supervision.
+
+    ``drain_on_sigterm=True`` installs a SIGTERM handler for the
+    duration of the run that asks the supervisor to **drain**: every
+    in-flight seed finishes and is journaled, queued seeds are left for
+    a later ``--resume``, and the function returns normally with
+    ``result.drained`` set.  This is how the campaign service stops its
+    workers without losing (or duplicating) a single seed.  The
+    previous handler is restored on exit; outside the main thread the
+    flag is ignored (signals cannot be installed there).
 
     ``resume=True`` requires ``journal_path``; the journal's fingerprint
     must match ``(spec, seeds, experiment)`` or :class:`JournalError` is
@@ -281,6 +294,7 @@ def run_campaign(
             timeouts=result.timeouts,
             cache_hits=result.cache_hits,
             degraded=result.degraded,
+            drained=result.drained,
             runtime=supervisor.metrics.snapshot(),
         )
         if journal is not None:
@@ -291,6 +305,17 @@ def run_campaign(
 
     remaining = [s for s in seeds if s not in completed]
     outcome = SupervisedOutcome()
+    previous_sigterm = None
+    if drain_on_sigterm:
+        import signal
+
+        def _on_sigterm(signum, frame):  # pragma: no cover - signal path
+            supervisor.request_drain()
+
+        try:
+            previous_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
+        except ValueError:  # not the main thread; drain unavailable
+            previous_sigterm = None
     try:
         if remaining:
             outcome = supervisor.map(
@@ -310,6 +335,11 @@ def run_campaign(
         raise CampaignInterrupted(
             partial, journal_path if journal is not None else None
         ) from None
+    finally:
+        if drain_on_sigterm and previous_sigterm is not None:
+            import signal
+
+            signal.signal(signal.SIGTERM, previous_sigterm)
     return finish(outcome)
 
 
@@ -339,32 +369,41 @@ def _build_result(
         respawns=outcome.respawns,
         timeouts=outcome.timeouts,
         degraded=outcome.degraded,
+        drained=outcome.drained,
         journal_path=journal_path,
     )
 
 
-def rebuild_spec(header: CampaignHeader) -> ScenarioFn:
-    """Reconstruct the scenario spec a journal header describes.
-
-    Only the flat, picklable replication specs the CLI exposes can be
-    rebuilt; a journal written for an arbitrary callable carries a
-    ``repr`` fingerprint but not enough to reconstruct it.
-    """
+def _rebuildable_specs() -> Dict[str, type]:
+    """Spec types a journal/queue signature can reconstruct by name."""
     from repro.analysis.parallel import (
         AttackReplicationSpec,
         BenignReplicationSpec,
         EvasionReplicationSpec,
     )
+    from repro.faults.crash import CrashingSpec
 
-    known = {
+    return {
         klass.__name__: klass
         for klass in (
             AttackReplicationSpec,
             BenignReplicationSpec,
             EvasionReplicationSpec,
+            CrashingSpec,
         )
     }
-    signature = header.spec
+
+
+def rebuild_from_signature(signature: Mapping[str, object]) -> ScenarioFn:
+    """Reconstruct a scenario spec from its ``spec_signature`` dict.
+
+    Handles the flat, picklable replication specs the CLI exposes plus
+    wrapper specs whose fields are themselves signatures (the chaos
+    harness's :class:`~repro.faults.crash.CrashingSpec`), recursively.
+    A signature carrying only a ``repr`` (arbitrary callables) cannot
+    be rebuilt.
+    """
+    known = _rebuildable_specs()
     klass = known.get(str(signature.get("type")))
     if klass is None or "params" not in signature:
         raise JournalError(
@@ -372,10 +411,30 @@ def rebuild_spec(header: CampaignHeader) -> ScenarioFn:
             f"resume it through repro.runtime.run_campaign with the "
             f"original spec object"
         )
+    params = dict(signature["params"])  # type: ignore[arg-type]
+    for key, value in params.items():
+        if (
+            isinstance(value, dict)
+            and str(value.get("type")) in known
+            and "params" in value
+        ):
+            params[key] = rebuild_from_signature(value)
+        elif isinstance(value, list):
+            params[key] = tuple(value)
     try:
-        return klass(**signature["params"])  # type: ignore[arg-type]
+        return klass(**params)  # type: ignore[arg-type]
     except TypeError as error:
         raise JournalError(
             f"journal spec params do not match "
             f"{klass.__name__}: {error}"
         ) from None
+
+
+def rebuild_spec(header: CampaignHeader) -> ScenarioFn:
+    """Reconstruct the scenario spec a journal header describes.
+
+    Only specs :func:`rebuild_from_signature` knows can be rebuilt; a
+    journal written for an arbitrary callable carries a ``repr``
+    fingerprint but not enough to reconstruct it.
+    """
+    return rebuild_from_signature(header.spec)

@@ -28,6 +28,7 @@ uninterrupted run.
 from __future__ import annotations
 
 import dataclasses
+import errno
 import hashlib
 import json
 import os
@@ -43,9 +44,49 @@ SCHEMA_VERSION = 1
 #: value of the header's ``kind`` field
 JOURNAL_KIND = "repro-campaign-journal"
 
+#: chaos-only hook: when set to an integer N, the N+1th journal append
+#: in this process raises ``ENOSPC`` (see :mod:`repro.faults.service`).
+#: Never set outside chaos drills; the env lookup is one dict probe per
+#: append, dwarfed by the fsync beside it.
+CHAOS_ENOSPC_ENV = "REPRO_CHAOS_JOURNAL_ENOSPC_AFTER"
+
+#: process-wide append count, consulted only while the chaos env is set
+_chaos_appends = 0
+
+
+def _chaos_disk_full_check() -> None:
+    budget = os.environ.get(CHAOS_ENOSPC_ENV)
+    if budget is None:
+        return
+    global _chaos_appends
+    _chaos_appends += 1
+    if _chaos_appends > int(budget):
+        raise OSError(
+            errno.ENOSPC,
+            f"injected disk-full: journal append "
+            f"{_chaos_appends} > budget {budget} ({CHAOS_ENOSPC_ENV})",
+        )
+
 
 class JournalError(ValueError):
     """A journal is missing, malformed, or belongs to another campaign."""
+
+
+def _signature_value(value: object) -> object:
+    """JSON-able form of one spec field, recursing into nested specs.
+
+    Nested dataclasses (e.g. the spec a
+    :class:`~repro.faults.crash.CrashingSpec` wraps) keep their type
+    name so :func:`repro.runtime.campaign.rebuild_spec` can reconstruct
+    them; tuples flatten to lists, which is what JSON would do anyway.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return spec_signature(value)
+    if isinstance(value, (list, tuple)):
+        return [_signature_value(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _signature_value(val) for key, val in value.items()}
+    return value
 
 
 def spec_signature(spec: object) -> Dict[str, object]:
@@ -53,13 +94,17 @@ def spec_signature(spec: object) -> Dict[str, object]:
 
     Dataclass specs (the picklable ones in
     :mod:`repro.analysis.parallel`) serialize as type name + field dict,
-    which is enough to rebuild them on resume.  Anything else falls back
-    to ``repr`` — fingerprintable but not rebuildable.
+    which is enough to rebuild them on resume; nested dataclass fields
+    (wrapper specs) recurse with their own type names.  Anything else
+    falls back to ``repr`` — fingerprintable but not rebuildable.
     """
     if dataclasses.is_dataclass(spec) and not isinstance(spec, type):
         return {
             "type": type(spec).__name__,
-            "params": dataclasses.asdict(spec),
+            "params": {
+                field.name: _signature_value(getattr(spec, field.name))
+                for field in dataclasses.fields(spec)
+            },
         }
     return {"type": type(spec).__name__, "repr": repr(spec)}
 
@@ -304,12 +349,27 @@ class CampaignJournal:
         return journal
 
     def verify(self, fingerprint: str) -> None:
-        """Refuse to mix this journal with a different campaign."""
+        """Refuse to mix this journal with a different campaign.
+
+        The error names *both* fingerprints (the journal's and the
+        requested campaign's) and the exact remediation commands, so a
+        mismatch in a multi-campaign job directory is debuggable from
+        the message alone.
+        """
         if self.header.fingerprint != fingerprint:
             raise JournalError(
                 f"{self.path}: journal fingerprint "
-                f"{self.header.fingerprint} does not match campaign "
-                f"{fingerprint}; the spec, seeds, or schema changed"
+                f"{self.header.fingerprint} "
+                f"(experiment {self.header.experiment or '?'!r}, "
+                f"{len(self.header.seeds)} seeds) does not match the "
+                f"requested campaign fingerprint {fingerprint}; the "
+                f"spec, seeds, or schema changed.  Either continue the "
+                f"journal's own campaign with:\n"
+                f"    python -m repro replicate --resume {self.path}\n"
+                f"or start a fresh journal for the new campaign with:\n"
+                f"    python -m repro replicate <EXPERIMENT> --journal "
+                f"<NEW_PATH>\n"
+                f"(or delete {self.path} if its results are disposable)"
             )
 
     # ------------------------------------------------------------------
@@ -336,6 +396,7 @@ class CampaignJournal:
     def _append_line(self, payload: Dict[str, object]) -> None:
         if self._stream is None:
             raise JournalError(f"{self.path}: journal is closed")
+        _chaos_disk_full_check()
         self._stream.write(json.dumps(payload, sort_keys=True) + "\n")
         self._stream.flush()
         os.fsync(self._stream.fileno())

@@ -1,0 +1,400 @@
+"""Durable on-disk job queue for the long-running campaign service.
+
+The queue is a single append-only JSONL log (``queue.jsonl``) of
+*operations* — one schema-versioned header line, then ``submit`` /
+``state`` / ``cancel`` ops — folded into per-job state on load.  The
+design mirrors the campaign journal's durability contract:
+
+* every op is one ``write`` call, flushed and fsync'd, so a SIGKILL
+  between ops loses nothing and a SIGKILL mid-write leaves at most one
+  torn final line;
+* appends take an ``flock`` on the log, so the service process and any
+  number of ``repro serve submit``/``cancel`` processes may write the
+  same queue without interleaving; a torn final line (crash mid-write)
+  is truncated away under the same lock before the next append, so a
+  fresh op can never concatenate onto a fragment;
+* readers fold ops **in log order** and every op is idempotent
+  (last-writer-wins state sets, create-if-absent submits), so replaying
+  the log from the top always reconstructs the same queue — which is
+  exactly what a service restart does.
+
+Jobs are keyed by their **campaign fingerprint** (see
+:func:`repro.runtime.journal.campaign_fingerprint`), which makes
+submission idempotent: resubmitting a queued or running job is a no-op,
+resubmitting a ``done`` job answers from its recorded result, and
+resubmitting a ``failed``/``cancelled`` job re-arms it (fresh attempt
+budget) — never a duplicate entry.
+
+Scheduling metadata lives with each job: a **priority class** (one of
+:data:`PRIORITIES`, each a FIFO lane — the service always drains the
+highest non-empty lane first) and a ``not_before`` wall-clock gate the
+circuit breaker uses for deterministic backoff between attempts.
+"""
+
+from __future__ import annotations
+
+import fcntl
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.runtime.journal import JournalError, _read_lines
+
+#: queue log file name inside a service directory
+QUEUE_FILE = "queue.jsonl"
+
+#: value of the header's ``kind`` field
+QUEUE_KIND = "repro-service-queue"
+
+#: bump when the op layout changes; older logs refuse to load
+QUEUE_SCHEMA = 1
+
+#: priority classes, highest first; each is its own FIFO lane
+PRIORITIES = ("high", "normal", "low")
+
+#: job lifecycle states
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+JOB_STATES = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+
+
+class QueueError(ValueError):
+    """The queue log is missing, malformed, or from another schema."""
+
+
+@dataclass
+class JobRecord:
+    """One job's folded state (everything the ops said, last wins)."""
+
+    job_id: str
+    experiment: str
+    spec: Dict[str, object]
+    seeds: List[int]
+    priority: str = "normal"
+    #: log-order sequence number; FIFO position within the lane
+    seq: int = 0
+    #: worker processes the job's campaign may use (``None``: default)
+    jobs: Optional[int] = None
+    timeout_s: Optional[float] = None
+    max_retries: int = 2
+    state: str = QUEUED
+    #: service-level attempts burned (worker forks that failed)
+    attempts: int = 0
+    reason: str = ""
+    #: wall-clock gate: not schedulable before this time (backoff)
+    not_before: float = 0.0
+    cancel_requested: bool = False
+    submitted_at: float = 0.0
+    #: idempotent resubmissions observed after the first
+    resubmits: int = 0
+
+    def as_json_dict(self) -> Dict[str, object]:
+        return {
+            "id": self.job_id,
+            "experiment": self.experiment,
+            "spec": self.spec,
+            "seeds": list(self.seeds),
+            "priority": self.priority,
+            "jobs": self.jobs,
+            "timeout_s": self.timeout_s,
+            "max_retries": self.max_retries,
+            "submitted_at": self.submitted_at,
+        }
+
+
+def _locked_append(path: Path, payload: Mapping[str, object]) -> None:
+    """Append one op under an exclusive lock, healing any torn tail.
+
+    The lock serializes concurrent submitters against the service; the
+    tail check guarantees a crash mid-write (no trailing newline) never
+    corrupts the *next* writer's line.
+    """
+    with path.open("a+b") as stream:
+        fcntl.flock(stream.fileno(), fcntl.LOCK_EX)
+        try:
+            stream.seek(0, os.SEEK_END)
+            size = stream.tell()
+            if size > 0:
+                stream.seek(size - 1)
+                if stream.read(1) != b"\n":
+                    # torn tail from a crash mid-write: truncate back to
+                    # the last clean line boundary before appending
+                    stream.seek(0)
+                    raw = stream.read(size)
+                    clean = raw.rfind(b"\n") + 1
+                    stream.truncate(clean)
+                    stream.seek(0, os.SEEK_END)
+            line = json.dumps(dict(payload), sort_keys=True) + "\n"
+            stream.write(line.encode("utf-8"))
+            stream.flush()
+            os.fsync(stream.fileno())
+        finally:
+            fcntl.flock(stream.fileno(), fcntl.LOCK_UN)
+
+
+class JobQueue:
+    """Folded view of one queue log, with locked append and tail-read.
+
+    One instance per process; the service keeps one open for its whole
+    life and calls :meth:`poll` each tick to fold ops other processes
+    appended.  Ops this process appends are *not* applied eagerly — they
+    come back through the next :meth:`poll` like everyone else's, so
+    there is exactly one application order: the log's.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.jobs: Dict[str, JobRecord] = {}
+        self._offset = 0
+        self._seq = 0
+        self._header_seen = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: Union[str, Path]) -> "JobQueue":
+        """Open (creating if needed) a queue log and fold it."""
+        queue = cls(path)
+        queue.path.parent.mkdir(parents=True, exist_ok=True)
+        if not queue.path.exists() or queue.path.stat().st_size == 0:
+            _locked_append(
+                queue.path, {"kind": QUEUE_KIND, "schema": QUEUE_SCHEMA}
+            )
+        queue.poll()
+        if not queue._header_seen:
+            raise QueueError(f"{queue.path}: not a service queue log")
+        return queue
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    def poll(self) -> List[Dict[str, object]]:
+        """Fold every complete op appended since the last poll.
+
+        Returns the newly applied ops (the service turns them into
+        telemetry events).  A torn final line is left pending — the
+        next locked append truncates it, and a clean line will reappear
+        at the same offset if the op ever completes.
+        """
+        try:
+            with self.path.open("rb") as stream:
+                stream.seek(self._offset)
+                raw = stream.read()
+        except FileNotFoundError:
+            raise QueueError(f"no queue log at {self.path}") from None
+        applied: List[Dict[str, object]] = []
+        consumed = 0
+        for raw_line in raw.splitlines(keepends=True):
+            if not raw_line.endswith(b"\n"):
+                break  # torn or in-flight tail; re-read next poll
+            consumed += len(raw_line)
+            line = raw_line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                # A healed-over torn line can only ever be the *final*
+                # line; garbage mid-log means real corruption.
+                raise QueueError(
+                    f"{self.path}: corrupt op at byte "
+                    f"{self._offset + consumed - len(raw_line)}"
+                ) from None
+            self._apply(payload)
+            applied.append(payload)
+        self._offset += consumed
+        return applied
+
+    def _apply(self, op: Mapping[str, object]) -> None:
+        if op.get("kind") == QUEUE_KIND:
+            schema = int(op.get("schema", -1))  # type: ignore[arg-type]
+            if schema != QUEUE_SCHEMA:
+                raise QueueError(
+                    f"{self.path}: queue schema {schema} != "
+                    f"supported {QUEUE_SCHEMA}"
+                )
+            self._header_seen = True
+            return
+        kind = op.get("op")
+        if kind == "submit":
+            self._apply_submit(op["job"])  # type: ignore[index]
+        elif kind == "state":
+            self._apply_state(op)
+        elif kind == "cancel":
+            self._apply_cancel(op)
+        else:
+            raise QueueError(f"{self.path}: unknown op {kind!r}")
+
+    def _apply_submit(self, payload: Mapping[str, object]) -> None:
+        job_id = str(payload["id"])
+        self._seq += 1
+        existing = self.jobs.get(job_id)
+        if existing is not None:
+            if existing.state in (QUEUED, RUNNING, DONE):
+                existing.resubmits += 1
+                return
+            # failed/cancelled: re-arm with a fresh budget, back of lane
+            existing.state = QUEUED
+            existing.attempts = 0
+            existing.reason = ""
+            existing.not_before = 0.0
+            existing.cancel_requested = False
+            existing.seq = self._seq
+            existing.resubmits += 1
+            return
+        self.jobs[job_id] = JobRecord(
+            job_id=job_id,
+            experiment=str(payload.get("experiment", "")),
+            spec=dict(payload["spec"]),  # type: ignore[arg-type]
+            seeds=[int(s) for s in payload["seeds"]],  # type: ignore
+            priority=str(payload.get("priority", "normal")),
+            seq=self._seq,
+            jobs=(
+                int(payload["jobs"])  # type: ignore[arg-type]
+                if payload.get("jobs") is not None else None
+            ),
+            timeout_s=(
+                float(payload["timeout_s"])  # type: ignore[arg-type]
+                if payload.get("timeout_s") is not None else None
+            ),
+            max_retries=int(payload.get("max_retries", 2)),  # type: ignore
+            submitted_at=float(payload.get("submitted_at", 0.0)),  # type: ignore
+        )
+
+    def _apply_state(self, op: Mapping[str, object]) -> None:
+        job = self.jobs.get(str(op.get("id")))
+        if job is None:
+            return  # state for a job this log never submitted: ignore
+        state = str(op.get("state"))
+        if state not in JOB_STATES:
+            raise QueueError(f"{self.path}: unknown job state {state!r}")
+        job.state = state
+        if op.get("attempts") is not None:
+            job.attempts = int(op["attempts"])  # type: ignore[arg-type]
+        job.reason = str(op.get("reason", job.reason) or "")
+        job.not_before = float(op.get("not_before", 0.0) or 0.0)
+        if state != RUNNING:
+            job.cancel_requested = False
+
+    def _apply_cancel(self, op: Mapping[str, object]) -> None:
+        job = self.jobs.get(str(op.get("id")))
+        if job is None:
+            return
+        if job.state == QUEUED:
+            job.state = CANCELLED
+            job.reason = str(op.get("reason", "") or "cancelled")
+        elif job.state == RUNNING:
+            job.cancel_requested = True
+
+    # ------------------------------------------------------------------
+    # Writing (all locked appends; applied via the next poll)
+    # ------------------------------------------------------------------
+
+    def append_submit(self, job: Mapping[str, object]) -> None:
+        _locked_append(self.path, {"op": "submit", "job": dict(job)})
+
+    def append_state(
+        self,
+        job_id: str,
+        state: str,
+        attempts: Optional[int] = None,
+        reason: str = "",
+        not_before: float = 0.0,
+    ) -> None:
+        if state not in JOB_STATES:
+            raise QueueError(f"unknown job state {state!r}")
+        op: Dict[str, object] = {
+            "op": "state", "id": job_id, "state": state,
+        }
+        if attempts is not None:
+            op["attempts"] = int(attempts)
+        if reason:
+            op["reason"] = reason
+        if not_before:
+            op["not_before"] = not_before
+        _locked_append(self.path, op)
+
+    def append_cancel(self, job_id: str, reason: str = "") -> None:
+        op: Dict[str, object] = {"op": "cancel", "id": job_id}
+        if reason:
+            op["reason"] = reason
+        _locked_append(self.path, op)
+
+    # ------------------------------------------------------------------
+    # Scheduling views
+    # ------------------------------------------------------------------
+
+    def lanes(self) -> Dict[str, List[JobRecord]]:
+        """Queued jobs per priority class, FIFO within each lane."""
+        lanes: Dict[str, List[JobRecord]] = {p: [] for p in PRIORITIES}
+        for job in self.jobs.values():
+            if job.state == QUEUED:
+                lane = job.priority if job.priority in lanes else "normal"
+                lanes[lane].append(job)
+        for lane in lanes.values():
+            lane.sort(key=lambda job: job.seq)
+        return lanes
+
+    def next_ready(self, now: Optional[float] = None) -> Optional[JobRecord]:
+        """The job the service should launch next: the oldest entry of
+        the highest-priority non-empty lane whose backoff gate passed."""
+        if now is None:
+            now = time.time()
+        lanes = self.lanes()
+        for priority in PRIORITIES:
+            for job in lanes[priority]:
+                if job.not_before <= now:
+                    return job
+        return None
+
+    def depth(self) -> int:
+        """Jobs waiting or running (the backpressure quantity)."""
+        return sum(
+            1 for job in self.jobs.values()
+            if job.state in (QUEUED, RUNNING)
+        )
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per state (always every state, zeros included)."""
+        counts = {state: 0 for state in JOB_STATES}
+        for job in self.jobs.values():
+            counts[job.state] += 1
+        return counts
+
+    def by_state(self, state: str) -> List[JobRecord]:
+        return sorted(
+            (job for job in self.jobs.values() if job.state == state),
+            key=lambda job: job.seq,
+        )
+
+
+def load_queue(path: Union[str, Path]) -> JobQueue:
+    """Read-only fold of an existing queue log (``repro serve status``).
+
+    Unlike :meth:`JobQueue.open`, never creates or truncates anything,
+    so it is safe to point at a live service's queue.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise QueueError(f"no queue log at {path}")
+    queue = JobQueue(path)
+    payloads, _ = _read_lines(path)
+    if not payloads:
+        raise QueueError(f"{path}: empty queue log")
+    try:
+        for payload in payloads:
+            queue._apply(payload)
+    except JournalError as error:  # pragma: no cover - defensive
+        raise QueueError(str(error)) from None
+    if not queue._header_seen:
+        raise QueueError(f"{path}: not a service queue log")
+    return queue

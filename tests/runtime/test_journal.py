@@ -151,6 +151,27 @@ class TestValidation:
             journal.verify(campaign_fingerprint(SPEC, SEEDS + [104], "E13"))
         journal.close()
 
+    def test_mismatch_error_names_both_fingerprints_and_remedies(
+        self, tmp_path
+    ):
+        # A mismatch in a multi-campaign job directory must be
+        # debuggable from the message alone: both fingerprints, the
+        # journal's own campaign, and the exact commands to continue
+        # it or to start fresh.
+        path = tmp_path / "c.jsonl"
+        CampaignJournal.create(path, SPEC, SEEDS, "E13").close()
+        journal = CampaignJournal.resume(path)
+        requested = campaign_fingerprint(SPEC, SEEDS + [104], "E13")
+        with pytest.raises(JournalError) as excinfo:
+            journal.verify(requested)
+        journal.close()
+        message = str(excinfo.value)
+        assert journal.header.fingerprint in message
+        assert requested in message
+        assert "E13" in message and f"{len(SEEDS)} seeds" in message
+        assert f"python -m repro replicate --resume {path}" in message
+        assert "--journal" in message  # fresh-journal remediation
+
     def test_record_for_unknown_seed_refused(self, tmp_path):
         path = tmp_path / "c.jsonl"
         journal = CampaignJournal.create(path, SPEC, SEEDS)

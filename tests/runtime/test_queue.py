@@ -1,0 +1,246 @@
+"""Durable job-queue tests: op folding, lanes, locking, torn tails."""
+
+import json
+import threading
+
+import pytest
+
+from repro.runtime.queue import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    PRIORITIES,
+    QUEUED,
+    RUNNING,
+    JobQueue,
+    JobRecord,
+    QueueError,
+    load_queue,
+)
+
+SPEC_SIG = {"type": "BenignReplicationSpec",
+            "params": {"accesses": 100, "scale": 8}}
+
+
+def make_job(job_id, priority="normal", seeds=(1, 2)):
+    return JobRecord(
+        job_id=job_id, experiment="E13", spec=dict(SPEC_SIG),
+        seeds=list(seeds), priority=priority, submitted_at=1.0,
+    ).as_json_dict()
+
+
+@pytest.fixture
+def queue(tmp_path):
+    return JobQueue.open(tmp_path / "queue.jsonl")
+
+
+class TestOpenAndHeader:
+    def test_open_creates_header(self, tmp_path):
+        queue = JobQueue.open(tmp_path / "queue.jsonl")
+        first = json.loads(queue.path.read_text().splitlines()[0])
+        assert first["kind"] == "repro-service-queue"
+
+    def test_reopen_is_idempotent(self, queue):
+        again = JobQueue.open(queue.path)
+        assert again.jobs == {}
+        assert len(queue.path.read_text().splitlines()) == 1
+
+    def test_not_a_queue_refused(self, tmp_path):
+        path = tmp_path / "bogus.jsonl"
+        path.write_text('{"kind": "something-else"}\n')
+        with pytest.raises(QueueError):
+            JobQueue.open(path)
+
+    def test_schema_mismatch_refused(self, tmp_path):
+        path = tmp_path / "old.jsonl"
+        path.write_text('{"kind": "repro-service-queue", "schema": 99}\n')
+        with pytest.raises(QueueError, match="schema"):
+            JobQueue.open(path)
+
+    def test_load_queue_missing_file(self, tmp_path):
+        with pytest.raises(QueueError, match="no queue log"):
+            load_queue(tmp_path / "absent.jsonl")
+
+
+class TestSubmitFolding:
+    def test_submit_appears_after_poll(self, queue):
+        queue.append_submit(make_job("aaa"))
+        assert "aaa" not in queue.jobs  # not applied eagerly
+        queue.poll()
+        job = queue.jobs["aaa"]
+        assert job.state == QUEUED and job.seeds == [1, 2]
+
+    def test_resubmit_queued_is_noop(self, queue):
+        queue.append_submit(make_job("aaa"))
+        queue.append_submit(make_job("aaa"))
+        queue.poll()
+        assert queue.jobs["aaa"].resubmits == 1
+        assert queue.counts()[QUEUED] == 1
+
+    def test_resubmit_rearms_failed_job(self, queue):
+        queue.append_submit(make_job("aaa"))
+        queue.poll()
+        queue.append_state("aaa", FAILED, attempts=3, reason="broken")
+        queue.poll()
+        queue.append_submit(make_job("aaa"))
+        queue.poll()
+        job = queue.jobs["aaa"]
+        assert job.state == QUEUED
+        assert job.attempts == 0 and job.reason == ""
+
+    def test_state_ops_last_win(self, queue):
+        queue.append_submit(make_job("aaa"))
+        queue.append_state("aaa", RUNNING, attempts=0)
+        queue.append_state("aaa", DONE, attempts=1)
+        queue.poll()
+        assert queue.jobs["aaa"].state == DONE
+        assert queue.jobs["aaa"].attempts == 1
+
+    def test_state_for_unknown_job_ignored(self, queue):
+        queue.append_state("ghost", DONE)
+        queue.poll()
+        assert queue.jobs == {}
+
+    def test_replay_reconstructs_identically(self, queue):
+        queue.append_submit(make_job("aaa", priority="high"))
+        queue.append_submit(make_job("bbb"))
+        queue.append_state("aaa", RUNNING)
+        queue.append_cancel("bbb")
+        queue.poll()
+        replayed = load_queue(queue.path)
+        assert {j.job_id: (j.state, j.priority, j.attempts)
+                for j in replayed.jobs.values()} == \
+               {j.job_id: (j.state, j.priority, j.attempts)
+                for j in queue.jobs.values()}
+
+
+class TestCancel:
+    def test_cancel_queued_cancels(self, queue):
+        queue.append_submit(make_job("aaa"))
+        queue.append_cancel("aaa", reason="mind changed")
+        queue.poll()
+        assert queue.jobs["aaa"].state == CANCELLED
+        assert queue.jobs["aaa"].reason == "mind changed"
+
+    def test_cancel_running_sets_flag(self, queue):
+        queue.append_submit(make_job("aaa"))
+        queue.append_state("aaa", RUNNING)
+        queue.append_cancel("aaa")
+        queue.poll()
+        job = queue.jobs["aaa"]
+        assert job.state == RUNNING and job.cancel_requested
+
+    def test_leaving_running_clears_flag(self, queue):
+        queue.append_submit(make_job("aaa"))
+        queue.append_state("aaa", RUNNING)
+        queue.append_cancel("aaa")
+        queue.append_state("aaa", CANCELLED)
+        queue.poll()
+        assert not queue.jobs["aaa"].cancel_requested
+
+
+class TestScheduling:
+    def test_lanes_are_fifo_per_priority(self, queue):
+        for name, prio in (("a", "low"), ("b", "high"),
+                           ("c", "normal"), ("d", "high")):
+            queue.append_submit(make_job(name, priority=prio))
+        queue.poll()
+        lanes = queue.lanes()
+        assert [j.job_id for j in lanes["high"]] == ["b", "d"]
+        assert [j.job_id for j in lanes["normal"]] == ["c"]
+        assert [j.job_id for j in lanes["low"]] == ["a"]
+
+    def test_next_ready_prefers_high_lane(self, queue):
+        queue.append_submit(make_job("low1", priority="low"))
+        queue.append_submit(make_job("high1", priority="high"))
+        queue.poll()
+        assert queue.next_ready().job_id == "high1"
+
+    def test_next_ready_honours_backoff_gate(self, queue):
+        queue.append_submit(make_job("aaa"))
+        queue.poll()
+        queue.append_state("aaa", QUEUED, not_before=100.0)
+        queue.poll()
+        assert queue.next_ready(now=99.0) is None
+        assert queue.next_ready(now=101.0).job_id == "aaa"
+
+    def test_unknown_priority_folds_into_normal_lane(self, queue):
+        payload = make_job("odd")
+        payload["priority"] = "urgent"
+        queue.append_submit(payload)
+        queue.poll()
+        assert queue.lanes()["normal"][0].job_id == "odd"
+
+    def test_depth_and_counts(self, queue):
+        queue.append_submit(make_job("a"))
+        queue.append_submit(make_job("b"))
+        queue.append_state("a", RUNNING)
+        queue.append_submit(make_job("c"))
+        queue.append_state("c", DONE)
+        queue.poll()
+        assert queue.depth() == 2  # b queued + a running
+        counts = queue.counts()
+        assert counts[QUEUED] == 1 and counts[RUNNING] == 1
+        assert counts[DONE] == 1
+        assert set(counts) == {QUEUED, RUNNING, DONE, FAILED, CANCELLED}
+
+    def test_priorities_constant_order(self):
+        assert PRIORITIES == ("high", "normal", "low")
+
+
+class TestTornTail:
+    def test_poll_leaves_torn_tail_pending(self, queue):
+        queue.append_submit(make_job("aaa"))
+        with queue.path.open("ab") as stream:
+            stream.write(b'{"op": "state", "id": "aaa", "sta')
+        queue.poll()
+        assert queue.jobs["aaa"].state == QUEUED  # fragment not folded
+
+    def test_next_append_heals_torn_tail(self, queue):
+        queue.append_submit(make_job("aaa"))
+        size_before = queue.path.stat().st_size
+        with queue.path.open("ab") as stream:
+            stream.write(b'{"op": "state", "id": "aaa", "sta')
+        queue.append_state("aaa", RUNNING)
+        queue.poll()
+        assert queue.jobs["aaa"].state == RUNNING
+        # the torn fragment is gone: clean prefix + exactly one new line
+        lines = queue.path.read_bytes().splitlines(keepends=True)
+        assert all(line.endswith(b"\n") for line in lines)
+        assert queue.path.stat().st_size > size_before
+
+    def test_load_queue_tolerates_torn_tail(self, queue):
+        queue.append_submit(make_job("aaa"))
+        with queue.path.open("ab") as stream:
+            stream.write(b'{"torn": ')
+        loaded = load_queue(queue.path)
+        assert loaded.jobs["aaa"].state == QUEUED
+
+    def test_mid_log_corruption_is_an_error(self, queue):
+        queue.append_submit(make_job("aaa"))
+        with queue.path.open("ab") as stream:
+            stream.write(b"garbage not json\n")
+        queue.append_state("aaa", RUNNING)
+        fresh = JobQueue(queue.path)
+        with pytest.raises(QueueError, match="corrupt"):
+            fresh.poll()
+
+
+class TestConcurrentWriters:
+    def test_parallel_appends_never_interleave(self, queue):
+        def submit_many(prefix):
+            for i in range(25):
+                queue.append_submit(make_job(f"{prefix}{i}"))
+
+        threads = [
+            threading.Thread(target=submit_many, args=(p,))
+            for p in ("x", "y", "z")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        queue.poll()
+        assert len(queue.jobs) == 75
+        for line in queue.path.read_text().splitlines():
+            json.loads(line)  # every line individually parseable

@@ -1,0 +1,237 @@
+"""Campaign-service tests: admission, scheduling, drain, breakers."""
+
+import json
+
+import pytest
+
+from repro.analysis.cache import ResultCache
+from repro.analysis.parallel import BenignReplicationSpec
+from repro.runtime.queue import DONE, FAILED, QUEUED, load_queue
+from repro.runtime.service import (
+    EXIT_DRAINED,
+    CampaignService,
+    ServiceConfig,
+    job_backoff_delay,
+)
+
+SPEC = BenignReplicationSpec(accesses=200, scale=8)
+SEEDS = [101, 102]
+
+FAST = dict(poll_s=0.01, backoff_base_s=0.01, backoff_cap_s=0.05)
+
+
+def make_service(tmp_path, **overrides):
+    config = ServiceConfig(**{**FAST, **overrides})
+    return CampaignService(tmp_path / "svc", config=config)
+
+
+class TestAdmission:
+    def test_accepts_and_queues(self, tmp_path):
+        service = make_service(tmp_path)
+        admission = service.submit(SPEC, SEEDS, experiment="E13")
+        assert admission.accepted and admission.fresh
+        assert admission.state == QUEUED
+        queue = load_queue(service.queue_path)
+        assert queue.jobs[admission.job_id].seeds == SEEDS
+
+    def test_idempotent_resubmit_is_not_fresh(self, tmp_path):
+        service = make_service(tmp_path)
+        first = service.submit(SPEC, SEEDS, experiment="E13")
+        second = service.submit(SPEC, SEEDS, experiment="E13")
+        assert second.accepted and not second.fresh
+        assert second.job_id == first.job_id
+        assert "idempotent" in second.reason
+
+    def test_queue_full_rejected_with_reason(self, tmp_path):
+        service = make_service(tmp_path, max_queued=1)
+        service.submit(SPEC, SEEDS, experiment="E13")
+        other = BenignReplicationSpec(accesses=300, scale=8)
+        rejection = service.submit(other, SEEDS, experiment="E13")
+        assert not rejection.accepted
+        assert "queue full" in rejection.reason
+        assert "max_queued 1" in rejection.reason
+
+    def test_disk_budget_rejected_with_reason(self, tmp_path):
+        # even the queue header blows a 1-byte budget, so any fresh
+        # submission must be refused with the budget spelled out
+        service = make_service(tmp_path, disk_budget_bytes=1)
+        rejection = service.submit(SPEC, SEEDS, experiment="E13")
+        assert not rejection.accepted
+        assert "disk budget exhausted" in rejection.reason
+        assert "budget 1" in rejection.reason
+
+    def test_rejection_counted_and_journaled(self, tmp_path):
+        service = make_service(tmp_path, max_queued=1)
+        service.submit(SPEC, SEEDS, experiment="E13")
+        other = BenignReplicationSpec(accesses=300, scale=8)
+        service.submit(other, SEEDS, experiment="E13")
+        snap = service.metrics_snapshot()
+        assert snap["service.jobs_rejected"] == 1
+        telemetry = (service.root / "service.telemetry").read_text()
+        assert "job_rejected" in telemetry
+
+    def test_bad_priority_raises(self, tmp_path):
+        service = make_service(tmp_path)
+        with pytest.raises(ValueError, match="priority"):
+            service.submit(SPEC, SEEDS, priority="urgent")
+
+    def test_unrebuildable_spec_refused_at_admission(self, tmp_path):
+        service = make_service(tmp_path)
+        with pytest.raises(Exception, match="cannot rebuild"):
+            service.submit(lambda seed: {"x": seed}, SEEDS)
+
+    def test_no_seeds_raises(self, tmp_path):
+        service = make_service(tmp_path)
+        with pytest.raises(ValueError, match="seed"):
+            service.submit(SPEC, [])
+
+
+class TestServeLoop:
+    def test_runs_job_to_done_with_result_file(self, tmp_path):
+        service = make_service(tmp_path, max_inflight=1)
+        admission = service.submit(SPEC, SEEDS, experiment="E13")
+        summary = service.serve(drain_and_exit=True)
+        assert summary["done"] == 1 and summary["failed"] == 0
+        payload = json.loads(
+            service.result_path(admission.job_id).read_text()
+        )
+        assert payload["completed"] == len(SEEDS)
+        assert payload["aggregates"]  # merged stats present
+
+    def test_priority_lane_drains_first(self, tmp_path):
+        service = make_service(tmp_path, max_inflight=1)
+        low = service.submit(
+            SPEC, SEEDS, experiment="E13", priority="low"
+        )
+        high_spec = BenignReplicationSpec(accesses=250, scale=8)
+        high = service.submit(
+            high_spec, SEEDS, experiment="E13", priority="high"
+        )
+        service.serve(drain_and_exit=True)
+        events = [
+            json.loads(line)
+            for line in (service.root / "service.telemetry")
+            .read_text().splitlines()
+        ]
+        started = [e["job"] for e in events if e["kind"] == "job_started"]
+        assert started.index(high.job_id) < started.index(low.job_id)
+
+    def test_cancel_queued_job(self, tmp_path):
+        service = make_service(tmp_path)
+        admission = service.submit(SPEC, SEEDS, experiment="E13")
+        assert service.cancel(admission.job_id)
+        summary = service.serve(drain_and_exit=True)
+        assert summary["cancelled"] == 1 and summary["done"] == 0
+
+    def test_cancel_unknown_job(self, tmp_path):
+        service = make_service(tmp_path)
+        service.submit(SPEC, SEEDS)  # creates the queue
+        assert not service.cancel("not-a-job")
+
+    def test_queue_depth_events_emitted(self, tmp_path):
+        service = make_service(tmp_path, max_inflight=1)
+        service.submit(SPEC, SEEDS, experiment="E13")
+        service.serve(drain_and_exit=True)
+        kinds = [
+            json.loads(line)["kind"]
+            for line in (service.root / "service.telemetry")
+            .read_text().splitlines()
+        ]
+        assert "queue_depth" in kinds
+        assert kinds[0] == "service_started"
+        assert kinds[-1] == "service_stopped"
+
+    def test_metrics_snapshot_covers_all_service_keys(self, tmp_path):
+        service = make_service(tmp_path)
+        snap = service.metrics_snapshot()  # assert_covers inside
+        assert snap["service.jobs_submitted"] == 0
+
+
+class TestWarmCompletion:
+    def test_warm_resubmission_answers_from_cache_without_forking(
+        self, tmp_path
+    ):
+        cache_dir = tmp_path / "shared-cache"
+        first = CampaignService(
+            tmp_path / "svc1", config=ServiceConfig(**FAST),
+            cache_dir=cache_dir,
+        )
+        first.submit(SPEC, SEEDS, experiment="E13")
+        summary1 = first.serve(drain_and_exit=True)
+        assert summary1["service.worker_forks"] == 1
+
+        second = CampaignService(
+            tmp_path / "svc2", config=ServiceConfig(**FAST),
+            cache_dir=cache_dir,
+        )
+        admission = second.submit(SPEC, SEEDS, experiment="E13")
+        summary2 = second.serve(drain_and_exit=True)
+        assert summary2["service.worker_forks"] == 0
+        assert summary2["service.jobs_cached_warm"] == 1
+        assert summary2["done"] == 1
+        # and the answers agree bit-for-bit
+        r1 = json.loads(
+            (tmp_path / "svc1" / "jobs" /
+             f"{admission.job_id}.result.json").read_text()
+        )
+        r2 = json.loads(
+            second.result_path(admission.job_id).read_text()
+        )
+        assert r1["aggregates"] == r2["aggregates"]
+
+    def test_done_job_resubmission_answers_without_new_entry(
+        self, tmp_path
+    ):
+        service = make_service(tmp_path)
+        service.submit(SPEC, SEEDS, experiment="E13")
+        service.serve(drain_and_exit=True)
+        again = service.submit(SPEC, SEEDS, experiment="E13")
+        assert again.accepted and not again.fresh
+        assert again.state == DONE
+        assert "result at" in again.reason
+
+
+class TestCircuitBreaker:
+    def test_always_crashing_job_trips_breaker(self, tmp_path):
+        from repro.faults.crash import CrashingSpec
+
+        service = make_service(
+            tmp_path, max_inflight=1, max_job_attempts=2
+        )
+        doomed = CrashingSpec(  # no marker_dir: crashes every attempt
+            spec=SPEC, crash_seeds=(101,), mode="kill"
+        )
+        admission = service.submit(doomed, SEEDS, experiment="chaos")
+        summary = service.serve(drain_and_exit=True)
+        assert summary["failed"] == 1
+        assert summary["service.worker_forks"] == 2  # breaker capped it
+        job = load_queue(service.queue_path).jobs[admission.job_id]
+        assert job.state == FAILED
+        assert "circuit breaker" in job.reason
+
+    def test_job_backoff_delay_deterministic(self):
+        config = ServiceConfig()
+        first = job_backoff_delay("f" * 16, 2, config)
+        again = job_backoff_delay("f" * 16, 2, config)
+        assert first == again
+        assert first != job_backoff_delay("0" * 16, 2, config)
+
+
+class TestExitCodes:
+    def test_drained_and_interrupted_codes_are_distinct(self):
+        assert EXIT_DRAINED == 75
+        from repro.runtime.service import EXIT_INTERRUPTED
+
+        assert EXIT_INTERRUPTED == 130
+
+
+class TestConfigValidation:
+    def test_rejects_nonpositive_knobs(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(max_inflight=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(max_queued=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(max_job_attempts=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(disk_budget_bytes=0)

@@ -1,0 +1,143 @@
+"""CLI surface of the service: serve subcommands, status-on-directory,
+and the interrupted-exit-code contract through the service wrapper."""
+
+import json
+
+import pytest
+
+from repro.cli import EXIT_INTERRUPTED, main
+from repro.runtime.campaign import run_campaign
+from repro.runtime.service import CampaignService
+
+
+class TestServeSubmitAndStatus:
+    def test_submit_then_status_lists_job(self, tmp_path, capsys):
+        root = tmp_path / "svc"
+        code = main([
+            "serve", "submit", str(root), "E13",
+            "--seeds", "2", "--scale", "8", "--priority", "high",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accepted" in out
+
+        assert main(["serve", "status", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "1 queued" in out
+        assert "high" in out
+
+    def test_resubmit_reports_idempotent(self, tmp_path, capsys):
+        root = tmp_path / "svc"
+        argv = ["serve", "submit", str(root), "E13",
+                "--seeds", "2", "--scale", "8"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "idempotent" in capsys.readouterr().out
+
+    def test_rejection_exits_nonzero_with_reason(self, tmp_path, capsys):
+        root = tmp_path / "svc"
+        assert main([
+            "serve", "submit", str(root), "E13",
+            "--seeds", "2", "--scale", "8", "--max-queued", "1",
+        ]) == 0
+        capsys.readouterr()
+        code = main([
+            "serve", "submit", str(root), "E4",
+            "--seeds", "2", "--scale", "8", "--max-queued", "1",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REJECTED" in out and "queue full" in out
+
+    def test_cancel_unknown_job(self, tmp_path, capsys):
+        root = tmp_path / "svc"
+        assert main(["serve", "submit", str(root), "E13",
+                     "--seeds", "2", "--scale", "8"]) == 0
+        capsys.readouterr()
+        assert main(["serve", "cancel", str(root), "nope"]) == 1
+
+    def test_status_missing_queue_is_config_error(self, tmp_path, capsys):
+        assert main(["serve", "status", str(tmp_path / "empty")]) == 2
+
+
+class TestServeEndToEnd:
+    def test_batch_serve_completes_submitted_job(self, tmp_path, capsys):
+        root = tmp_path / "svc"
+        assert main(["serve", "submit", str(root), "E13",
+                     "--seeds", "2", "--scale", "8"]) == 0
+        capsys.readouterr()
+        code = main(["serve", "serve", str(root),
+                     "--drain-and-exit", "--no-cache"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "done" in out
+        results = list((root / "jobs").glob("*.result.json"))
+        assert len(results) == 1
+        assert json.loads(results[0].read_text())["completed"] == 2
+
+
+class TestInterruptedExitCode:
+    def test_ctrl_c_exit_code_survives_service_wrapper(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        # Regression: the serve wrapper must preserve the 130 contract
+        # the replicate CLI established — a KeyboardInterrupt escaping
+        # the serve loop (after its drain) maps to exit 130, never a
+        # traceback or a generic failure code.
+        def interrupted(self, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(CampaignService, "serve", interrupted)
+        code = main(["serve", "serve", str(tmp_path / "svc"),
+                     "--drain-and-exit"])
+        assert code == EXIT_INTERRUPTED == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+
+
+class TestStatusDirectory:
+    def make_journal(self, directory, name, seeds, experiment):
+        from repro.analysis.parallel import BenignReplicationSpec
+
+        spec = BenignReplicationSpec(accesses=150 + 17 * len(name),
+                                     scale=8)
+        run_campaign(
+            spec, seeds, jobs=1,
+            journal_path=directory / f"{name}.journal",
+            experiment=experiment,
+        )
+
+    def test_directory_renders_multi_campaign_table(
+        self, tmp_path, capsys
+    ):
+        jobs = tmp_path / "jobs"
+        self.make_journal(jobs, "alpha", [1, 2], "E13")
+        self.make_journal(jobs, "beta", [3, 4, 5], "E13")
+        assert main(["status", str(jobs)]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert "campaign" in lines[0]  # header row
+        assert len(lines) == 3  # header + one row per journal
+        assert "2/2" in out and "3/3" in out
+        assert out.count("done") == 2
+
+    def test_directory_order_is_deterministic(self, tmp_path, capsys):
+        jobs = tmp_path / "jobs"
+        for name in ("zeta", "alpha", "midl"):
+            self.make_journal(jobs, name, [7], "E13")
+        assert main(["status", str(jobs)]) == 0
+        first = capsys.readouterr().out
+        assert main(["status", str(jobs)]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_empty_directory_is_an_error(self, tmp_path, capsys):
+        (tmp_path / "jobs").mkdir()
+        assert main(["status", str(tmp_path / "jobs")]) == 2
+        assert "no *.journal" in capsys.readouterr().err
+
+    def test_single_journal_path_still_works(self, tmp_path, capsys):
+        jobs = tmp_path / "jobs"
+        self.make_journal(jobs, "solo", [9, 10], "E13")
+        assert main(["status", str(jobs / "solo.journal")]) == 0
+        assert "2/2 seeds done" in capsys.readouterr().out
