@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""CI smoke: the columnar *front end* must stay columnar end to end.
+
+Two representative shapes run through the vectorized generation +
+translation + submit pipeline:
+
+* **attack** — a double-sided hammer through
+  ``Attacker.run_rounds_columnar`` (bulk front end, steady-state
+  replication) on the undefended legacy platform;
+* **streaming** — a ``streaming_write`` tenant through
+  ``WorkloadRunner.run_columnar`` (bulk generation, chunked
+  ``TranslationPlan``, whole-chunk ``submit_columnar_run``).
+
+Both configs are bulk-capable (no scalar observers, no interrupt
+handlers, no DMA, a vectorizable workload kind), so **every** fallback
+counter must stay zero:
+
+* any ``mc.columnar_fallbacks.<reason>`` moving means a code change
+  silently demoted the engine back to the object path;
+* ``gen.scalar_fallbacks`` moving means workload generation fell off
+  the vector path.
+
+A third leg runs ``pointer_chase`` — the one *designed* scalar-fallback
+kind — and requires ``gen.scalar_fallbacks`` to move, proving the
+counter is live (a dead counter would make the first two checks
+vacuous).
+
+Total budget is a couple of seconds.  Usage (from the repository
+root)::
+
+    PYTHONPATH=src python scripts/frontend_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+ROUNDS = 400
+ACCESSES = 5_000
+
+
+def _fallbacks(system):
+    snapshot = system.controller.stats.snapshot()
+    reasons = {
+        key: value for key, value in snapshot.items()
+        if key.startswith("columnar_fallbacks.") and value
+    }
+    generation = int(
+        system.obs.metrics.snapshot().get("gen.scalar_fallbacks", 0)
+    )
+    return reasons, generation
+
+
+def main() -> int:
+    from repro.analysis.scenarios import build_scenario
+    from repro.attacks import AttackPlanner, Attacker
+    from repro.sim import build_system, legacy_platform
+    from repro.workloads import WorkloadRunner
+    from repro.workloads.bulk import bulk_generation_available
+
+    if not bulk_generation_available():
+        # Without numpy the front end is scalar by design; nothing to
+        # guard (and nothing to regress).
+        print("frontend smoke skipped: numpy unavailable, scalar front end")
+        return 0
+
+    failures = []
+
+    # -- attack shape -------------------------------------------------
+    scenario = build_scenario(
+        legacy_platform(scale=8), interleaved_allocation=True
+    )
+    system = scenario.system
+    planner = AttackPlanner(system, scenario.attacker)
+    plan = planner.plan(scenario.victim, "double-sided")
+    result = Attacker(system, scenario.attacker, plan).run_rounds_columnar(
+        ROUNDS
+    )
+    reasons, generation = _fallbacks(system)
+    if reasons:
+        failures.append(f"attack: engine fallbacks {reasons}")
+    if generation:
+        failures.append(f"attack: gen.scalar_fallbacks = {generation}")
+    print(
+        f"  {'FAIL' if reasons or generation else 'ok  '} attack    "
+        f"rounds={result.hammer_iterations} engine_fallbacks={reasons} "
+        f"gen_fallbacks={generation}"
+    )
+
+    # -- streaming shape ----------------------------------------------
+    system = build_system(legacy_platform(scale=8))
+    handle = system.create_domain("tenant", pages=64)
+    runner = WorkloadRunner(
+        system, handle, name="streaming_write", mlp=8, seed=7
+    )
+    outcome = runner.run_columnar(ACCESSES)
+    reasons, generation = _fallbacks(system)
+    if reasons:
+        failures.append(f"streaming: engine fallbacks {reasons}")
+    if generation:
+        failures.append(f"streaming: gen.scalar_fallbacks = {generation}")
+    if system.controller.stats.requests != ACCESSES:
+        failures.append(
+            f"streaming: {system.controller.stats.requests} requests "
+            f"serviced, expected {ACCESSES}"
+        )
+    print(
+        f"  {'FAIL' if reasons or generation else 'ok  '} streaming "
+        f"accesses={outcome.accesses} engine_fallbacks={reasons} "
+        f"gen_fallbacks={generation}"
+    )
+
+    # -- counter liveness (pointer_chase must be counted) -------------
+    system = build_system(legacy_platform(scale=8))
+    handle = system.create_domain("tenant", pages=64)
+    runner = WorkloadRunner(
+        system, handle, name="pointer_chase", mlp=8, seed=7
+    )
+    runner.run_columnar(1_000)
+    _, generation = _fallbacks(system)
+    if generation < 1_000:
+        failures.append(
+            f"pointer_chase: gen.scalar_fallbacks = {generation}, expected "
+            f">= 1000 — the fallback counter went dead"
+        )
+    print(
+        f"  {'FAIL' if generation < 1_000 else 'ok  '} chase     "
+        f"gen_fallbacks={generation} (designed fallback, must be counted)"
+    )
+
+    if failures:
+        print("\nfrontend smoke FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nfrontend smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -322,6 +322,14 @@ def bench_replication(
     so the timings then measure cache lookups, not the runner — which
     is exactly what the warm-vs-cold comparison wants and exactly what
     a regression guard must never do by default.
+
+    On small hosts the parallel legs can be asked for more workers than
+    there are CPUs (``jobs`` > ``os.cpu_count()``); the processes then
+    time-slice a single core and ``speedup`` measures fork overhead, not
+    parallelism.  The entry records ``cpus`` and sets
+    ``parallel_meaningful: false`` in that case so trajectory readers
+    (and humans) know the speedup column is noise on this host rather
+    than a regression.
     """
     from repro.analysis.parallel import (
         BenignReplicationSpec,
@@ -355,9 +363,12 @@ def bench_replication(
     parallel_wall = timer.seconds("parallel")
     supervised_wall = timer.seconds("supervised")
     service_wall = timer.seconds("service")
+    cpus = os.cpu_count() or 1
     result: Dict[str, object] = {
         "seeds": len(seeds),
         "jobs": workers,
+        "cpus": cpus,
+        "parallel_meaningful": workers <= cpus,
         "serial_wall_s": round(serial_wall, 4),
         "parallel_wall_s": round(parallel_wall, 4),
         "supervised_wall_s": round(supervised_wall, 4),

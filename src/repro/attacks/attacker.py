@@ -121,17 +121,42 @@ class Attacker:
         )
 
     def run_rounds_columnar(
-        self, rounds: int, start_ns: int = 0, rounds_per_batch: int = 128
+        self,
+        rounds: int,
+        start_ns: int = 0,
+        rounds_per_batch: int = 128,
+        frontend: str = "bulk",
     ) -> AttackResult:
         """Columnar variant of :meth:`run_rounds` for benchmarks.
 
-        The cache side of every flush+load stays scalar and exact —
-        translation, ``clflush`` (LockError, writebacks), and the LLC
-        probe run per access, so locking and remapping defenses behave
-        identically — but the resulting DRAM reads are accumulated into
-        one struct-of-arrays batch per ``rounds_per_batch`` rounds and
-        serviced through
+        ``frontend="scalar"`` is the reference implementation: the cache
+        side of every flush+load runs per access — translation,
+        ``clflush`` (LockError, writebacks), and the LLC probe — so
+        locking and remapping defenses behave identically, and only the
+        resulting DRAM reads are accumulated into one struct-of-arrays
+        batch per ``rounds_per_batch`` rounds and serviced through
         :meth:`~repro.mc.controller.MemoryController.submit_columnar`.
+
+        ``frontend="bulk"`` (the default) is result-identical but
+        *steady-state replicating*: a hammer loop reaches a fixed point
+        within a few rounds (the aggressor lines settle into their cache
+        sets and TLB entries, every flush+load pair leaves the CPU state
+        exactly where it was), after which each batch performs identical
+        cache/TLB/translation work and submits an identical request
+        column.  The executor detects that fixed point — two consecutive
+        scalar-built batches that submit the same column, advance time
+        by the same pattern, perform no scalar submits, and leave the
+        same signature over the touched cache sets, the TLB, and the
+        page table — and then *replays* the remaining batches: CPU-side
+        counters advance by the measured per-batch deltas and the frozen
+        column is resubmitted per batch (times rebased to the running
+        clock), skipping the per-access Python loop entirely.  The DRAM
+        side still sees every request: ACT counters, trackers,
+        mitigations, and flips are live, which is why replay is gated on
+        :attr:`~repro.mc.controller.MemoryController.supports_columnar_run`
+        (an interrupt handler could remap pages mid-batch and break the
+        fixed point; scalar-only observers imply the slow engine path
+        anyway).
 
         Timing is a documented approximation of the object path: the
         serial ``done + LLC_HIT_LATENCY_NS`` chain between consecutive
@@ -145,6 +170,8 @@ class Attacker:
         """
         if rounds < 1:
             raise ValueError("rounds must be >= 1")
+        if frontend not in ("bulk", "scalar"):
+            raise ValueError("frontend must be 'bulk' or 'scalar'")
         system = self.system
         controller = system.controller
         plan = self.plan
@@ -168,17 +195,49 @@ class Attacker:
         submit_columnar = controller.submit_columnar
         asid = self.handle.asid
         batch = ColumnarBatch()
-        line_col = batch.line
-        write_col = batch.is_write
-        time_col = batch.issue_ns
-        dom_col = batch.domain
         system.drain_flips()
         flips: List[BitFlip] = []
         now = start_ns
         done_rounds = 0
+        replicate = frontend == "bulk"
+        # Fixed-point machinery: the previous batch's identity
+        # (column bytes, relative time offsets, CPU-counter deltas,
+        # post-batch state signature) and the frozen steady template.
+        previous = None
+        steady = None
         while done_rounds < rounds and plan.viable:
             take = min(rounds_per_batch, rounds - done_rounds)
+            if steady is not None and take == rounds_per_batch:
+                line_bytes, offsets, advance, deltas, signature = steady
+                self._apply_cpu_deltas(deltas)
+                size = len(line_bytes) // 8
+                if size:
+                    replay = ColumnarBatch()
+                    replay.load_window(
+                        line_bytes, b"\x00" * size, now, asid, size
+                    )
+                    if advance:
+                        issue = replay.issue_ns
+                        for position, offset in offsets:
+                            issue[position] = now + offset
+                    done = submit_columnar(replay)
+                    pre = now + advance
+                    now = done if done > pre else pre
+                    now += LLC_HIT_LATENCY_NS
+                else:
+                    now += advance
+                done_rounds += take
+                if system.has_pending_flips():
+                    flips.extend(system.drain_flips())
+                continue
             batch.clear()
+            line_col = batch.line
+            write_col = batch.is_write
+            time_col = batch.issue_ns
+            dom_col = batch.domain
+            counters_before = self._cpu_counters()
+            batch_start = now
+            clean = replicate and take == rounds_per_batch
             for _ in range(take):
                 for virtual_line, weight in pairs:
                     for _ in range(weight):
@@ -187,6 +246,7 @@ class Attacker:
                             physical = translate(asid, virtual_line)
                         except TranslationError:
                             # The page vanished (evacuated by a defense).
+                            clean = False
                             break
                         try:
                             writeback = cache.flush(physical)
@@ -197,6 +257,7 @@ class Attacker:
                                 # Dirty eviction: rare on a load hammer,
                                 # and ordering-sensitive — submit it
                                 # scalar at the current time.
+                                clean = False
                                 done = controller.submit(
                                     MemoryRequest(
                                         time_ns=now,
@@ -215,6 +276,7 @@ class Attacker:
                             now += LLC_HIT_LATENCY_NS + 1
                             continue
                         if result.writeback_line is not None:
+                            clean = False
                             done = controller.submit(
                                 MemoryRequest(
                                     time_ns=now,
@@ -229,6 +291,7 @@ class Attacker:
                         write_col.append(0)
                         time_col.append(now)
                         dom_col.append(asid)
+            advance = now - batch_start
             if len(batch):
                 done = submit_columnar(batch)
                 if done > now:
@@ -237,12 +300,79 @@ class Attacker:
             done_rounds += take
             if system.has_pending_flips():
                 flips.extend(system.drain_flips())
+            if clean and controller.supports_columnar_run:
+                line_bytes = line_col.tobytes()
+                offsets = tuple(
+                    (position, time_col[position] - batch_start)
+                    for position in range(len(time_col))
+                    if time_col[position] != batch_start
+                )
+                deltas = tuple(
+                    after - before
+                    for after, before in zip(
+                        self._cpu_counters(), counters_before
+                    )
+                )
+                signature = self._steady_signature(line_col)
+                identity = (line_bytes, offsets, advance, deltas)
+                if (previous is not None
+                        and previous[0] == identity
+                        and previous[1] == signature):
+                    steady = (
+                        line_bytes, offsets, advance, deltas, signature
+                    )
+                previous = (identity, signature)
+            else:
+                previous = None
         return AttackResult(
             plan=plan,
             hammer_iterations=done_rounds,
             started_ns=start_ns,
             finished_ns=max(now, start_ns),
             flips=flips,
+        )
+
+    def _cpu_counters(self) -> tuple:
+        """The CPU-side counters a hammer batch moves (for fixed-point
+        delta replay)."""
+        core = self.system.core
+        cache = core.cache
+        tlb = core.mmu.tlb
+        return (
+            core.flushes, core.blocked_flushes, core.loads,
+            cache.hits, cache.misses, cache.evictions, cache.writebacks,
+            cache.locked_hits, tlb.hits, tlb.misses, tlb.evictions,
+        )
+
+    def _apply_cpu_deltas(self, deltas: tuple) -> None:
+        core = self.system.core
+        cache = core.cache
+        tlb = core.mmu.tlb
+        (core.flushes, core.blocked_flushes, core.loads,
+         cache.hits, cache.misses, cache.evictions, cache.writebacks,
+         cache.locked_hits, tlb.hits, tlb.misses, tlb.evictions) = tuple(
+            value + delta
+            for value, delta in zip(self._cpu_counters(), deltas)
+        )
+
+    def _steady_signature(self, physical_lines) -> tuple:
+        """Everything CPU-side a hammer batch could have perturbed: the
+        touched cache sets (content and LRU order), the lock set, the
+        full TLB (entries and order), and the page-table version.  Two
+        consecutive batches with equal signatures and equal columns are
+        at the hammer loop's fixed point."""
+        system = self.system
+        cache = system.cache
+        mmu = system.mmu
+        touched = sorted({line % cache.sets for line in physical_lines})
+        return (
+            mmu.table(self.handle.asid).version,
+            tuple(mmu.tlb._entries.items()),
+            tuple(
+                (index, tuple(cache._sets[index].items()))
+                for index in touched
+            ),
+            tuple(sorted(cache._locked)),
         )
 
     # ------------------------------------------------------------------

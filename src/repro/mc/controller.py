@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import random
 import time as _time
+from array import array as _array
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -579,6 +580,74 @@ class MemoryController:
             batch.domain, n,
         )
 
+    @property
+    def supports_columnar_run(self) -> bool:
+        """Whether a whole multi-window run may be serviced in one
+        engine call (:meth:`submit_columnar_run`): every ACT observer
+        must provide a bulk twin (a scalar-only observer needs the
+        per-window ordered fallback) and no interrupt handler may be
+        subscribed — a handler can remap pages *between* windows, which
+        would invalidate the run's pre-translated address column."""
+        if None in self._act_observer_bulk:
+            return False
+        for counter in self.counters.values():
+            if counter._handlers:
+                return False
+        return True
+
+    def submit_columnar_run(
+        self, line_col, write_col, domain,
+        window_sizes: List[int], start_ns: int,
+    ) -> int:
+        """Service a whole chunk of MLP windows in one engine call.
+
+        ``line_col``/``write_col`` are ``array('q')``/``array('b')``
+        columns covering every window back to back; ``window_sizes``
+        (each >= 1, summing to ``len(line_col)``) are the submission
+        units.  ``domain`` is one trust-domain id (or ``None``) applied
+        to every request, or a prebuilt per-element ``array('q')``
+        column (the shared-queue runners interleave tenants).  Semantically identical to the per-window loop the
+        columnar runners previously drove — each window is issued at the
+        completion time of the one before it (``now = max(now, done)``),
+        refresh boundaries and counter overflows behave per request —
+        but address translation, the observer-capability check and the
+        engine prelude run once per chunk instead of once per window.
+        With observers attached (or tracing on) deferred ACT events
+        still flush at every window boundary, so defense state advances
+        exactly where the per-window loop advanced it; callers must
+        check :attr:`supports_columnar_run` first.
+
+        Returns the final window's completion time (>= ``start_ns``).
+        """
+        n = len(line_col)
+        if n == 0:
+            return start_ns
+        if not self.supports_columnar_run:
+            raise RuntimeError(
+                "submit_columnar_run needs bulk-capable observers and no "
+                "interrupt handlers; check supports_columnar_run first"
+            )
+        profiler = self.profiler
+        if profiler is None:
+            addresses = self.mapper.lines_to_ddr_bulk(line_col)
+        else:
+            t0 = _time.perf_counter()
+            addresses = self.mapper.lines_to_ddr_bulk(line_col)
+            profiler.add(
+                "translate_bulk", _time.perf_counter() - t0, calls=n
+            )
+        if isinstance(domain, _array):
+            # per-element domain column (the shared-queue interleave)
+            if len(domain) != n:
+                raise ValueError("domain column length disagrees with batch")
+            dom_col = domain
+        else:
+            dom_col = _array("q", (-1 if domain is None else domain,)) * n
+        return self._submit_columnar_bulk(
+            addresses, line_col, write_col, None, dom_col, n,
+            window_sizes=window_sizes, start_ns=start_ns,
+        )
+
     def _note_columnar_fallback(
         self, reason: str, size: int, time_ns: int
     ) -> None:
@@ -742,6 +811,9 @@ class MemoryController:
         dom_col,
         n: int,
         bank_ids: Optional[List[int]] = None,
+        window_sizes: Optional[List[int]] = None,
+        start_ns: int = 0,
+        reorder=None,
     ) -> int:
         """The fully vectorized columnar engine (tier 3).
 
@@ -778,6 +850,30 @@ class MemoryController:
         expansion reproduces the scalar event stream exactly — segments
         break at refresh boundaries and counter overflows, the very
         points where the scalar path would interleave foreign events.
+
+        ``window_sizes`` switches the engine into *windowed* mode (the
+        :meth:`submit_columnar_run` chunk path): ``time_col`` is ignored
+        and every request of window ``w`` is issued at that window's
+        start time — ``start_ns`` for the first, then
+        ``max(previous_start, previous_completion)`` — reproducing the
+        outer per-window submit loop's timing exactly.  With observers
+        attached or tracing on, deferred ACT events additionally flush
+        at each window boundary so defense gates read state advanced to
+        precisely where the per-window loop would have advanced it;
+        otherwise segments are free to span windows (same results,
+        bigger vectors).  The return value is then the final window's
+        completion time rather than the batch max.
+
+        ``reorder`` (windowed mode only) is invoked at each window
+        boundary as ``reorder(start, end, now)`` — after the previous
+        window's deferred events flushed, before any of the window's
+        requests issue — so a scheduler can read *live* bank state and
+        permute the window's column slices in place
+        (:meth:`BatchScheduler.issue_columnar_run` drives FR-FCFS this
+        way).  Requests in a window share one issue time, so a due
+        refresh burst can only fire at the window's first element:
+        state the hook reads is exactly the state a per-window
+        scheduler call would have read.
         """
         device = self.device
         timings = device.timings
@@ -911,6 +1007,26 @@ class MemoryController:
         busy_until = stats.busy_until_ns
         batch_done = 0
 
+        # Windowed-mode bookkeeping: window_end == -1 disables the
+        # boundary branch entirely for plain batches.
+        windowed = window_sizes is not None
+        window_end = 0 if windowed else -1
+        now_window = start_ns
+        time_ns = 0
+        if windowed:
+            window_iter = iter(window_sizes)
+            # Tracing pins one ColumnarTraceRecord per window (matching
+            # what per-window submit_columnar calls would emit), so the
+            # deferred events must flush at every boundary.  Plain bulk
+            # observers honor the element-wise on_activate_bulk contract
+            # (the windowed path is only entered when every observer has
+            # a bulk twin and no interrupt handler is armed), so their
+            # delivery can batch across windows: overflow seams and REF
+            # sweeps still flush exactly, and larger event columns let
+            # the tracker's numpy kernel engage instead of its fused
+            # scalar twin.
+            flush_per_window = tracing
+
         def sync_acts() -> None:
             nonlocal acts_delta
             if acts_delta:
@@ -923,7 +1039,25 @@ class MemoryController:
                 dom_delta.clear()
 
         for i in range(n):
-            time_ns = time_col[i]
+            if i == window_end:
+                # Window boundary: the next window issues when the
+                # previous one has fully drained (or immediately, for
+                # the first).  Flushing deferred events here keeps
+                # observer/tracer granularity at one window, matching
+                # what per-window submit_columnar calls would produce.
+                if batch_done > now_window:
+                    now_window = batch_done
+                batch_done = 0
+                if flush_per_window:
+                    flush_events()
+                window_end = i + next(window_iter)
+                if reorder is not None:
+                    reorder(i, window_end, now_window)
+                time_ns = now_window
+            elif windowed:
+                time_ns = now_window
+            else:
+                time_ns = time_col[i]
             if refresh_enabled and next_ref <= time_ns:
                 # Refresh reads tracker and mitigation state: flush the
                 # deferred events so the sweep sees exactly what the
@@ -1069,6 +1203,10 @@ class MemoryController:
         stats.row_conflicts += conflicts
         stats.total_request_latency_ns += latency_ns
         stats.busy_until_ns = busy_until
+        if windowed:
+            # Completion of the final window (batch_done covers only
+            # requests issued since the last boundary).
+            return now_window if now_window > batch_done else batch_done
         return batch_done
 
     def advance_to(self, now: int) -> None:

@@ -207,6 +207,26 @@ def dir_bytes(root: Union[str, Path]) -> int:
     return total
 
 
+def _worker_env() -> Dict[str, str]:
+    """Environment for a forked worker: parent env plus an importable
+    ``repro``.
+
+    The service may itself run via a script that inserted ``src/`` on
+    ``sys.path`` without exporting PYTHONPATH (the standalone bench
+    scripts do exactly that); ``python -m repro`` in the child would
+    then fail to import.  Prepending this package's parent directory
+    keeps the child's interpreter pointed at the same code.
+    """
+    env = dict(os.environ)
+    pkg_root = str(Path(__file__).resolve().parents[2])
+    parts = env.get("PYTHONPATH", "")
+    if pkg_root not in parts.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            pkg_root + os.pathsep + parts if parts else pkg_root
+        )
+    return env
+
+
 class CampaignService:
     """One campaign-service directory: queue log, job journals, cache.
 
@@ -688,7 +708,7 @@ class CampaignService:
                 argv.append("--no-cache")
             else:
                 argv.extend(["--cache-dir", str(self.cache_dir)])
-            running[job.job_id] = subprocess.Popen(argv)
+            running[job.job_id] = subprocess.Popen(argv, env=_worker_env())
             self._count("worker_forks")
 
     def _complete_warm(self, queue: JobQueue, job: JobRecord) -> bool:

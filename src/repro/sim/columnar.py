@@ -79,6 +79,45 @@ class ColumnarBatch:
         del self.issue_ns[:]
         del self.domain[:]
 
+    def load_window(
+        self,
+        line_bytes: bytes,
+        write_bytes: bytes,
+        issue_ns: int,
+        domain,
+        count: int,
+    ) -> None:
+        """Rebind the whole batch to one pre-generated window at C speed.
+
+        ``line_bytes``/``write_bytes`` are raw little-endian int64/int8
+        column bytes (``numpy.ndarray.tobytes()`` from the bulk
+        generators — already validated upstream by the generator and the
+        MMU, so the per-element checks of :meth:`append` are not re-run);
+        ``issue_ns`` is the window's shared issue time and ``domain`` is
+        either one domain id applied to every element or a prebuilt
+        ``array('q')`` column bound as-is (the shared-queue runner reuses
+        one interleave template per window).
+        """
+        if issue_ns < 0:
+            raise ValueError("request time must be >= 0")
+        line = array("q")
+        line.frombytes(line_bytes)
+        is_write = array("b")
+        is_write.frombytes(write_bytes)
+        if len(line) != count or len(is_write) != count:
+            raise ValueError("column byte lengths disagree with count")
+        self.line = line
+        self.is_write = is_write
+        self.issue_ns = array("q", (issue_ns,)) * count
+        if isinstance(domain, array):
+            if len(domain) != count:
+                raise ValueError("domain column length disagrees with count")
+            self.domain = domain
+        else:
+            self.domain = array(
+                "q", (NO_DOMAIN if domain is None else domain,)
+            ) * count
+
     # ------------------------------------------------------------------
     # Interop with the object (reference) path
     # ------------------------------------------------------------------

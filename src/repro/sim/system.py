@@ -216,6 +216,22 @@ class System:
         self.obs.metrics.register_gauges(
             "cache.addrmap", self.mapper.memo_counters
         )
+        self.obs.metrics.register_gauges(
+            "cache.tlb",
+            lambda: {
+                "hit": self.mmu.tlb.hits,
+                "miss": self.mmu.tlb.misses,
+                "evict": self.mmu.tlb.evictions,
+            },
+        )
+        self.obs.metrics.register_gauges(
+            "cache.l2",
+            lambda: {"bulk_hits": self.cache.bulk_hits},
+        )
+        #: accesses the columnar front end had to produce per element
+        #: (pointer_chase and friends) instead of as vector columns —
+        #: the frontend smoke fails if this moves for bulk-capable kinds
+        self.gen_fallbacks = self.obs.metrics.counter("gen.scalar_fallbacks")
         # Fault plane and invariant suite (repro.faults) — built late so
         # their hooks and probes see the fully wired controller/device,
         # and imported lazily to keep sim<->faults import-cycle-free.

@@ -159,18 +159,26 @@ def test_uneven_tail_merges_into_last_window():
     assert dataclasses.asdict(columnar) == dataclasses.asdict(reference)
 
     # Count the windows directly: a 13-access run with mlp=8 is a single
-    # merged batch (no 8 + 5 split).
+    # merged batch (no 8 + 5 split).  The bulk front end hands whole
+    # chunks to submit_columnar_run with an explicit window plan; the
+    # per-window path submits one batch per window — spy on both.
     windows = []
     system = build_system(legacy_platform(scale=8))
     handle = system.create_domain("tenant", pages=64)
     runner = WorkloadRunner(system, handle, name="sequential", mlp=8, seed=3)
     original = system.controller.submit_columnar
+    original_run = system.controller.submit_columnar_run
 
     def spying_submit(batch):
         windows.append(len(batch))
         return original(batch)
 
+    def spying_submit_run(line_col, write_col, domain, window_sizes, start_ns):
+        windows.extend(window_sizes)
+        return original_run(line_col, write_col, domain, window_sizes, start_ns)
+
     system.controller.submit_columnar = spying_submit
+    system.controller.submit_columnar_run = spying_submit_run
     runner.run_columnar(13)
     assert windows == [13]
 
